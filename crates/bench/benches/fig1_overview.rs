@@ -1,0 +1,36 @@
+//! Figure 1(a): normalised geometric-mean completion time of the evaluated
+//! secure-processor architectures relative to an insecure baseline.
+//!
+//! Paper reference points: SGX ≈ 1.33×, MI6 ≈ 2.25×, IRONHIDE well below MI6
+//! (≈ 2.1× faster than MI6 and ≈ 20 % faster than SGX).
+
+use ironhide_bench::{geometric_mean, print_header, print_row, Sweep};
+use ironhide_core::arch::Architecture;
+use ironhide_core::realloc::ReallocPolicy;
+
+fn main() {
+    let sweep = Sweep::default();
+    println!("# Figure 1(a): normalized geometric-mean completion time (vs. insecure)\n");
+
+    let insecure = sweep.run_all(Architecture::Insecure, ReallocPolicy::Heuristic);
+    print_header(&["Architecture", "Normalized completion time (geomean)"]);
+    let mut summary = Vec::new();
+    for arch in [Architecture::SgxLike, Architecture::Mi6, Architecture::Ironhide] {
+        let reports = sweep.run_all(arch, ReallocPolicy::Heuristic);
+        let normalized: Vec<f64> = reports
+            .iter()
+            .zip(insecure.iter())
+            .map(|(r, base)| r.normalized_to(base))
+            .collect();
+        let geo = geometric_mean(&normalized);
+        print_row(&[arch.to_string(), format!("{geo:.2}x")]);
+        summary.push((arch, geo));
+    }
+
+    println!();
+    let sgx = summary[0].1;
+    let mi6 = summary[1].1;
+    let ironhide = summary[2].1;
+    println!("IRONHIDE speedup over MI6 (paper: ~2.1x): {:.2}x", mi6 / ironhide);
+    println!("IRONHIDE improvement over SGX (paper: ~20%): {:.1}%", (sgx / ironhide - 1.0) * 100.0);
+}

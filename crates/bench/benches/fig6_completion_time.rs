@@ -1,0 +1,97 @@
+//! Figure 6: completion times of IRONHIDE against the SGX and MI6 baselines
+//! for each interactive application, broken into compute and enclave/purge
+//! overhead, with the number of secure-cluster cores chosen by IRONHIDE and
+//! the user-level / OS-level / overall geometric means.
+
+use ironhide_bench::{geometric_mean, print_header, print_row, Sweep};
+use ironhide_core::arch::Architecture;
+use ironhide_core::realloc::ReallocPolicy;
+use ironhide_core::runner::CompletionReport;
+use ironhide_workloads::app::AppId;
+
+fn geo_of(reports: &[(AppId, CompletionReport)], apps: &[AppId], f: impl Fn(&CompletionReport) -> f64) -> f64 {
+    let values: Vec<f64> =
+        reports.iter().filter(|(a, _)| apps.contains(a)).map(|(_, r)| f(r)).collect();
+    geometric_mean(&values)
+}
+
+fn main() {
+    let sweep = Sweep::default();
+    println!("# Figure 6: completion time per interactive application (ms)\n");
+    print_header(&[
+        "Application",
+        "SGX compute",
+        "SGX overhead",
+        "MI6 compute",
+        "MI6 overhead",
+        "IRONHIDE compute",
+        "IRONHIDE overhead+reconfig",
+        "IRONHIDE secure cores",
+        "MI6/IRONHIDE speedup",
+    ]);
+
+    let mut per_arch: Vec<(AppId, CompletionReport, CompletionReport, CompletionReport)> = Vec::new();
+    for app in AppId::ALL {
+        let sgx = sweep.run_one(app, Architecture::SgxLike, ReallocPolicy::Heuristic);
+        let mi6 = sweep.run_one(app, Architecture::Mi6, ReallocPolicy::Heuristic);
+        let ih = sweep.run_one(app, Architecture::Ironhide, ReallocPolicy::Heuristic);
+        assert!(sgx.isolation.is_clean() && mi6.isolation.is_clean() && ih.isolation.is_clean());
+        print_row(&[
+            app.label().to_string(),
+            format!("{:.2}", sgx.compute_time_ms()),
+            format!("{:.2}", sgx.overhead_time_ms()),
+            format!("{:.2}", mi6.compute_time_ms()),
+            format!("{:.2}", mi6.overhead_time_ms()),
+            format!("{:.2}", ih.compute_time_ms()),
+            format!("{:.2}", ih.overhead_time_ms() + ih.reconfig_time_ms()),
+            format!("{}", ih.secure_cores),
+            format!("{:.2}x", ih.speedup_over(&mi6)),
+        ]);
+        per_arch.push((app, sgx, mi6, ih));
+    }
+
+    let all: Vec<(AppId, CompletionReport)> =
+        per_arch.iter().map(|(a, _, _, ih)| (*a, ih.clone())).collect();
+    let mi6_all: Vec<(AppId, CompletionReport)> =
+        per_arch.iter().map(|(a, _, mi6, _)| (*a, mi6.clone())).collect();
+    let sgx_all: Vec<(AppId, CompletionReport)> =
+        per_arch.iter().map(|(a, sgx, _, _)| (*a, sgx.clone())).collect();
+
+    println!("\n## Geometric means (completion time, ms)\n");
+    print_header(&["Group", "SGX", "MI6", "IRONHIDE", "MI6/IRONHIDE", "SGX/IRONHIDE"]);
+    for (label, apps) in [
+        ("User-level", AppId::user_level()),
+        ("OS-level", AppId::os_level()),
+        ("All", AppId::ALL.to_vec()),
+    ] {
+        let sgx = geo_of(&sgx_all, &apps, |r| r.total_time_ms());
+        let mi6 = geo_of(&mi6_all, &apps, |r| r.total_time_ms());
+        let ih = geo_of(&all, &apps, |r| r.total_time_ms());
+        print_row(&[
+            label.to_string(),
+            format!("{sgx:.2}"),
+            format!("{mi6:.2}"),
+            format!("{ih:.2}"),
+            format!("{:.2}x", mi6 / ih),
+            format!("{:.2}x", sgx / ih),
+        ]);
+    }
+
+    // The per-interaction purge overhead the paper quotes for MI6 (~0.19 ms)
+    // and the purge-component improvement of IRONHIDE over MI6 (~706x).
+    let mi6_overhead_per_interaction: Vec<f64> = per_arch
+        .iter()
+        .map(|(_, _, mi6, _)| mi6.overhead_per_interaction_ms())
+        .collect();
+    let purge_improvement: Vec<f64> = per_arch
+        .iter()
+        .map(|(_, _, mi6, ih)| {
+            let ih_over = (ih.overhead_cycles + ih.reconfig_cycles).max(1) as f64;
+            mi6.overhead_cycles as f64 / ih_over
+        })
+        .collect();
+    println!("\nMI6 purge overhead per interaction (paper: ~0.19 ms): {:.3} ms (geomean)",
+        geometric_mean(&mi6_overhead_per_interaction));
+    println!("IRONHIDE purge-component improvement over MI6 (paper: ~706x): {:.0}x (geomean)",
+        geometric_mean(&purge_improvement));
+}

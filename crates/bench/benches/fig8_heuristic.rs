@@ -1,0 +1,67 @@
+//! Figure 8: impact of the core re-allocation predictor's decision on
+//! IRONHIDE's performance.
+//!
+//! Paper reference points: the gradient Heuristic delivers ≈ 2.1× and the
+//! idealised Optimal ≈ 2.3× geometric-mean completion-time improvement over
+//! the MI6 baseline, and the Heuristic stays within the ±5 % decision
+//! variations.
+
+use ironhide_bench::{geometric_mean, print_header, print_row, Sweep};
+use ironhide_core::arch::Architecture;
+use ironhide_core::realloc::ReallocPolicy;
+use ironhide_workloads::app::AppId;
+
+fn policy_label(policy: ReallocPolicy) -> String {
+    match policy {
+        ReallocPolicy::Static => "Static 50/50".to_string(),
+        ReallocPolicy::Heuristic => "Heuristic".to_string(),
+        ReallocPolicy::Optimal => "Optimal".to_string(),
+        ReallocPolicy::FixedOffset(p) if p > 0 => format!("+{p}%"),
+        ReallocPolicy::FixedOffset(p) => format!("{p}%"),
+    }
+}
+
+fn main() {
+    let sweep = Sweep::default();
+    println!("# Figure 8: sensitivity to the core re-allocation decision\n");
+
+    // The MI6 baseline every policy is compared against.
+    let mi6: Vec<f64> = sweep
+        .run_all(Architecture::Mi6, ReallocPolicy::Heuristic)
+        .iter()
+        .map(|r| r.total_time_ms())
+        .collect();
+    let mi6_geo = geometric_mean(&mi6);
+
+    print_header(&[
+        "Predictor decision",
+        "Geomean completion time (ms)",
+        "Normalized to MI6 (%)",
+        "Improvement over MI6",
+    ]);
+    print_row(&[
+        "MI6 baseline".to_string(),
+        format!("{mi6_geo:.2}"),
+        "100.0".to_string(),
+        "1.00x".to_string(),
+    ]);
+
+    for policy in ReallocPolicy::figure8_set() {
+        let reports = sweep.run_all(Architecture::Ironhide, policy);
+        let times: Vec<f64> = reports.iter().map(|r| r.total_time_ms()).collect();
+        let geo = geometric_mean(&times);
+        print_row(&[
+            policy_label(policy),
+            format!("{geo:.2}"),
+            format!("{:.1}", geo / mi6_geo * 100.0),
+            format!("{:.2}x", mi6_geo / geo),
+        ]);
+    }
+
+    println!("\nSecure-cluster cores chosen by the Heuristic per application:");
+    print_header(&["Application", "Secure cores (of 64)"]);
+    for app in AppId::ALL {
+        let r = sweep.run_one(app, Architecture::Ironhide, ReallocPolicy::Heuristic);
+        print_row(&[app.label().to_string(), r.secure_cores.to_string()]);
+    }
+}

@@ -1,0 +1,113 @@
+//! # ironhide-bench
+//!
+//! The benchmark harness that regenerates the paper's figures. Each figure
+//! has its own `harness = false` bench target that runs the relevant
+//! experiment sweep and prints the same rows/series the paper reports:
+//!
+//! * `fig1_overview` — Figure 1(a): normalised geometric-mean completion time
+//!   of SGX, MI6 and IRONHIDE relative to an insecure baseline.
+//! * `fig6_completion_time` — Figure 6: per-application completion time broken
+//!   into compute and enclave/purge overhead, plus the secure-cluster core
+//!   counts and the user/OS/overall geometric means.
+//! * `fig7_miss_rates` — Figure 7: private L1 and shared L2 miss rates under
+//!   MI6 and IRONHIDE.
+//! * `fig8_heuristic` — Figure 8: sensitivity of IRONHIDE to the core
+//!   re-allocation decision (Heuristic, Optimal, fixed ±x% variations).
+//! * `ablation_isolation` — ablations of IRONHIDE's design choices (static vs.
+//!   dynamic hardware isolation).
+//! * `micro_primitives` — Criterion microbenchmarks of the purge and IPC
+//!   primitives backing the per-event costs quoted in Section V.
+//!
+//! This library crate holds the shared sweep/reporting helpers.
+
+use ironhide_core::arch::{ArchParams, Architecture};
+use ironhide_core::realloc::ReallocPolicy;
+use ironhide_core::runner::{CompletionReport, ExperimentRunner};
+use ironhide_sim::config::MachineConfig;
+use ironhide_workloads::app::{AppId, ScaleFactor};
+
+/// The geometric mean of a slice of positive values (0 when empty).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The experiment sweep configuration shared by the figure benches.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Machine to simulate.
+    pub machine: MachineConfig,
+    /// Architecture parameters.
+    pub params: ArchParams,
+    /// Application scale.
+    pub scale: ScaleFactor,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep {
+            machine: MachineConfig::paper_default(),
+            params: ArchParams::default(),
+            scale: ScaleFactor::Paper,
+        }
+    }
+}
+
+impl Sweep {
+    /// A fast sweep for smoke-testing the harness.
+    pub fn smoke() -> Self {
+        Sweep { scale: ScaleFactor::Smoke, ..Sweep::default() }
+    }
+
+    /// Runs one application under one architecture with the given
+    /// re-allocation policy.
+    pub fn run_one(&self, app: AppId, arch: Architecture, policy: ReallocPolicy) -> CompletionReport {
+        let runner = ExperimentRunner::new(self.machine.clone())
+            .with_params(self.params)
+            .with_realloc(policy);
+        let mut instance = app.instantiate(&self.scale);
+        runner
+            .run(arch, instance.as_mut())
+            .unwrap_or_else(|e| panic!("{} under {arch} failed: {e}", app.label()))
+    }
+
+    /// Runs every application under `arch`, returning reports in
+    /// [`AppId::ALL`] order.
+    pub fn run_all(&self, arch: Architecture, policy: ReallocPolicy) -> Vec<CompletionReport> {
+        AppId::ALL.iter().map(|app| self.run_one(*app, arch, policy)).collect()
+    }
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_sweep_runs_one_app() {
+        let sweep = Sweep::smoke();
+        let report = sweep.run_one(AppId::QueryAes, Architecture::SgxLike, ReallocPolicy::Heuristic);
+        assert!(report.total_cycles > 0);
+        assert!(report.isolation.is_clean());
+    }
+}

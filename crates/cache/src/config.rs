@@ -1,0 +1,120 @@
+//! Cache and TLB geometry configuration.
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (number of ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, validating that the geometry is consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, if `line_bytes` or `ways` do not
+    /// divide the capacity, or if any parameter is not a power of two.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be non-zero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(size_bytes % (ways * line_bytes) == 0, "capacity must be divisible by ways * line");
+        let sets = size_bytes / (ways * line_bytes);
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        CacheConfig { size_bytes, ways, line_bytes }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The paper machine's private L1 data cache: 32 KB, 4-way, 64 B lines.
+    pub fn paper_l1() -> Self {
+        CacheConfig::new(32 * 1024, 4, 64)
+    }
+
+    /// The paper machine's per-tile shared L2 slice: 256 KB, 8-way, 64 B lines.
+    pub fn paper_l2_slice() -> Self {
+        CacheConfig::new(256 * 1024, 8, 64)
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+}
+
+impl TlbConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    pub fn new(entries: usize, page_bytes: usize) -> Self {
+        assert!(entries > 0, "TLB must have at least one entry");
+        assert!(page_bytes.is_power_of_two() && page_bytes > 0, "page size must be a power of two");
+        TlbConfig { entries, page_bytes }
+    }
+
+    /// The paper machine's private data TLB: 32 entries, 4 KB pages.
+    pub fn paper_dtlb() -> Self {
+        TlbConfig::new(32, 4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = CacheConfig::paper_l1();
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.lines(), 512);
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let c = CacheConfig::paper_l2_slice();
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.lines(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        CacheConfig::new(3 * 1024, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ways_rejected() {
+        CacheConfig::new(1024, 0, 64);
+    }
+
+    #[test]
+    fn tlb_defaults() {
+        let t = TlbConfig::paper_dtlb();
+        assert_eq!(t.entries, 32);
+        assert_eq!(t.page_bytes, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entry_tlb_rejected() {
+        TlbConfig::new(0, 4096);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ironhide-cache
+//!
+//! Functional cache, TLB and page-homing models for the IRONHIDE reproduction.
+//!
+//! The paper's machine has, per tile, a private L1 data cache and a private
+//! TLB, plus a slice of the logically shared, physically distributed L2 cache.
+//! Three properties of this hierarchy carry the paper's results:
+//!
+//! * **Purging** — MI6 flushes-and-invalidates every private L1 and TLB on
+//!   every enclave entry/exit, so the re-entering process pays cold misses
+//!   ("L1 thrashing"). The caches here are functional (they track real tags),
+//!   so that inflation emerges from the model instead of being a constant.
+//! * **Local homing** — strong isolation maps each page (data structure) to a
+//!   single L2 slice owned by the accessing process, and disables replication,
+//!   so a process can never probe another process's slices. [`HomeMap`]
+//!   implements both the default hash-for-home policy and the local-homing
+//!   override, including the page re-homing used by IRONHIDE's dynamic
+//!   hardware isolation.
+//! * **Capacity partitioning** — statically splitting the L2 slices between
+//!   the secure and insecure processes (MI6) versus re-balancing them once per
+//!   application invocation (IRONHIDE) changes each process's effective L2
+//!   capacity, which is what Figure 7(b) measures.
+//!
+//! # Example
+//!
+//! ```
+//! use ironhide_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::paper_l1());
+//! let miss = l1.access(0x1000, false);
+//! assert!(miss.is_miss());
+//! let hit = l1.access(0x1000, false);
+//! assert!(hit.is_hit());
+//! assert_eq!(l1.stats().misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod homing;
+pub mod replacement;
+pub mod set_assoc;
+pub mod stats;
+pub mod tlb;
+
+pub use config::{CacheConfig, TlbConfig};
+pub use homing::{HomeMap, HomePolicy, PageId, SliceId};
+pub use replacement::ReplacementPolicy;
+pub use set_assoc::{AccessOutcome, Evicted, SetAssocCache};
+pub use stats::CacheStats;
+pub use tlb::Tlb;

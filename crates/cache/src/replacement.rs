@@ -1,0 +1,79 @@
+//! Replacement policies for set-associative structures.
+
+/// Replacement policy used when a set is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used way (the Tile-Gx caches are LRU-like).
+    #[default]
+    Lru,
+    /// Evict the way that was filled first.
+    Fifo,
+    /// Evict a pseudo-random way (a simple xorshift over an internal counter,
+    /// so the simulation stays deterministic).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// Picks the victim way given the per-way metadata maintained by the
+    /// cache: `last_use` (monotonic access stamps) and `filled_at`
+    /// (monotonic fill stamps). `tick` is a deterministic seed for `Random`.
+    pub fn victim(self, last_use: &[u64], filled_at: &[u64], tick: u64) -> usize {
+        match self {
+            ReplacementPolicy::Lru => index_of_min(last_use),
+            ReplacementPolicy::Fifo => index_of_min(filled_at),
+            ReplacementPolicy::Random => {
+                let mut x = tick.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                x ^= x >> 29;
+                (x as usize) % last_use.len()
+            }
+        }
+    }
+}
+
+fn index_of_min(values: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let last_use = [10, 3, 7, 9];
+        let filled_at = [0, 1, 2, 3];
+        assert_eq!(ReplacementPolicy::Lru.victim(&last_use, &filled_at, 0), 1);
+    }
+
+    #[test]
+    fn fifo_picks_oldest_fill() {
+        let last_use = [10, 3, 7, 9];
+        let filled_at = [5, 6, 1, 3];
+        assert_eq!(ReplacementPolicy::Fifo.victim(&last_use, &filled_at, 0), 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let last_use = [0u64; 8];
+        let filled_at = [0u64; 8];
+        let a = ReplacementPolicy::Random.victim(&last_use, &filled_at, 42);
+        let b = ReplacementPolicy::Random.victim(&last_use, &filled_at, 42);
+        assert_eq!(a, b);
+        assert!(a < 8);
+        let c = ReplacementPolicy::Random.victim(&last_use, &filled_at, 43);
+        assert!(c < 8);
+    }
+
+    #[test]
+    fn min_index_prefers_first_on_tie() {
+        assert_eq!(index_of_min(&[2, 2, 2]), 0);
+    }
+}

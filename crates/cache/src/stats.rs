@@ -1,0 +1,98 @@
+//! Cache access statistics.
+
+/// Counters maintained by every cache and TLB in the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Dirty lines written back (on eviction or flush).
+    pub writebacks: u64,
+    /// Lines invalidated by flush/purge operations.
+    pub flushed_lines: u64,
+    /// Number of whole-structure purge operations performed.
+    pub purges: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses have been made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses have been made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.flushed_lines += other.flushed_lines;
+        self.purges += other.purges;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats { accesses: 1, hits: 1, ..Default::default() };
+        let b = CacheStats { accesses: 2, misses: 2, purges: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.purges, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = CacheStats { accesses: 5, ..Default::default() };
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

@@ -1,0 +1,177 @@
+//! The interactive-application abstraction.
+//!
+//! Every benchmark in the paper is an *interactive application*: one insecure
+//! process (a data/request generator or the untrusted OS) and one secure
+//! process (the security-critical computation) that exchange data through the
+//! shared IPC buffer. The workloads crate implements this trait for the nine
+//! applications of Section IV-B; the experiment runner only sees this
+//! interface.
+
+use ironhide_sim::process::SecurityClass;
+
+/// One memory reference issued by a work unit (a virtual address within the
+/// owning process's address space plus a read/write flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Virtual address.
+    pub vaddr: u64,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+impl MemRef {
+    /// A load from `vaddr`.
+    pub fn read(vaddr: u64) -> Self {
+        MemRef { vaddr, write: false }
+    }
+
+    /// A store to `vaddr`.
+    pub fn write(vaddr: u64) -> Self {
+        MemRef { vaddr, write: true }
+    }
+}
+
+/// The work one process performs during one interaction: a stream of memory
+/// references (recorded from the real kernel implementations in the workloads
+/// crate) plus the non-memory compute cycles that accompany them.
+#[derive(Debug, Clone, Default)]
+pub struct WorkUnit {
+    /// Non-memory (ALU/control) cycles of the unit when executed on a single
+    /// core.
+    pub compute_cycles: u64,
+    /// Memory references issued by the unit.
+    pub accesses: Vec<MemRef>,
+}
+
+impl WorkUnit {
+    /// Creates a work unit.
+    pub fn new(compute_cycles: u64, accesses: Vec<MemRef>) -> Self {
+        WorkUnit { compute_cycles, accesses }
+    }
+
+    /// An empty unit (used by one-sided interactions).
+    pub fn empty() -> Self {
+        WorkUnit::default()
+    }
+}
+
+/// Static execution profile of one process of an interactive application.
+#[derive(Debug, Clone)]
+pub struct ProcessProfile {
+    /// Process name (used in reports).
+    pub name: String,
+    /// Security class: which cluster/partition the process belongs to.
+    pub class: SecurityClass,
+    /// Fraction of the compute that scales with cores (Amdahl).
+    pub parallel_fraction: f64,
+    /// Synchronisation cycles added per participating core per interaction
+    /// (models barrier/lock costs; large values make extra cores useless, as
+    /// for the triangle-counting kernel).
+    pub sync_cycles_per_core: u64,
+    /// Cores beyond this count bring no benefit to the process.
+    pub max_useful_cores: usize,
+}
+
+impl ProcessProfile {
+    /// Creates a profile.
+    pub fn new(
+        name: impl Into<String>,
+        class: SecurityClass,
+        parallel_fraction: f64,
+        sync_cycles_per_core: u64,
+        max_useful_cores: usize,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&parallel_fraction), "parallel fraction must be in [0,1]");
+        assert!(max_useful_cores > 0, "a process can always use at least one core");
+        ProcessProfile {
+            name: name.into(),
+            class,
+            parallel_fraction,
+            sync_cycles_per_core,
+            max_useful_cores,
+        }
+    }
+}
+
+/// One interaction event: the insecure process produces an input, the secure
+/// process consumes it (the round trip through the shared IPC buffer is what
+/// forces an enclave entry/exit under SGX/MI6).
+#[derive(Debug, Clone, Default)]
+pub struct Interaction {
+    /// Work done by the insecure process to produce the input.
+    pub insecure: WorkUnit,
+    /// Work done by the secure process to consume the input.
+    pub secure: WorkUnit,
+    /// Bytes exchanged through the shared IPC buffer.
+    pub ipc_bytes: u64,
+}
+
+/// An interactive application: two processes plus a stream of interactions.
+///
+/// Implementations must be deterministic for a fixed construction seed so
+/// that the same application can be replayed under every architecture.
+pub trait InteractiveApp {
+    /// Application name as printed in the paper's figures, e.g.
+    /// `"<SSSP, GRAPH>"`.
+    fn name(&self) -> &str;
+
+    /// Profile of the insecure (producer / OS) process.
+    fn insecure_profile(&self) -> &ProcessProfile;
+
+    /// Profile of the secure (enclave) process.
+    fn secure_profile(&self) -> &ProcessProfile;
+
+    /// Number of interaction events to simulate.
+    fn interactions(&self) -> usize;
+
+    /// Secure-process entry/exit events per second this application exhibits
+    /// on the prototype (~400 for user-level, ~220 K for OS-level
+    /// applications); used for reporting only.
+    fn interactivity_per_second(&self) -> f64;
+
+    /// Produces interaction `idx` (0-based). Implementations may be called
+    /// with the same `idx` more than once after a [`reset`](Self::reset).
+    fn interaction(&mut self, idx: usize) -> Interaction;
+
+    /// Restarts the generator so the application can be replayed.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_constructors() {
+        assert!(!MemRef::read(0x10).write);
+        assert!(MemRef::write(0x10).write);
+        assert_eq!(MemRef::read(0x10).vaddr, 0x10);
+    }
+
+    #[test]
+    fn workunit_empty() {
+        let u = WorkUnit::empty();
+        assert_eq!(u.compute_cycles, 0);
+        assert!(u.accesses.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel fraction")]
+    fn bad_parallel_fraction_rejected() {
+        ProcessProfile::new("x", SecurityClass::Secure, 1.5, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        ProcessProfile::new("x", SecurityClass::Secure, 0.5, 0, 0);
+    }
+
+    #[test]
+    fn profile_fields() {
+        let p = ProcessProfile::new("graph", SecurityClass::Insecure, 0.9, 100, 62);
+        assert_eq!(p.name, "graph");
+        assert_eq!(p.class, SecurityClass::Insecure);
+        assert_eq!(p.max_useful_cores, 62);
+    }
+}

@@ -1,0 +1,148 @@
+//! The execution architectures compared in the paper.
+
+use std::fmt;
+
+/// The secure-processor execution architecture an experiment runs under.
+///
+/// These correspond to the four systems of Figure 1(a) and Figure 6:
+/// the insecure baseline every result is normalised against, the SGX-like
+/// enclave model, the multicore MI6 baseline and IRONHIDE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// No security primitives: processes context switch freely, caches and
+    /// DRAM are fully shared. This is the normalisation baseline.
+    Insecure,
+    /// Intel-SGX-like enclaves: a constant per-entry/exit cost (pipeline
+    /// flush, enclave data encryption/decryption and integrity checking,
+    /// ~5 µs as measured by HotCalls), but no strong isolation — caches,
+    /// TLBs, the NoC and memory controllers remain shared and un-purged.
+    SgxLike,
+    /// The multicore MI6 baseline: the SGX execution model plus strong
+    /// isolation. Shared L2 slices and DRAM regions are statically
+    /// partitioned with local homing, and all time-shared private state
+    /// (L1s, TLBs) and memory-controller queues are purged on every enclave
+    /// entry and exit. A hardware range check blocks speculative accesses to
+    /// secure regions.
+    Mi6,
+    /// IRONHIDE: two spatially isolated clusters of cores. Secure processes
+    /// are pinned to the secure cluster, interactions flow through the shared
+    /// IPC buffer without enclave entries/exits, and core-level resources are
+    /// re-balanced once per application invocation by the secure kernel's
+    /// re-allocation predictor.
+    Ironhide,
+}
+
+impl Architecture {
+    /// All architectures, in the order the paper's figures present them.
+    pub const ALL: [Architecture; 4] =
+        [Architecture::Insecure, Architecture::SgxLike, Architecture::Mi6, Architecture::Ironhide];
+
+    /// Whether this architecture enforces strong isolation (static or spatial
+    /// partitioning of shared state plus protection of private state).
+    pub fn strong_isolation(self) -> bool {
+        matches!(self, Architecture::Mi6 | Architecture::Ironhide)
+    }
+
+    /// Whether the architecture purges private microarchitecture state on
+    /// every enclave entry/exit.
+    pub fn purges_on_entry_exit(self) -> bool {
+        matches!(self, Architecture::Mi6)
+    }
+
+    /// Whether the architecture pays the SGX-style constant enclave
+    /// entry/exit cost (pipeline flush + enclave crypto/integrity).
+    pub fn pays_enclave_crypto(self) -> bool {
+        matches!(self, Architecture::SgxLike | Architecture::Mi6)
+    }
+
+    /// Whether secure and insecure processes execute on spatially disjoint
+    /// clusters of cores.
+    pub fn spatial_clusters(self) -> bool {
+        matches!(self, Architecture::Ironhide)
+    }
+
+    /// Whether the hardware range check for speculative accesses to secure
+    /// regions is active.
+    pub fn speculative_check(self) -> bool {
+        self.strong_isolation()
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::Insecure => write!(f, "Insecure"),
+            Architecture::SgxLike => write!(f, "SGX"),
+            Architecture::Mi6 => write!(f, "MI6"),
+            Architecture::Ironhide => write!(f, "IRONHIDE"),
+        }
+    }
+}
+
+/// Tunable parameters of the execution architectures, with defaults taken
+/// from the paper and from HotCalls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchParams {
+    /// Cost of one SGX enclave entry or exit in microseconds (HotCalls
+    /// measures 2.5–5 µs; the paper models a constant 5 µs).
+    pub sgx_entry_exit_us: f64,
+    /// Interactions executed to warm the machine before measurement starts.
+    pub warmup_interactions: usize,
+    /// Fraction of an application's interactions sampled when the
+    /// re-allocation predictor evaluates a candidate cluster size.
+    pub predictor_sample: usize,
+    /// Initial secure-cluster size as a fraction of all cores (the paper
+    /// starts every application at 32 of 64 cores).
+    pub initial_secure_fraction: f64,
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        ArchParams {
+            sgx_entry_exit_us: 5.0,
+            warmup_interactions: 8,
+            predictor_sample: 16,
+            initial_secure_fraction: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_match_paper() {
+        assert!(!Architecture::Insecure.strong_isolation());
+        assert!(!Architecture::SgxLike.strong_isolation());
+        assert!(Architecture::Mi6.strong_isolation());
+        assert!(Architecture::Ironhide.strong_isolation());
+
+        assert!(Architecture::Mi6.purges_on_entry_exit());
+        assert!(!Architecture::Ironhide.purges_on_entry_exit());
+
+        assert!(Architecture::SgxLike.pays_enclave_crypto());
+        assert!(!Architecture::Ironhide.pays_enclave_crypto());
+
+        assert!(Architecture::Ironhide.spatial_clusters());
+        assert!(!Architecture::Mi6.spatial_clusters());
+
+        assert!(Architecture::Mi6.speculative_check());
+        assert!(Architecture::Ironhide.speculative_check());
+        assert!(!Architecture::SgxLike.speculative_check());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Architecture::ALL.iter().map(|a| a.to_string()).collect();
+        assert_eq!(names, vec!["Insecure", "SGX", "MI6", "IRONHIDE"]);
+    }
+
+    #[test]
+    fn default_params() {
+        let p = ArchParams::default();
+        assert_eq!(p.sgx_entry_exit_us, 5.0);
+        assert!(p.initial_secure_fraction > 0.0 && p.initial_secure_fraction < 1.0);
+        assert!(p.warmup_interactions > 0);
+    }
+}

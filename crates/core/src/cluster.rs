@@ -1,0 +1,303 @@
+//! Cluster formation and dynamic hardware isolation.
+//!
+//! [`ClusterManager`] owns the mapping of tiles (and with them their private
+//! L1/TLB, their shared L2 slice) and memory controllers to the secure and
+//! insecure clusters. Forming or re-forming the clusters follows the paper's
+//! protocol: the system is stalled, the private resources of re-allocated
+//! cores are flushed-and-invalidated, the shared-L2 pages of both processes
+//! are re-homed onto their clusters' slices, and the memory controllers are
+//! re-dedicated so that each cluster reaches its DRAM regions without leaving
+//! its side of the mesh.
+
+use std::fmt;
+
+use ironhide_cache::SliceId;
+use ironhide_mem::ControllerMask;
+use ironhide_mesh::{ClusterId, ClusterMap, MeshTopology, NodeId};
+use ironhide_sim::machine::Machine;
+use ironhide_sim::process::ProcessId;
+
+/// Errors produced while forming or reconfiguring clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The requested secure-cluster size leaves one cluster empty.
+    EmptyCluster {
+        /// Requested number of secure cores.
+        requested: usize,
+        /// Total cores in the machine.
+        total: usize,
+    },
+    /// The requested shape cannot contain its own traffic under bidirectional
+    /// deterministic routing.
+    Containment(String),
+    /// The machine does not have enough memory controllers to dedicate at
+    /// least one to each cluster.
+    TooFewControllers {
+        /// Number of controllers available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyCluster { requested, total } => write!(
+                f,
+                "secure cluster of {requested} cores would leave an empty cluster on a {total}-core machine"
+            ),
+            ClusterError::Containment(v) => write!(f, "cluster shape violates containment: {v}"),
+            ClusterError::TooFewControllers { available } => {
+                write!(f, "need at least two memory controllers, found {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A cluster resource binding: how many cores (and their slices) each cluster
+/// owns and which memory controllers serve it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Cores (tiles) of the secure cluster.
+    pub secure_cores: usize,
+    /// Cores (tiles) of the insecure cluster.
+    pub insecure_cores: usize,
+    /// Memory controllers dedicated to the secure cluster.
+    pub secure_controllers: ControllerMask,
+    /// Memory controllers dedicated to the insecure cluster.
+    pub insecure_controllers: ControllerMask,
+}
+
+/// Manages the strongly isolated secure and insecure clusters of a machine.
+#[derive(Debug, Clone)]
+pub struct ClusterManager {
+    map: ClusterMap,
+    config: ClusterConfig,
+    reconfigurations: u64,
+}
+
+impl ClusterManager {
+    /// Forms the initial clusters with `secure_cores` tiles in the secure
+    /// cluster and applies the binding to the machine (slices, controllers,
+    /// cluster map). Returns the manager and the setup cost in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either cluster would be empty, if the machine has fewer than
+    /// two memory controllers, or if the shape cannot contain its traffic.
+    pub fn form(
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+        secure_cores: usize,
+    ) -> Result<(Self, u64), ClusterError> {
+        let total = machine.config().cores();
+        let controllers = machine.config().controllers;
+        if controllers < 2 {
+            return Err(ClusterError::TooFewControllers { available: controllers });
+        }
+        let map = Self::build_map(machine.topology(), secure_cores, total)?;
+        let config = Self::controller_split(controllers, secure_cores, total);
+        let mut manager = ClusterManager { map, config, reconfigurations: 0 };
+        let cycles = manager.apply(machine, secure_pid, insecure_pid);
+        Ok((manager, cycles))
+    }
+
+    fn build_map(
+        topology: &MeshTopology,
+        secure_cores: usize,
+        total: usize,
+    ) -> Result<ClusterMap, ClusterError> {
+        if secure_cores == 0 || secure_cores >= total {
+            return Err(ClusterError::EmptyCluster { requested: secure_cores, total });
+        }
+        let map = ClusterMap::row_major_split(*topology, secure_cores);
+        map.verify_containment().map_err(|v| ClusterError::Containment(v.to_string()))?;
+        Ok(map)
+    }
+
+    fn controller_split(controllers: usize, secure_cores: usize, total: usize) -> ClusterConfig {
+        // Dedicate controllers proportionally to the cluster sizes, but never
+        // fewer than one per cluster. The secure cluster occupies the low
+        // (north) rows, so it takes the low-index controllers, mirroring the
+        // prototype's `pos = 0b0011` / `pos = 0b1100` masks.
+        let share = (controllers as f64 * secure_cores as f64 / total as f64).round() as usize;
+        let secure_count = share.clamp(1, controllers - 1);
+        ClusterConfig {
+            secure_cores,
+            insecure_cores: total - secure_cores,
+            secure_controllers: ControllerMask::first(secure_count),
+            insecure_controllers: ControllerMask::range(secure_count, controllers - secure_count),
+        }
+    }
+
+    fn apply(&mut self, machine: &mut Machine, secure_pid: ProcessId, insecure_pid: ProcessId) -> u64 {
+        let secure_slices: Vec<SliceId> =
+            self.map.nodes_of(ClusterId::Secure).iter().map(|n| SliceId(n.0)).collect();
+        let insecure_slices: Vec<SliceId> =
+            self.map.nodes_of(ClusterId::Insecure).iter().map(|n| SliceId(n.0)).collect();
+        let (_, secure_cycles) = machine.set_process_slices(secure_pid, secure_slices);
+        let (_, insecure_cycles) = machine.set_process_slices(insecure_pid, insecure_slices);
+        machine.set_process_controllers(secure_pid, self.config.secure_controllers);
+        machine.set_process_controllers(insecure_pid, self.config.insecure_controllers);
+        machine.set_cluster_map(Some(self.map.clone()));
+        secure_cycles + insecure_cycles
+    }
+
+    /// The current cluster map.
+    pub fn map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    /// The current resource binding.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Cores of the given cluster.
+    pub fn cores_of(&self, cluster: ClusterId) -> Vec<NodeId> {
+        self.map.nodes_of(cluster)
+    }
+
+    /// Re-balances the clusters to `new_secure_cores` secure tiles: stalls the
+    /// system, purges the private state of every re-allocated tile and the L2
+    /// slices that change owner, re-homes both processes' pages and re-applies
+    /// the binding. Returns the total stall cycles.
+    ///
+    /// The paper's security argument allows exactly one such reconfiguration
+    /// per interactive-application invocation; enforcing that budget is the
+    /// runner's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// Fails for shapes that would leave a cluster empty or violate
+    /// containment.
+    pub fn reconfigure(
+        &mut self,
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+        new_secure_cores: usize,
+    ) -> Result<u64, ClusterError> {
+        let total = machine.config().cores();
+        let new_map = Self::build_map(machine.topology(), new_secure_cores, total)?;
+        // Tiles whose cluster changes must have their private state purged and
+        // their L2 slice flushed before the other cluster may use them.
+        let moved: Vec<NodeId> = machine
+            .topology()
+            .iter_nodes()
+            .filter(|n| self.map.cluster_of(*n) != new_map.cluster_of(*n))
+            .collect();
+        let moved_slices: Vec<SliceId> = moved.iter().map(|n| SliceId(n.0)).collect();
+        let mut cycles = machine.purge_private(&moved);
+        cycles += machine.purge_slices(&moved_slices);
+        // Drain the controllers that change sides as well.
+        let old_secure_mask = self.config.secure_controllers;
+        self.map = new_map;
+        self.config =
+            Self::controller_split(machine.config().controllers, new_secure_cores, total);
+        if old_secure_mask != self.config.secure_controllers {
+            let changed = ControllerMask(old_secure_mask.0 ^ self.config.secure_controllers.0);
+            cycles += machine.purge_controllers(changed);
+        }
+        cycles += self.apply(machine, secure_pid, insecure_pid);
+        self.reconfigurations += 1;
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironhide_sim::config::MachineConfig;
+    use ironhide_sim::process::SecurityClass;
+
+    fn machine() -> (Machine, ProcessId, ProcessId) {
+        let mut m = Machine::new(MachineConfig::paper_default());
+        let sec = m.create_process("enclave", SecurityClass::Secure);
+        let ins = m.create_process("driver", SecurityClass::Insecure);
+        (m, sec, ins)
+    }
+
+    #[test]
+    fn form_initial_clusters() {
+        let (mut m, sec, ins) = machine();
+        let (mgr, _cycles) = ClusterManager::form(&mut m, sec, ins, 32).unwrap();
+        assert_eq!(mgr.config().secure_cores, 32);
+        assert_eq!(mgr.config().insecure_cores, 32);
+        assert_eq!(mgr.config().secure_controllers.count(), 2);
+        assert!(!mgr.config().secure_controllers.overlaps(mgr.config().insecure_controllers));
+        assert_eq!(m.process_slices(sec).len(), 32);
+        assert_eq!(m.process_slices(ins).len(), 32);
+        assert!(m.cluster_map().is_some());
+    }
+
+    #[test]
+    fn asymmetric_clusters_keep_one_controller_each() {
+        let (mut m, sec, ins) = machine();
+        let (mgr, _) = ClusterManager::form(&mut m, sec, ins, 2).unwrap();
+        assert_eq!(mgr.config().secure_cores, 2);
+        assert_eq!(mgr.config().insecure_cores, 62);
+        assert!(mgr.config().secure_controllers.count() >= 1);
+        assert!(mgr.config().insecure_controllers.count() >= 1);
+        assert!(!mgr.config().secure_controllers.overlaps(mgr.config().insecure_controllers));
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let (mut m, sec, ins) = machine();
+        assert!(matches!(
+            ClusterManager::form(&mut m, sec, ins, 0),
+            Err(ClusterError::EmptyCluster { .. })
+        ));
+        assert!(matches!(
+            ClusterManager::form(&mut m, sec, ins, 64),
+            Err(ClusterError::EmptyCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfigure_purges_moved_tiles_and_rehomes() {
+        let (mut m, sec, ins) = machine();
+        let (mut mgr, _) = ClusterManager::form(&mut m, sec, ins, 32).unwrap();
+        // Touch some secure data so there are pages to re-home.
+        for p in 0..32u64 {
+            m.access(NodeId(0), sec, p * 4096, true);
+        }
+        let before = m.stats().core_purges;
+        let cycles = mgr.reconfigure(&mut m, sec, ins, 16).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(mgr.reconfigurations(), 1);
+        assert_eq!(mgr.config().secure_cores, 16);
+        // The 16 tiles that moved from secure to insecure were purged.
+        assert_eq!(m.stats().core_purges - before, 16);
+        assert_eq!(m.process_slices(sec).len(), 16);
+        assert_eq!(m.process_slices(ins).len(), 48);
+    }
+
+    #[test]
+    fn reconfigure_to_invalid_shape_fails_and_keeps_state() {
+        let (mut m, sec, ins) = machine();
+        let (mut mgr, _) = ClusterManager::form(&mut m, sec, ins, 32).unwrap();
+        assert!(mgr.reconfigure(&mut m, sec, ins, 0).is_err());
+        assert_eq!(mgr.config().secure_cores, 32);
+        assert_eq!(mgr.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn cores_of_clusters_partition_the_machine() {
+        let (mut m, sec, ins) = machine();
+        let (mgr, _) = ClusterManager::form(&mut m, sec, ins, 20).unwrap();
+        let s = mgr.cores_of(ClusterId::Secure);
+        let i = mgr.cores_of(ClusterId::Insecure);
+        assert_eq!(s.len(), 20);
+        assert_eq!(i.len(), 44);
+        assert!(s.iter().all(|n| !i.contains(n)));
+    }
+}

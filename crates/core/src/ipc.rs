@@ -1,0 +1,174 @@
+//! The shared inter-process-communication buffer.
+//!
+//! Interactions between secure and insecure processes are carried out through
+//! a shared memory region — the *shared IPC buffer* — exactly as in MI6 and
+//! HotCalls. Strong isolation is preserved because the buffer is allocated in
+//! the **insecure** process's DRAM region(s): the secure process may read and
+//! write insecure data without leaking any of its own, whereas the insecure
+//! process never gains a mapping of secure memory.
+//!
+//! The buffer here is an address-space descriptor: it turns "send N bytes"
+//! into the list of memory references the producer and consumer issue, which
+//! the experiment runner feeds to the machine so IPC traffic shows up in the
+//! caches, the NoC and (under IRONHIDE) the cross-cluster packet counters.
+
+use crate::app::MemRef;
+
+/// A ring-buffer shaped shared IPC region inside the insecure process's
+/// address space.
+#[derive(Debug, Clone)]
+pub struct SharedIpcBuffer {
+    base_vaddr: u64,
+    size_bytes: u64,
+    line_bytes: u64,
+    cursor: u64,
+    messages: u64,
+    bytes_transferred: u64,
+}
+
+impl SharedIpcBuffer {
+    /// Creates a buffer of `size_bytes` at `base_vaddr` in the insecure
+    /// process's address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero or smaller than one cache line.
+    pub fn new(base_vaddr: u64, size_bytes: u64, line_bytes: u64) -> Self {
+        assert!(size_bytes >= line_bytes && line_bytes > 0, "IPC buffer must hold at least one line");
+        SharedIpcBuffer {
+            base_vaddr,
+            size_bytes,
+            line_bytes,
+            cursor: 0,
+            messages: 0,
+            bytes_transferred: 0,
+        }
+    }
+
+    /// A 64 KB buffer at a fixed offset high in the insecure address space,
+    /// the configuration used by the experiments.
+    pub fn paper_default() -> Self {
+        SharedIpcBuffer::new(0x4000_0000, 64 * 1024, 64)
+    }
+
+    /// Base virtual address (within the insecure process).
+    pub fn base_vaddr(&self) -> u64 {
+        self.base_vaddr
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes moved through the buffer.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Returns the store stream the producer issues to publish a message of
+    /// `bytes` bytes, advancing the ring cursor.
+    pub fn produce(&mut self, bytes: u64) -> Vec<MemRef> {
+        let refs = self.refs_for(bytes, true);
+        self.cursor = (self.cursor + bytes.max(self.line_bytes)) % self.size_bytes;
+        self.messages += 1;
+        self.bytes_transferred += bytes;
+        refs
+    }
+
+    /// Returns the load stream the consumer issues to read the most recently
+    /// produced message of `bytes` bytes.
+    pub fn consume(&self, bytes: u64) -> Vec<MemRef> {
+        // The consumer reads the region the producer just wrote: rewind the
+        // cursor by the producer's advance.
+        let advance = bytes.max(self.line_bytes);
+        let start = (self.cursor + self.size_bytes - advance) % self.size_bytes;
+        self.refs_from(start, bytes, false)
+    }
+
+    fn refs_for(&self, bytes: u64, write: bool) -> Vec<MemRef> {
+        self.refs_from(self.cursor, bytes, write)
+    }
+
+    fn refs_from(&self, start: u64, bytes: u64, write: bool) -> Vec<MemRef> {
+        let lines = bytes.div_ceil(self.line_bytes).max(1);
+        (0..lines)
+            .map(|i| {
+                let offset = (start + i * self.line_bytes) % self.size_bytes;
+                MemRef { vaddr: self.base_vaddr + offset, write }
+            })
+            .collect()
+    }
+}
+
+impl Default for SharedIpcBuffer {
+    fn default() -> Self {
+        SharedIpcBuffer::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_generates_one_store_per_line() {
+        let mut buf = SharedIpcBuffer::new(0x1000, 4096, 64);
+        let refs = buf.produce(200);
+        assert_eq!(refs.len(), 4); // ceil(200/64)
+        assert!(refs.iter().all(|r| r.write));
+        assert_eq!(refs[0].vaddr, 0x1000);
+        assert_eq!(buf.messages(), 1);
+        assert_eq!(buf.bytes_transferred(), 200);
+    }
+
+    #[test]
+    fn consume_reads_what_was_produced() {
+        let mut buf = SharedIpcBuffer::new(0x1000, 4096, 64);
+        let produced = buf.produce(128);
+        let consumed = buf.consume(128);
+        assert_eq!(produced.len(), consumed.len());
+        for (p, c) in produced.iter().zip(consumed.iter()) {
+            assert_eq!(p.vaddr, c.vaddr);
+            assert!(p.write);
+            assert!(!c.write);
+        }
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let mut buf = SharedIpcBuffer::new(0, 256, 64);
+        for _ in 0..10 {
+            let refs = buf.produce(128);
+            for r in refs {
+                assert!(r.vaddr < 256, "refs must stay inside the buffer");
+            }
+        }
+        assert_eq!(buf.messages(), 10);
+    }
+
+    #[test]
+    fn zero_byte_message_still_touches_a_line() {
+        let mut buf = SharedIpcBuffer::new(0, 256, 64);
+        assert_eq!(buf.produce(0).len(), 1);
+        assert_eq!(buf.consume(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn undersized_buffer_rejected() {
+        SharedIpcBuffer::new(0, 32, 64);
+    }
+
+    #[test]
+    fn addresses_live_in_insecure_space() {
+        let buf = SharedIpcBuffer::paper_default();
+        assert!(buf.base_vaddr() >= 0x4000_0000);
+        assert_eq!(buf.size_bytes(), 64 * 1024);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ironhide-core
+//!
+//! The paper's contribution: secure multicore execution architectures and the
+//! machinery IRONHIDE adds on top of the multicore substrate.
+//!
+//! * [`arch`] — the four execution architectures compared in the paper:
+//!   an insecure baseline, an SGX-like enclave model (constant entry/exit
+//!   cost, no strong isolation), the multicore MI6 baseline (strong isolation
+//!   through static partitioning plus purging at every enclave boundary) and
+//!   IRONHIDE (strong isolation through spatially isolated clusters).
+//! * [`kernel`] — the light-weight secure kernel: measurement-based
+//!   attestation and the mutually-trusting / mutually-distrusting process
+//!   rules of Section III.
+//! * [`cluster`] — the cluster manager: forms the secure and insecure
+//!   clusters, dedicates L2 slices and memory controllers to each, and
+//!   performs the stall-purge-rehome sequence of a dynamic reconfiguration.
+//! * [`realloc`] — the core re-allocation predictor: the gradient-based
+//!   heuristic, the exhaustive "Optimal" search and the fixed ±x% decision
+//!   variations evaluated in Figure 8.
+//! * [`ipc`] — the shared inter-process-communication buffer through which
+//!   secure and insecure processes interact (always homed in insecure memory).
+//! * [`speccheck`] — the hardware address-range check that stalls insecure
+//!   accesses destined for secure DRAM regions (the Spectre-class defence
+//!   adopted from MI6).
+//! * [`isolation`] — the strong-isolation auditor used by tests and the
+//!   experiment harness to demonstrate that no run violated isolation.
+//! * [`app`] — the interactive-application abstraction the workloads crate
+//!   implements (two processes, a stream of interactions, per-process
+//!   parallelism profiles).
+//! * [`runner`] — the experiment driver that executes an interactive
+//!   application on a simulated machine under a chosen architecture and
+//!   reports the completion-time breakdown, cache miss rates and isolation
+//!   summary used to regenerate the paper's figures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod arch;
+pub mod cluster;
+pub mod ipc;
+pub mod isolation;
+pub mod kernel;
+pub mod realloc;
+pub mod runner;
+pub mod speccheck;
+
+pub use app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+pub use arch::{ArchParams, Architecture};
+pub use cluster::{ClusterConfig, ClusterManager};
+pub use ipc::SharedIpcBuffer;
+pub use isolation::{IsolationAuditor, IsolationSummary};
+pub use kernel::{AttestationError, Measurement, SecureKernel, TrustRelation};
+pub use realloc::{ReallocDecision, ReallocPolicy};
+pub use runner::{CompletionReport, ExperimentRunner, RunError};
+pub use speccheck::{SpecCheckOutcome, SpeculativeAccessCheck};

@@ -1,0 +1,224 @@
+//! The core re-allocation predictor.
+//!
+//! IRONHIDE's secure kernel decides, once per interactive-application
+//! invocation, how many cores (with their L1/TLB, L2 slice and share of the
+//! memory controllers) the secure cluster receives. The paper evaluates
+//! (Figure 8):
+//!
+//! * the **Heuristic** — a gradient-based search that probes a few candidate
+//!   allocations with a short profiling sample and follows the slope of the
+//!   predicted completion time;
+//! * **Optimal** — an exhaustive search over every allocation, charged no
+//!   overhead, as an upper bound;
+//! * **fixed ±x % variations** — the Optimal allocation perturbed by a fixed
+//!   percentage of the machine's cores, quantifying how sensitive performance
+//!   is to mis-prediction.
+
+/// Policy used to choose the secure cluster's core count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReallocPolicy {
+    /// Keep the initial allocation (half the cores); no search, no
+    /// reconfiguration overhead beyond the initial formation. Used as an
+    /// ablation of dynamic hardware isolation.
+    Static,
+    /// The paper's gradient-based heuristic search.
+    Heuristic,
+    /// Exhaustive search over all feasible allocations with no overhead
+    /// charged (the paper's "Optimal").
+    Optimal,
+    /// The Optimal allocation shifted by this percentage of the machine's
+    /// cores (positive: the secure cluster gets more cores; negative: cores
+    /// are taken away and given to the insecure cluster).
+    FixedOffset(i32),
+}
+
+impl ReallocPolicy {
+    /// The policies evaluated in Figure 8, in presentation order.
+    pub fn figure8_set() -> Vec<ReallocPolicy> {
+        vec![
+            ReallocPolicy::Heuristic,
+            ReallocPolicy::Optimal,
+            ReallocPolicy::FixedOffset(-25),
+            ReallocPolicy::FixedOffset(-10),
+            ReallocPolicy::FixedOffset(-5),
+            ReallocPolicy::FixedOffset(5),
+            ReallocPolicy::FixedOffset(10),
+            ReallocPolicy::FixedOffset(25),
+        ]
+    }
+
+    /// Whether the decision's reconfiguration overhead is charged to the
+    /// application's completion time (the paper charges everything except the
+    /// idealised Optimal).
+    pub fn charges_overhead(self) -> bool {
+        !matches!(self, ReallocPolicy::Optimal)
+    }
+}
+
+/// The decision produced by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReallocDecision {
+    /// Cores allocated to the secure cluster.
+    pub secure_cores: usize,
+    /// Number of candidate allocations the predictor evaluated.
+    pub evaluations: u64,
+    /// Whether reconfiguration overhead must be added to the completion time.
+    pub charge_overhead: bool,
+}
+
+impl ReallocPolicy {
+    /// Chooses the secure cluster size for a machine of `total_cores` cores,
+    /// starting from `initial` (the paper starts at half), using `predict` to
+    /// estimate the completion time of a candidate allocation. Lower predicted
+    /// values are better. `predict` is typically backed by a short sample
+    /// simulation of the application.
+    pub fn decide<F>(self, total_cores: usize, initial: usize, mut predict: F) -> ReallocDecision
+    where
+        F: FnMut(usize) -> f64,
+    {
+        assert!(total_cores >= 2, "need at least two cores to form two clusters");
+        let clamp = |n: i64| -> usize { n.clamp(1, total_cores as i64 - 1) as usize };
+        let initial = clamp(initial as i64);
+        match self {
+            ReallocPolicy::Static => ReallocDecision {
+                secure_cores: initial,
+                evaluations: 0,
+                charge_overhead: false,
+            },
+            ReallocPolicy::Heuristic => {
+                let mut evaluations = 0u64;
+                let mut best = initial;
+                let mut best_score = {
+                    evaluations += 1;
+                    predict(best)
+                };
+                let mut step = (total_cores / 4).max(1);
+                while step >= 1 {
+                    let mut improved = false;
+                    for candidate in
+                        [clamp(best as i64 - step as i64), clamp(best as i64 + step as i64)]
+                    {
+                        if candidate == best {
+                            continue;
+                        }
+                        evaluations += 1;
+                        let score = predict(candidate);
+                        if score < best_score {
+                            best_score = score;
+                            best = candidate;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        if step == 1 {
+                            break;
+                        }
+                        step /= 2;
+                    }
+                }
+                ReallocDecision { secure_cores: best, evaluations, charge_overhead: true }
+            }
+            ReallocPolicy::Optimal => {
+                let (best, evaluations) = exhaustive_search(total_cores, &mut predict);
+                ReallocDecision { secure_cores: best, evaluations, charge_overhead: false }
+            }
+            ReallocPolicy::FixedOffset(percent) => {
+                let (optimal, evaluations) = exhaustive_search(total_cores, &mut predict);
+                let delta = (total_cores as f64 * percent as f64 / 100.0).round() as i64;
+                ReallocDecision {
+                    secure_cores: clamp(optimal as i64 + delta),
+                    evaluations,
+                    charge_overhead: true,
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates every feasible secure-cluster size and returns the best one and
+/// the number of evaluations performed.
+fn exhaustive_search(total_cores: usize, predict: &mut dyn FnMut(usize) -> f64) -> (usize, u64) {
+    let mut evaluations = 0u64;
+    let mut best = 1;
+    let mut best_score = f64::INFINITY;
+    for candidate in 1..total_cores {
+        evaluations += 1;
+        let score = predict(candidate);
+        if score < best_score {
+            best_score = score;
+            best = candidate;
+        }
+    }
+    (best, evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A convex cost surface with its minimum at `opt`.
+    fn convex(opt: usize) -> impl FnMut(usize) -> f64 {
+        move |n: usize| ((n as f64) - opt as f64).powi(2) + 10.0
+    }
+
+    #[test]
+    fn static_keeps_initial() {
+        let d = ReallocPolicy::Static.decide(64, 32, convex(8));
+        assert_eq!(d.secure_cores, 32);
+        assert_eq!(d.evaluations, 0);
+    }
+
+    #[test]
+    fn optimal_finds_global_minimum() {
+        let d = ReallocPolicy::Optimal.decide(64, 32, convex(5));
+        assert_eq!(d.secure_cores, 5);
+        assert_eq!(d.evaluations, 63);
+        assert!(!d.charge_overhead);
+    }
+
+    #[test]
+    fn heuristic_converges_on_convex_surfaces() {
+        for opt in [2usize, 8, 20, 32, 47, 62] {
+            let d = ReallocPolicy::Heuristic.decide(64, 32, convex(opt));
+            assert!(
+                (d.secure_cores as i64 - opt as i64).abs() <= 2,
+                "heuristic landed at {} for optimum {opt}",
+                d.secure_cores
+            );
+            assert!(d.evaluations < 63, "heuristic must be cheaper than exhaustive search");
+            assert!(d.charge_overhead);
+        }
+    }
+
+    #[test]
+    fn fixed_offsets_shift_from_optimal() {
+        let plus = ReallocPolicy::FixedOffset(25).decide(64, 32, convex(20));
+        assert_eq!(plus.secure_cores, 36); // 20 + 16
+        let minus = ReallocPolicy::FixedOffset(-25).decide(64, 32, convex(20));
+        assert_eq!(minus.secure_cores, 4); // 20 - 16
+    }
+
+    #[test]
+    fn decisions_are_clamped_to_valid_cluster_sizes() {
+        let d = ReallocPolicy::FixedOffset(-50).decide(64, 32, convex(3));
+        assert_eq!(d.secure_cores, 1);
+        let d = ReallocPolicy::FixedOffset(50).decide(64, 32, convex(62));
+        assert_eq!(d.secure_cores, 63);
+    }
+
+    #[test]
+    fn figure8_policy_set_is_complete() {
+        let set = ReallocPolicy::figure8_set();
+        assert_eq!(set.len(), 8);
+        assert!(set.contains(&ReallocPolicy::Heuristic));
+        assert!(set.contains(&ReallocPolicy::Optimal));
+        assert!(set.contains(&ReallocPolicy::FixedOffset(25)));
+    }
+
+    #[test]
+    fn overhead_charging_rules() {
+        assert!(ReallocPolicy::Heuristic.charges_overhead());
+        assert!(!ReallocPolicy::Optimal.charges_overhead());
+        assert!(ReallocPolicy::FixedOffset(5).charges_overhead());
+    }
+}

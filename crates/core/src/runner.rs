@@ -1,0 +1,677 @@
+//! The experiment driver.
+//!
+//! [`ExperimentRunner`] executes one interactive application on a freshly
+//! built machine under a chosen [`Architecture`] and produces the
+//! [`CompletionReport`] the figure benches consume: the completion-time
+//! breakdown of Figure 6 (compute vs. enclave/purge overhead, plus the number
+//! of secure-cluster cores), the cache miss rates of Figure 7 and the
+//! isolation summary used to argue that no run violated strong isolation.
+
+use std::fmt;
+
+use ironhide_cache::SliceId;
+use ironhide_mem::ControllerMask;
+use ironhide_mesh::{ClusterId, NodeId};
+use ironhide_sim::config::MachineConfig;
+use ironhide_sim::machine::Machine;
+use ironhide_sim::process::{ProcessId, SecurityClass};
+
+use crate::app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+use crate::arch::{ArchParams, Architecture};
+use crate::cluster::{ClusterError, ClusterManager};
+use crate::ipc::SharedIpcBuffer;
+use crate::isolation::{IsolationAuditor, IsolationSummary};
+use crate::kernel::{AppDomain, AttestationError, SecureKernel};
+use crate::realloc::ReallocPolicy;
+use crate::speccheck::SpeculativeAccessCheck;
+
+/// Signing key of the simulated enclave author. The kernel only needs
+/// signatures to be *verifiable* inside the simulation, not secret.
+const AUTHOR_KEY: u64 = 0x1234_5678_9ABC_DEF0;
+
+/// Errors produced while running an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Cluster formation or reconfiguration failed.
+    Cluster(ClusterError),
+    /// The secure process failed attestation.
+    Attestation(AttestationError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Cluster(e) => write!(f, "cluster error: {e}"),
+            RunError::Attestation(e) => write!(f, "attestation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ClusterError> for RunError {
+    fn from(e: ClusterError) -> Self {
+        RunError::Cluster(e)
+    }
+}
+
+impl From<AttestationError> for RunError {
+    fn from(e: AttestationError) -> Self {
+        RunError::Attestation(e)
+    }
+}
+
+/// The outcome of running one interactive application under one architecture.
+#[derive(Debug, Clone)]
+pub struct CompletionReport {
+    /// Application name.
+    pub app: String,
+    /// Architecture the application ran under.
+    pub arch: Architecture,
+    /// Total completion cycles (compute + overhead + reconfiguration).
+    pub total_cycles: u64,
+    /// Cycles spent executing the processes (including their memory time and
+    /// the IPC transfers).
+    pub compute_cycles: u64,
+    /// Cycles spent on enclave entry/exit costs and microarchitecture state
+    /// purging.
+    pub overhead_cycles: u64,
+    /// One-time cluster formation / reconfiguration cycles (IRONHIDE only).
+    pub reconfig_cycles: u64,
+    /// Interaction events executed in the measured phase.
+    pub interactions: u64,
+    /// Cores allocated to the secure cluster (equals the machine size for the
+    /// temporally shared architectures).
+    pub secure_cores: usize,
+    /// Private L1 miss rate over both processes (Figure 7a).
+    pub l1_miss_rate: f64,
+    /// Shared L2 miss rate over both processes (Figure 7b).
+    pub l2_miss_rate: f64,
+    /// Strong-isolation audit results.
+    pub isolation: IsolationSummary,
+    /// Clock frequency used for time conversion, in GHz.
+    pub clock_ghz: f64,
+}
+
+impl CompletionReport {
+    /// Total completion time in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.cycles_to_ms(self.total_cycles)
+    }
+
+    /// Compute component in milliseconds.
+    pub fn compute_time_ms(&self) -> f64 {
+        self.cycles_to_ms(self.compute_cycles)
+    }
+
+    /// Enclave entry/exit and purge overhead in milliseconds.
+    pub fn overhead_time_ms(&self) -> f64 {
+        self.cycles_to_ms(self.overhead_cycles)
+    }
+
+    /// One-time reconfiguration overhead in milliseconds.
+    pub fn reconfig_time_ms(&self) -> f64 {
+        self.cycles_to_ms(self.reconfig_cycles)
+    }
+
+    /// Overhead per interaction in milliseconds (the paper quotes ~0.19 ms per
+    /// interaction event for MI6).
+    pub fn overhead_per_interaction_ms(&self) -> f64 {
+        if self.interactions == 0 {
+            0.0
+        } else {
+            self.overhead_time_ms() / self.interactions as f64
+        }
+    }
+
+    /// Speedup of this run relative to `other` (>1 means this run is faster).
+    pub fn speedup_over(&self, other: &CompletionReport) -> f64 {
+        other.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// Completion time normalised to `baseline` (>1 means this run is slower
+    /// than the baseline), the form used by Figure 1(a).
+    pub fn normalized_to(&self, baseline: &CompletionReport) -> f64 {
+        self.total_cycles as f64 / baseline.total_cycles.max(1) as f64
+    }
+
+    fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1_000_000.0)
+    }
+}
+
+/// Per-run mutable state bundled together so the helper methods stay readable.
+#[derive(Debug)]
+struct RunState {
+    machine: Machine,
+    spec: SpeculativeAccessCheck,
+    ipc: SharedIpcBuffer,
+    insecure: ProcessId,
+    secure: ProcessId,
+    insecure_cores: Vec<NodeId>,
+    secure_cores: Vec<NodeId>,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+    cluster: Option<ClusterManager>,
+    compute_cycles: u64,
+    overhead_cycles: u64,
+}
+
+/// Runs interactive applications on simulated machines.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    config: MachineConfig,
+    params: ArchParams,
+    realloc: ReallocPolicy,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner for machines built from `config`, using the default
+    /// architecture parameters and the paper's gradient heuristic for
+    /// IRONHIDE's core re-allocation.
+    pub fn new(config: MachineConfig) -> Self {
+        ExperimentRunner { config, params: ArchParams::default(), realloc: ReallocPolicy::Heuristic }
+    }
+
+    /// Overrides the architecture parameters.
+    pub fn with_params(mut self, params: ArchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the core re-allocation policy (used by the Figure 8 bench).
+    pub fn with_realloc(mut self, realloc: ReallocPolicy) -> Self {
+        self.realloc = realloc;
+        self
+    }
+
+    /// The machine configuration used for each run.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The re-allocation policy in use.
+    pub fn realloc_policy(&self) -> ReallocPolicy {
+        self.realloc
+    }
+
+    /// Runs `app` under `arch` and reports the completion-time breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation fails or the secure
+    /// process cannot be attested.
+    pub fn run(
+        &self,
+        arch: Architecture,
+        app: &mut dyn InteractiveApp,
+    ) -> Result<CompletionReport, RunError> {
+        // Decide the secure-cluster size first (IRONHIDE only): the predictor
+        // probes candidate allocations on scratch machines so the main run's
+        // state is untouched.
+        let total_cores = self.config.cores();
+        let initial_secure =
+            ((total_cores as f64 * self.params.initial_secure_fraction).round() as usize)
+                .clamp(1, total_cores - 1);
+        let mut decision_secure = initial_secure;
+        let mut charge_reconfig = true;
+        if arch.spatial_clusters() {
+            let decision = self
+                .realloc
+                .decide(total_cores, initial_secure, |candidate| self.predict(app, candidate));
+            decision_secure = decision.secure_cores;
+            charge_reconfig = decision.charge_overhead;
+        }
+        app.reset();
+        let mut run = self.prepare(arch, app, initial_secure)?;
+
+        // Warm up (not measured), as the paper does before timing each setup.
+        let warmup = self.params.warmup_interactions.min(app.interactions());
+        for idx in 0..warmup {
+            let interaction = app.interaction(idx);
+            self.run_interaction(&mut run, arch, &interaction);
+        }
+
+        // IRONHIDE reconfigures once per application invocation, after the
+        // warm-up/profiling phase, when real data is resident and must be
+        // re-homed. The stall is charged unless the policy is the idealised
+        // Optimal.
+        let mut reconfig_cycles = 0u64;
+        if arch.spatial_clusters() && decision_secure != initial_secure {
+            let manager =
+                run.cluster.as_mut().expect("IRONHIDE runs always have a cluster manager");
+            let cycles =
+                manager.reconfigure(&mut run.machine, run.secure, run.insecure, decision_secure)?;
+            run.secure_cores = manager.cores_of(ClusterId::Secure);
+            run.insecure_cores = manager.cores_of(ClusterId::Insecure);
+            if charge_reconfig {
+                reconfig_cycles = cycles;
+            }
+        }
+
+        run.machine.reset_stats();
+        run.compute_cycles = 0;
+        run.overhead_cycles = 0;
+
+        // Measured phase.
+        let measured = app.interactions();
+        for idx in 0..measured {
+            let interaction = app.interaction(idx);
+            self.run_interaction(&mut run, arch, &interaction);
+        }
+
+        // Gather the report.
+        let sec_stats = run.machine.process_stats(run.secure).clone();
+        let ins_stats = run.machine.process_stats(run.insecure).clone();
+        let l1_accesses = sec_stats.l1.accesses + ins_stats.l1.accesses;
+        let l1_misses = sec_stats.l1.misses + ins_stats.l1.misses;
+        let l2_accesses = sec_stats.l2.accesses + ins_stats.l2.accesses;
+        let l2_misses = sec_stats.l2.misses + ins_stats.l2.misses;
+        let isolation = IsolationAuditor::new().audit(&run.machine, arch, &run.spec);
+        let secure_cores = if arch.spatial_clusters() { decision_secure } else { total_cores };
+        Ok(CompletionReport {
+            app: app.name().to_string(),
+            arch,
+            total_cycles: run.compute_cycles + run.overhead_cycles + reconfig_cycles,
+            compute_cycles: run.compute_cycles,
+            overhead_cycles: run.overhead_cycles,
+            reconfig_cycles,
+            interactions: measured as u64,
+            secure_cores,
+            l1_miss_rate: ratio(l1_misses, l1_accesses),
+            l2_miss_rate: ratio(l2_misses, l2_accesses),
+            isolation,
+            clock_ghz: self.config.clock_ghz,
+        })
+    }
+
+    /// Predicts the completion cycles of a short sample of `app` when the
+    /// secure cluster has `secure_cores` cores. Used by the re-allocation
+    /// policies; runs on a scratch machine and resets the application
+    /// afterwards.
+    fn predict(&self, app: &mut dyn InteractiveApp, secure_cores: usize) -> f64 {
+        app.reset();
+        let mut run = match self.prepare(Architecture::Ironhide, app, secure_cores) {
+            Ok(run) => run,
+            Err(_) => return f64::INFINITY,
+        };
+        let sample = self.params.predictor_sample.min(app.interactions()).max(1);
+        for idx in 0..sample {
+            let interaction = app.interaction(idx);
+            self.run_interaction(&mut run, Architecture::Ironhide, &interaction);
+        }
+        app.reset();
+        // The secure kernel's objective is load balance: when two candidate
+        // bindings predict (nearly) the same completion time, it prefers to
+        // leave the spare cores with the insecure cluster rather than parking
+        // them idle in the secure cluster. A 1 % bias encodes that tie-break
+        // without overriding real performance gradients.
+        let bias = 1.0 + 0.01 * secure_cores as f64 / self.config.cores() as f64;
+        (run.compute_cycles + run.overhead_cycles) as f64 * bias
+    }
+
+    fn prepare(
+        &self,
+        arch: Architecture,
+        app: &mut dyn InteractiveApp,
+        secure_cores: usize,
+    ) -> Result<RunState, RunError> {
+        let mut machine = Machine::new(self.config.clone());
+        let insecure_profile = app.insecure_profile().clone();
+        let secure_profile = app.secure_profile().clone();
+        let insecure = machine.create_process(insecure_profile.name.clone(), SecurityClass::Insecure);
+        let secure = machine.create_process(secure_profile.name.clone(), SecurityClass::Secure);
+
+        // Attest the secure process before it is allowed to execute under any
+        // enclave-capable architecture.
+        let mut kernel = SecureKernel::new();
+        let image = secure_profile.name.clone().into_bytes();
+        let signature = SecureKernel::sign(&image, AUTHOR_KEY);
+        kernel.register(secure, &image, signature, AUTHOR_KEY, AppDomain(1))?;
+        kernel.admit(secure, &image)?;
+
+        let total = self.config.cores();
+        let all_cores: Vec<NodeId> = (0..total).map(NodeId).collect();
+        let mut cluster = None;
+        let (secure_cores_vec, insecure_cores_vec) = match arch {
+            Architecture::Insecure | Architecture::SgxLike => {
+                (all_cores.clone(), all_cores.clone())
+            }
+            Architecture::Mi6 => {
+                // Static partitioning of the shared L2 slices (half each, as in
+                // the paper's 32/32 example); cores remain time-shared.
+                let half = (total / 2).max(1);
+                machine.set_process_slices(secure, (0..half).map(SliceId).collect());
+                machine.set_process_slices(insecure, (half..total).map(SliceId).collect());
+                (all_cores.clone(), all_cores.clone())
+            }
+            Architecture::Ironhide => {
+                let (manager, _setup) =
+                    ClusterManager::form(&mut machine, secure, insecure, secure_cores)?;
+                let s = manager.cores_of(ClusterId::Secure);
+                let i = manager.cores_of(ClusterId::Insecure);
+                cluster = Some(manager);
+                (s, i)
+            }
+        };
+
+        Ok(RunState {
+            machine,
+            spec: SpeculativeAccessCheck::new(),
+            ipc: SharedIpcBuffer::paper_default(),
+            insecure,
+            secure,
+            insecure_cores: insecure_cores_vec,
+            secure_cores: secure_cores_vec,
+            insecure_profile,
+            secure_profile,
+            cluster,
+            compute_cycles: 0,
+            overhead_cycles: 0,
+        })
+    }
+
+    fn run_interaction(&self, run: &mut RunState, arch: Architecture, interaction: &Interaction) {
+        // 1. The insecure process produces the next input.
+        let cores = run.insecure_cores.clone();
+        let profile = run.insecure_profile.clone();
+        let t_produce =
+            self.exec_unit(run, run.insecure, &cores, &interaction.insecure, &profile, arch, true);
+
+        // 2. It publishes the input through the shared IPC buffer.
+        let produce_refs = run.ipc.produce(interaction.ipc_bytes);
+        let ipc_core_ins = cores[0];
+        run.machine.set_ipc_marker(true);
+        let t_ipc_write =
+            self.issue_refs(run, run.insecure, ipc_core_ins, &produce_refs, arch, true);
+        run.machine.set_ipc_marker(false);
+
+        // 3. Enclave entry.
+        let t_entry = self.boundary_cost(run, arch);
+
+        // 4. The secure process reads the input from the shared buffer. The
+        //    buffer is insecure data, so the accesses are issued against the
+        //    insecure process's address space from a secure-cluster core.
+        let consume_refs = run.ipc.consume(interaction.ipc_bytes);
+        let sec_cores = run.secure_cores.clone();
+        let ipc_core_sec = sec_cores[0];
+        run.machine.set_ipc_marker(true);
+        let t_ipc_read =
+            self.issue_refs(run, run.insecure, ipc_core_sec, &consume_refs, arch, false);
+        run.machine.set_ipc_marker(false);
+
+        // 5. The secure process consumes the input.
+        let sec_profile = run.secure_profile.clone();
+        let t_consume = self.exec_unit(
+            run,
+            run.secure,
+            &sec_cores,
+            &interaction.secure,
+            &sec_profile,
+            arch,
+            false,
+        );
+
+        // 6. Enclave exit.
+        let t_exit = self.boundary_cost(run, arch);
+
+        run.compute_cycles += t_produce + t_ipc_write + t_ipc_read + t_consume;
+        run.overhead_cycles += t_entry + t_exit;
+    }
+
+    /// The cost of crossing the secure/insecure boundary once (entry or exit).
+    fn boundary_cost(&self, run: &mut RunState, arch: Architecture) -> u64 {
+        let clock = run.machine.clock();
+        match arch {
+            // Ordinary shared-memory interaction: the producer and consumer
+            // are already resident, nothing is flushed.
+            Architecture::Insecure => 0,
+            // The HotCalls-measured enclave transition cost (pipeline flush,
+            // enclave data crypto and integrity checks), modelled as the
+            // paper does by a constant ~5 us.
+            Architecture::SgxLike => clock.us_to_cycles(self.params.sgx_entry_exit_us),
+            // The SGX transition cost plus the strong-isolation purge of all
+            // time-shared private state and the memory-controller queues.
+            Architecture::Mi6 => {
+                let cores: Vec<NodeId> = (0..self.config.cores()).map(NodeId).collect();
+                let purge = run.machine.purge_private(&cores);
+                let mc =
+                    run.machine.purge_controllers(ControllerMask::first(self.config.controllers));
+                clock.us_to_cycles(self.params.sgx_entry_exit_us) + purge + mc
+            }
+            // Pinned clusters interact through shared memory without enclave
+            // transitions; the IPC traffic itself is already accounted for.
+            Architecture::Ironhide => 0,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_unit(
+        &self,
+        run: &mut RunState,
+        pid: ProcessId,
+        cores: &[NodeId],
+        unit: &WorkUnit,
+        profile: &ProcessProfile,
+        arch: Architecture,
+        issuer_is_insecure: bool,
+    ) -> u64 {
+        // The process picks its own thread count, as real applications do: it
+        // never spawns more threads than profitable under its Amdahl +
+        // synchronisation profile, and never more than the cores its cluster
+        // (or the whole machine, for the temporally shared architectures)
+        // provides.
+        let limit = cores.len().min(profile.max_useful_cores).max(1);
+        let parallel_part = unit.compute_cycles as f64 * profile.parallel_fraction;
+        let sync = profile.sync_cycles_per_core.max(1) as f64;
+        let preferred = (parallel_part / sync).sqrt().round().max(1.0) as usize;
+        let n_eff = preferred.min(limit);
+        let active = &cores[..n_eff];
+        // Memory-controller pressure scales with the concurrently issuing
+        // cores divided over the controllers they can reach.
+        run.machine.set_load_hint((n_eff as u64 / self.config.controllers.max(1) as u64).max(1));
+        let mut per_core = vec![0u64; n_eff];
+        if !unit.accesses.is_empty() {
+            let chunk = unit.accesses.len().div_ceil(n_eff);
+            for (i, block) in unit.accesses.chunks(chunk).enumerate() {
+                let lane = i % n_eff;
+                let core = active[lane];
+                for r in block {
+                    self.maybe_spec_check(run, pid, r, arch, issuer_is_insecure);
+                    per_core[lane] += run.machine.access(core, pid, r.vaddr, r.write);
+                }
+            }
+        }
+        let mem_time = per_core.iter().copied().max().unwrap_or(0);
+        let serial =
+            (unit.compute_cycles as f64 * (1.0 - profile.parallel_fraction)).round() as u64;
+        let parallel =
+            (unit.compute_cycles as f64 * profile.parallel_fraction / n_eff as f64).round() as u64;
+        let sync = profile.sync_cycles_per_core * n_eff as u64;
+        serial + parallel + mem_time + sync
+    }
+
+    fn issue_refs(
+        &self,
+        run: &mut RunState,
+        pid: ProcessId,
+        core: NodeId,
+        refs: &[MemRef],
+        arch: Architecture,
+        issuer_is_insecure: bool,
+    ) -> u64 {
+        let mut cycles = 0;
+        for r in refs {
+            self.maybe_spec_check(run, pid, r, arch, issuer_is_insecure);
+            cycles += run.machine.access(core, pid, r.vaddr, r.write);
+        }
+        cycles
+    }
+
+    fn maybe_spec_check(
+        &self,
+        run: &mut RunState,
+        pid: ProcessId,
+        r: &MemRef,
+        arch: Architecture,
+        issuer_is_insecure: bool,
+    ) {
+        if arch.speculative_check() && issuer_is_insecure {
+            if let Some(paddr) = run.machine.peek_paddr(pid, r.vaddr) {
+                let regions = run.machine.regions().clone();
+                run.spec.check(&regions, SecurityClass::Insecure, paddr);
+            }
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny synthetic interactive application: the insecure process streams
+    /// over a buffer, the secure process re-reads a hot table every
+    /// interaction (so MI6's purges hurt it and IRONHIDE's pinning helps).
+    #[derive(Debug)]
+    struct ToyApp {
+        insecure: ProcessProfile,
+        secure: ProcessProfile,
+        interactions: usize,
+    }
+
+    impl ToyApp {
+        fn new(interactions: usize) -> Self {
+            ToyApp {
+                insecure: ProcessProfile::new(
+                    "toy-producer",
+                    SecurityClass::Insecure,
+                    0.9,
+                    50,
+                    64,
+                ),
+                secure: ProcessProfile::new("toy-enclave", SecurityClass::Secure, 0.8, 100, 32),
+                interactions,
+            }
+        }
+    }
+
+    impl InteractiveApp for ToyApp {
+        fn name(&self) -> &str {
+            "<TOY, GEN>"
+        }
+        fn insecure_profile(&self) -> &ProcessProfile {
+            &self.insecure
+        }
+        fn secure_profile(&self) -> &ProcessProfile {
+            &self.secure
+        }
+        fn interactions(&self) -> usize {
+            self.interactions
+        }
+        fn interactivity_per_second(&self) -> f64 {
+            400.0
+        }
+        fn interaction(&mut self, idx: usize) -> Interaction {
+            let mut insecure = Vec::new();
+            for i in 0..64u64 {
+                insecure.push(MemRef::write((idx as u64 * 64 + i) * 64));
+            }
+            let mut secure = Vec::new();
+            for i in 0..128u64 {
+                // A hot table re-read every interaction.
+                secure.push(MemRef::read(0x10_0000 + (i % 64) * 64));
+            }
+            Interaction {
+                insecure: WorkUnit::new(2_000, insecure),
+                secure: WorkUnit::new(4_000, secure),
+                ipc_bytes: 256,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn runner() -> ExperimentRunner {
+        let mut params = ArchParams::default();
+        params.warmup_interactions = 2;
+        params.predictor_sample = 2;
+        ExperimentRunner::new(MachineConfig::small_test()).with_params(params)
+    }
+
+    #[test]
+    fn all_architectures_complete() {
+        let r = runner();
+        for arch in Architecture::ALL {
+            let mut app = ToyApp::new(6);
+            let report = r.run(arch, &mut app).unwrap();
+            assert_eq!(report.arch, arch);
+            assert_eq!(report.interactions, 6);
+            assert!(report.total_cycles > 0);
+            assert!(report.total_time_ms() > 0.0);
+            assert!(report.isolation.is_clean(), "{arch}: {:?}", report.isolation.violations);
+        }
+    }
+
+    #[test]
+    fn security_costs_are_ordered() {
+        let r = runner();
+        let insecure = r.run(Architecture::Insecure, &mut ToyApp::new(8)).unwrap();
+        let sgx = r.run(Architecture::SgxLike, &mut ToyApp::new(8)).unwrap();
+        let mi6 = r.run(Architecture::Mi6, &mut ToyApp::new(8)).unwrap();
+        assert!(
+            sgx.total_cycles > insecure.total_cycles,
+            "SGX must pay enclave entry/exit costs over the insecure baseline"
+        );
+        assert!(
+            mi6.total_cycles > sgx.total_cycles,
+            "MI6 must pay purge costs on top of the SGX costs"
+        );
+        assert!(mi6.overhead_cycles > sgx.overhead_cycles);
+    }
+
+    #[test]
+    fn ironhide_avoids_per_interaction_overheads() {
+        let r = runner();
+        let mi6 = r.run(Architecture::Mi6, &mut ToyApp::new(8)).unwrap();
+        let ih = r.run(Architecture::Ironhide, &mut ToyApp::new(8)).unwrap();
+        assert_eq!(ih.overhead_cycles, 0, "IRONHIDE has no per-interaction purge/crypto cost");
+        assert!(ih.total_cycles < mi6.total_cycles, "IRONHIDE must beat MI6 on this workload");
+        assert!(ih.l1_miss_rate <= mi6.l1_miss_rate);
+    }
+
+    #[test]
+    fn mi6_overhead_scales_with_interactions() {
+        let r = runner();
+        let short = r.run(Architecture::Mi6, &mut ToyApp::new(4)).unwrap();
+        let long = r.run(Architecture::Mi6, &mut ToyApp::new(12)).unwrap();
+        assert!(long.overhead_cycles > short.overhead_cycles);
+        assert!(long.overhead_per_interaction_ms() > 0.0);
+    }
+
+    #[test]
+    fn report_time_conversions_consistent() {
+        let r = runner();
+        let rep = r.run(Architecture::SgxLike, &mut ToyApp::new(4)).unwrap();
+        let sum = rep.compute_time_ms() + rep.overhead_time_ms() + rep.reconfig_time_ms();
+        assert!((sum - rep.total_time_ms()).abs() < 1e-9);
+        assert!((rep.speedup_over(&rep) - 1.0).abs() < 1e-12);
+        assert!((rep.normalized_to(&rep) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realloc_policy_is_respected() {
+        let r = runner().with_realloc(ReallocPolicy::Static);
+        let rep = r.run(Architecture::Ironhide, &mut ToyApp::new(4)).unwrap();
+        // Static keeps the initial half-and-half split on the 4-core test
+        // machine (2 secure cores).
+        assert_eq!(rep.secure_cores, 2);
+        assert_eq!(rep.reconfig_cycles, 0);
+    }
+}

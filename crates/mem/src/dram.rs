@@ -1,0 +1,81 @@
+//! DRAM device timing parameters.
+
+/// Timing and organisation parameters of the DRAM behind one controller.
+///
+/// The model is a row-buffer model: accesses that hit the currently open row
+/// of their bank pay `row_hit_cycles`, accesses to a different row pay
+/// `row_miss_cycles` (precharge + activate + CAS). Queueing delay is added by
+/// the controller on top of these device latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks per controller.
+    pub banks: usize,
+    /// Row size in bytes (determines which accesses hit the open row).
+    pub row_bytes: usize,
+    /// Device latency of a row-buffer hit, in core cycles.
+    pub row_hit_cycles: u64,
+    /// Device latency of a row-buffer miss, in core cycles.
+    pub row_miss_cycles: u64,
+    /// Extra queueing cycles added per outstanding request already in the
+    /// controller queue.
+    pub queue_cycles_per_entry: u64,
+    /// Maximum number of requests the controller queue can hold before the
+    /// queueing delay saturates.
+    pub queue_depth: usize,
+}
+
+impl Default for DramConfig {
+    /// DDR3-1600-class latencies at a 1 GHz core clock, matching the
+    /// Tile-Gx72's four DDR3 controllers to first order.
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            row_bytes: 2048,
+            row_hit_cycles: 40,
+            row_miss_cycles: 110,
+            queue_cycles_per_entry: 4,
+            queue_depth: 32,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Bank index an address maps to (low-order interleaving above the row).
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.row_bytes as u64) % self.banks as u64) as usize
+    }
+
+    /// Row index (within its bank) an address maps to.
+    pub fn row_of(&self, addr: u64) -> u64 {
+        addr / (self.row_bytes as u64 * self.banks as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_and_row_mapping() {
+        let c = DramConfig::default();
+        assert_eq!(c.bank_of(0), 0);
+        assert_eq!(c.bank_of(2048), 1);
+        assert_eq!(c.bank_of(2048 * 8), 0);
+        assert_eq!(c.row_of(0), 0);
+        assert_eq!(c.row_of(2048 * 8), 1);
+    }
+
+    #[test]
+    fn addresses_in_same_row_share_bank_and_row() {
+        let c = DramConfig::default();
+        assert_eq!(c.bank_of(100), c.bank_of(2000));
+        assert_eq!(c.row_of(100), c.row_of(2000));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DramConfig::default();
+        assert!(c.row_miss_cycles > c.row_hit_cycles);
+        assert!(c.banks.is_power_of_two());
+    }
+}

@@ -1,0 +1,38 @@
+//! # ironhide-mem
+//!
+//! Off-chip memory system model for the IRONHIDE reproduction: physically
+//! isolated DRAM regions, variable-latency memory controllers with request
+//! queues, and the queue-purge operation MI6 performs on every enclave
+//! entry/exit.
+//!
+//! The paper partitions main memory into DRAM regions that are statically
+//! distributed across secure and insecure processes (MI6) or clusters
+//! (IRONHIDE). Each region is reachable through a specific memory controller;
+//! the controllers' shared queues and open-row state are microarchitecture
+//! state, so MI6 purges them at every enclave boundary while IRONHIDE gives
+//! each cluster dedicated controllers (selected with a `pos` bit-mask on the
+//! prototype, e.g. `0b0011` for MC0+MC1).
+//!
+//! # Example
+//!
+//! ```
+//! use ironhide_mem::{DramConfig, MemoryController};
+//!
+//! let mut mc = MemoryController::new(0, DramConfig::default());
+//! let first = mc.access(0x4000, false, 0);
+//! let again = mc.access(0x4040, false, first);
+//! assert!(again < first, "row-buffer hit must be faster than a row miss");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod dram;
+pub mod region;
+pub mod stats;
+
+pub use controller::{ControllerMask, MemoryController};
+pub use dram::DramConfig;
+pub use region::{DramRegion, RegionId, RegionMap, RegionOwner};
+pub use stats::MemStats;

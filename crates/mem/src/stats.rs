@@ -1,0 +1,99 @@
+//! Memory system statistics.
+
+/// Counters maintained by each memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Total requests serviced.
+    pub requests: u64,
+    /// Read requests.
+    pub reads: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Requests that hit the open row.
+    pub row_hits: u64,
+    /// Requests that required opening a row.
+    pub row_misses: u64,
+    /// Total latency over all requests, in cycles.
+    pub total_latency_cycles: u64,
+    /// Queue/row-state purge operations performed.
+    pub purges: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean latency per request in cycles (0 when idle).
+    pub fn mean_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.requests as f64
+        }
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.requests += other.requests;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.total_latency_cycles += other.total_latency_cycles;
+        self.purges += other.purges;
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_means() {
+        let s = MemStats {
+            requests: 4,
+            reads: 3,
+            writes: 1,
+            row_hits: 1,
+            row_misses: 3,
+            total_latency_cycles: 400,
+            purges: 0,
+        };
+        assert!((s.mean_latency() - 100.0).abs() < 1e-9);
+        assert!((s.row_hit_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = MemStats::new();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = MemStats { requests: 1, reads: 1, ..Default::default() };
+        let b = MemStats { requests: 2, writes: 2, purges: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.purges, 1);
+        a.reset();
+        assert_eq!(a, MemStats::default());
+    }
+}

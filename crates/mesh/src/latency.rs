@@ -1,0 +1,214 @@
+//! Analytical NoC latency and contention model.
+//!
+//! The reproduction does not simulate individual flits. Instead each packet
+//! traversal is charged `router_cycles + link_cycles` per hop plus a
+//! serialisation term for multi-flit packets, and a contention term derived
+//! from the running utilisation of the links the packet crosses. This keeps
+//! the per-access cost of the simulator low while preserving the first-order
+//! effects the paper relies on: longer routes cost more, and concentrating a
+//! cluster's traffic on fewer tiles raises its queueing delay.
+
+use std::collections::HashMap;
+
+use crate::routing::Route;
+use crate::topology::NodeId;
+
+/// Latency parameters of the mesh network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocLatencyConfig {
+    /// Cycles spent in each router (arbitration + crossbar).
+    pub router_cycles: u64,
+    /// Cycles spent on each link.
+    pub link_cycles: u64,
+    /// Additional serialisation cycles per flit beyond the first.
+    pub serialization_cycles: u64,
+    /// Maximum extra cycles per hop injected by contention at full load.
+    pub max_contention_cycles: u64,
+    /// Exponential-moving-average weight used by the link-load tracker
+    /// (between 0 and 1; higher forgets faster).
+    pub load_ema: f64,
+}
+
+impl Default for NocLatencyConfig {
+    /// Parameters approximating a Tile-Gx-class single-cycle-per-hop mesh.
+    fn default() -> Self {
+        NocLatencyConfig {
+            router_cycles: 1,
+            link_cycles: 1,
+            serialization_cycles: 1,
+            max_contention_cycles: 4,
+            load_ema: 0.05,
+        }
+    }
+}
+
+/// Tracks per-link utilisation with an exponential moving average and turns it
+/// into a contention penalty.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoad {
+    load: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl LinkLoad {
+    /// Creates an empty load tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `flits` flits crossed the link `(from, to)` and decays all
+    /// other links slightly.
+    pub fn record(&mut self, from: NodeId, to: NodeId, flits: usize, ema: f64) {
+        let entry = self.load.entry((from, to)).or_insert(0.0);
+        *entry = (1.0 - ema) * *entry + ema * flits as f64;
+    }
+
+    /// Current utilisation estimate of a link, in flits per recorded packet
+    /// (0 when the link has never been used).
+    pub fn utilization(&self, from: NodeId, to: NodeId) -> f64 {
+        self.load.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// The most loaded link currently tracked.
+    pub fn hottest(&self) -> Option<((NodeId, NodeId), f64)> {
+        self.load
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, v)| (*k, *v))
+    }
+
+    /// Clears all recorded load (used when the network is purged or
+    /// reconfigured).
+    pub fn reset(&mut self) {
+        self.load.clear();
+    }
+}
+
+/// Computes packet latencies over routes and maintains the link-load state.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    config: NocLatencyConfig,
+    load: LinkLoad,
+}
+
+impl LatencyModel {
+    /// Creates a latency model with the given parameters.
+    pub fn new(config: NocLatencyConfig) -> Self {
+        LatencyModel { config, load: LinkLoad::new() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NocLatencyConfig {
+        &self.config
+    }
+
+    /// Read-only access to the link-load tracker.
+    pub fn load(&self) -> &LinkLoad {
+        &self.load
+    }
+
+    /// Latency, in cycles, of sending a packet of `flits` flits along `route`,
+    /// updating link load along the way.
+    pub fn traverse(&mut self, route: &Route, flits: usize) -> u64 {
+        if route.hops() == 0 {
+            return 0;
+        }
+        let per_hop = self.config.router_cycles + self.config.link_cycles;
+        let mut contention = 0.0;
+        for (from, to) in route.links() {
+            let util = self.load.utilization(from, to);
+            // Saturating logistic-ish penalty: util is in flits/packet, a link
+            // carrying full data packets every cycle approaches the max.
+            let norm = (util / 5.0).min(1.0);
+            contention += norm * self.config.max_contention_cycles as f64;
+            self.load.record(from, to, flits, self.config.load_ema);
+        }
+        let serialization = self.config.serialization_cycles * flits.saturating_sub(1) as u64;
+        per_hop * route.hops() as u64 + serialization + contention.round() as u64
+    }
+
+    /// Latency of a route with no load bookkeeping (used for what-if queries
+    /// by the re-allocation predictor).
+    pub fn estimate(&self, route: &Route, flits: usize) -> u64 {
+        if route.hops() == 0 {
+            return 0;
+        }
+        let per_hop = self.config.router_cycles + self.config.link_cycles;
+        let serialization = self.config.serialization_cycles * flits.saturating_sub(1) as u64;
+        per_hop * route.hops() as u64 + serialization
+    }
+
+    /// Clears the contention state (network purge / reconfiguration).
+    pub fn reset_load(&mut self) {
+        self.load.reset();
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::new(NocLatencyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingAlgorithm;
+    use crate::topology::MeshTopology;
+
+    #[test]
+    fn zero_hop_route_is_free() {
+        let m = MeshTopology::new(4, 4);
+        let r = m.route(NodeId(3), NodeId(3), RoutingAlgorithm::XY);
+        let mut model = LatencyModel::default();
+        assert_eq!(model.traverse(&r, 5), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let m = MeshTopology::new(8, 8);
+        let model = LatencyModel::default();
+        let near = m.route(NodeId(0), NodeId(1), RoutingAlgorithm::XY);
+        let far = m.route(NodeId(0), NodeId(63), RoutingAlgorithm::XY);
+        assert!(model.estimate(&far, 1) > model.estimate(&near, 1));
+        assert_eq!(model.estimate(&near, 1), 2);
+        assert_eq!(model.estimate(&far, 1), 28);
+    }
+
+    #[test]
+    fn serialization_adds_for_data_packets() {
+        let m = MeshTopology::new(8, 8);
+        let model = LatencyModel::default();
+        let r = m.route(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
+        assert_eq!(model.estimate(&r, 5) - model.estimate(&r, 1), 4);
+    }
+
+    #[test]
+    fn contention_builds_up_under_load() {
+        let m = MeshTopology::new(8, 8);
+        let mut model = LatencyModel::default();
+        let r = m.route(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
+        let cold = model.traverse(&r, 5);
+        for _ in 0..500 {
+            model.traverse(&r, 5);
+        }
+        let hot = model.traverse(&r, 5);
+        assert!(hot > cold, "repeated traffic on a link must raise latency ({hot} <= {cold})");
+        model.reset_load();
+        assert_eq!(model.traverse(&r, 5), cold);
+    }
+
+    #[test]
+    fn hottest_link_reported() {
+        let m = MeshTopology::new(4, 4);
+        let mut model = LatencyModel::default();
+        let r = m.route(NodeId(0), NodeId(3), RoutingAlgorithm::XY);
+        for _ in 0..10 {
+            model.traverse(&r, 5);
+        }
+        let ((from, to), util) = model.load().hottest().unwrap();
+        // All links of the 0 -> 3 route carry the same load, so any of them
+        // may be reported; it must at least lie on the route.
+        assert!(from.0 < 3 && to.0 <= 3 && to.0 == from.0 + 1);
+        assert!(util > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic dimension-ordered routing (X-Y and Y-X).
+
+use crate::topology::{Coord, MeshTopology, NodeId};
+
+/// The deterministic routing function used for a packet.
+///
+/// The paper's prototype uses X-Y routing by default; IRONHIDE additionally
+/// requires Y-X routing ("bidirectional routing") so that clusters whose
+/// boundary cuts through a mesh row can still contain their own traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingAlgorithm {
+    /// Route fully along the X dimension first, then along Y.
+    #[default]
+    XY,
+    /// Route fully along the Y dimension first, then along X.
+    YX,
+}
+
+impl RoutingAlgorithm {
+    /// The complementary routing order.
+    pub fn complement(self) -> Self {
+        match self {
+            RoutingAlgorithm::XY => RoutingAlgorithm::YX,
+            RoutingAlgorithm::YX => RoutingAlgorithm::XY,
+        }
+    }
+}
+
+/// A fully materialised deterministic route: the ordered list of nodes a
+/// packet traverses, including the source and the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+    algorithm: RoutingAlgorithm,
+}
+
+impl Route {
+    /// All nodes traversed, source first and destination last.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The routing function that produced this route.
+    pub fn algorithm(&self) -> RoutingAlgorithm {
+        self.algorithm
+    }
+
+    /// Number of links traversed (0 for a route from a node to itself).
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("route always has a source")
+    }
+
+    /// Destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("route always has a destination")
+    }
+
+    /// Iterates over the links `(from, to)` of the route in traversal order.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+impl MeshTopology {
+    /// Computes the deterministic route from `src` to `dst` under `algorithm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn route(&self, src: NodeId, dst: NodeId, algorithm: RoutingAlgorithm) -> Route {
+        let s = self.coord(src);
+        let d = self.coord(dst);
+        let mut nodes = Vec::with_capacity(s.manhattan(d) + 1);
+        nodes.push(src);
+        let mut cur = s;
+        let step = |cur: &mut Coord, nodes: &mut Vec<NodeId>, dim_x: bool, target: usize| {
+            loop {
+                let v = if dim_x { cur.x } else { cur.y };
+                if v == target {
+                    break;
+                }
+                let next = if v < target { v + 1 } else { v - 1 };
+                if dim_x {
+                    cur.x = next;
+                } else {
+                    cur.y = next;
+                }
+                nodes.push(self.node_at(*cur));
+            }
+        };
+        match algorithm {
+            RoutingAlgorithm::XY => {
+                step(&mut cur, &mut nodes, true, d.x);
+                step(&mut cur, &mut nodes, false, d.y);
+            }
+            RoutingAlgorithm::YX => {
+                step(&mut cur, &mut nodes, false, d.y);
+                step(&mut cur, &mut nodes, true, d.x);
+            }
+        }
+        Route { nodes, algorithm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let m = MeshTopology::new(8, 8);
+        // From (0,0) to (2,2): XY visits (1,0),(2,0),(2,1),(2,2).
+        let r = m.route(NodeId(0), NodeId(18), RoutingAlgorithm::XY);
+        assert_eq!(
+            r.nodes(),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(10), NodeId(18)]
+        );
+        assert_eq!(r.hops(), 4);
+    }
+
+    #[test]
+    fn yx_route_goes_y_first() {
+        let m = MeshTopology::new(8, 8);
+        let r = m.route(NodeId(0), NodeId(18), RoutingAlgorithm::YX);
+        assert_eq!(
+            r.nodes(),
+            &[NodeId(0), NodeId(8), NodeId(16), NodeId(17), NodeId(18)]
+        );
+    }
+
+    #[test]
+    fn route_to_self_has_no_hops() {
+        let m = MeshTopology::new(4, 4);
+        let r = m.route(NodeId(5), NodeId(5), RoutingAlgorithm::XY);
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.source(), r.destination());
+    }
+
+    #[test]
+    fn hops_equal_manhattan_distance() {
+        let m = MeshTopology::new(8, 8);
+        for a in [0usize, 7, 21, 42, 63] {
+            for b in [0usize, 9, 35, 63] {
+                for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+                    let r = m.route(NodeId(a), NodeId(b), alg);
+                    assert_eq!(r.hops(), m.distance(NodeId(a), NodeId(b)));
+                    assert_eq!(r.source(), NodeId(a));
+                    assert_eq!(r.destination(), NodeId(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_adjacent() {
+        let m = MeshTopology::new(8, 8);
+        let r = m.route(NodeId(3), NodeId(60), RoutingAlgorithm::YX);
+        for (a, b) in r.links() {
+            assert_eq!(m.distance(a, b), 1, "link {a}->{b} must join neighbours");
+        }
+    }
+
+    #[test]
+    fn complement_flips() {
+        assert_eq!(RoutingAlgorithm::XY.complement(), RoutingAlgorithm::YX);
+        assert_eq!(RoutingAlgorithm::YX.complement(), RoutingAlgorithm::XY);
+    }
+
+    #[test]
+    fn same_row_routes_identical_under_both_orders() {
+        let m = MeshTopology::new(8, 8);
+        let xy = m.route(NodeId(8), NodeId(15), RoutingAlgorithm::XY);
+        let yx = m.route(NodeId(8), NodeId(15), RoutingAlgorithm::YX);
+        assert_eq!(xy.nodes(), yx.nodes());
+    }
+}

@@ -1,0 +1,154 @@
+//! NoC traffic statistics.
+
+use crate::cluster::ClusterId;
+use crate::packet::PacketKind;
+
+/// Aggregate statistics for traffic observed on the mesh.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NocStats {
+    /// Total packets injected.
+    pub packets: u64,
+    /// Total flits injected.
+    pub flits: u64,
+    /// Total hops traversed across all packets.
+    pub hops: u64,
+    /// Total latency cycles accumulated by all packets.
+    pub latency_cycles: u64,
+    /// Packets that crossed the secure/insecure cluster boundary (only the
+    /// shared-IPC-buffer traffic is ever allowed to).
+    pub cross_cluster_packets: u64,
+    /// Request-class packets.
+    pub requests: u64,
+    /// Response-class packets.
+    pub responses: u64,
+    /// Write-back packets.
+    pub writebacks: u64,
+    /// IPC packets.
+    pub ipc: u64,
+    /// Maintenance (purge / reconfiguration) packets.
+    pub maintenance: u64,
+}
+
+impl NocStats {
+    /// Creates an empty statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet traversal.
+    pub fn record(
+        &mut self,
+        kind: PacketKind,
+        flits: usize,
+        hops: usize,
+        latency: u64,
+        crossed_clusters: Option<(ClusterId, ClusterId)>,
+    ) {
+        self.packets += 1;
+        self.flits += flits as u64;
+        self.hops += hops as u64;
+        self.latency_cycles += latency;
+        if let Some((a, b)) = crossed_clusters {
+            if a != b {
+                self.cross_cluster_packets += 1;
+            }
+        }
+        match kind {
+            PacketKind::Request => self.requests += 1,
+            PacketKind::Response => self.responses += 1,
+            PacketKind::WriteBack => self.writebacks += 1,
+            PacketKind::Ipc => self.ipc += 1,
+            PacketKind::Maintenance => self.maintenance += 1,
+        }
+    }
+
+    /// Mean hops per packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.packets as f64
+        }
+    }
+
+    /// Mean latency per packet, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.latency_cycles as f64 / self.packets as f64
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &NocStats) {
+        self.packets += other.packets;
+        self.flits += other.flits;
+        self.hops += other.hops;
+        self.latency_cycles += other.latency_cycles;
+        self.cross_cluster_packets += other.cross_cluster_packets;
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.writebacks += other.writebacks;
+        self.ipc += other.ipc;
+        self.maintenance += other.maintenance;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = NocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_means() {
+        let mut s = NocStats::new();
+        s.record(PacketKind::Request, 1, 4, 8, None);
+        s.record(PacketKind::Response, 5, 4, 16, None);
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.flits, 6);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.responses, 1);
+        assert!((s.mean_hops() - 4.0).abs() < 1e-9);
+        assert!((s.mean_latency() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_cluster_counted_only_when_clusters_differ() {
+        let mut s = NocStats::new();
+        s.record(
+            PacketKind::Ipc,
+            5,
+            2,
+            4,
+            Some((ClusterId::Secure, ClusterId::Insecure)),
+        );
+        s.record(PacketKind::Request, 1, 2, 4, Some((ClusterId::Secure, ClusterId::Secure)));
+        assert_eq!(s.cross_cluster_packets, 1);
+        assert_eq!(s.ipc, 1);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = NocStats::new();
+        a.record(PacketKind::Request, 1, 1, 2, None);
+        let mut b = NocStats::new();
+        b.record(PacketKind::WriteBack, 5, 3, 9, None);
+        a.merge(&b);
+        assert_eq!(a.packets, 2);
+        assert_eq!(a.writebacks, 1);
+        a.reset();
+        assert_eq!(a, NocStats::default());
+    }
+
+    #[test]
+    fn empty_stats_have_zero_means() {
+        let s = NocStats::new();
+        assert_eq!(s.mean_hops(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Mesh topology: node identifiers, coordinates and neighbourhood structure.
+
+use std::fmt;
+
+/// Identifier of a mesh node (a tile: core + private caches + shared L2 slice
+/// + router). Nodes are numbered in row-major order: node `y * width + x`
+/// sits at coordinate `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A 2-D coordinate on the mesh. `x` grows to the east, `y` grows to the
+/// south, with `(0, 0)` in the north-west corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// Column (east-west position).
+    pub x: usize,
+    /// Row (north-south position).
+    pub y: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate from a column and a row.
+    pub fn new(x: usize, y: usize) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance between two coordinates, i.e. the number of links a
+    /// dimension-ordered route between them traverses.
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Which edge of the mesh a memory controller is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshEdge {
+    /// Row `0`.
+    North,
+    /// Row `height - 1`.
+    South,
+    /// Column `0`.
+    West,
+    /// Column `width - 1`.
+    East,
+}
+
+/// A rectangular 2-D mesh of tiles.
+///
+/// The default experimental machine in the paper uses 64 of the Tile-Gx72's
+/// tiles arranged as an 8×8 mesh, with four memory controllers on the north
+/// and south edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshTopology {
+    width: usize,
+    height: usize,
+}
+
+impl MeshTopology {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        MeshTopology { width, height }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes (tiles) in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Returns the coordinate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        Coord::new(node.0 % self.width, node.0 / self.width)
+    }
+
+    /// Returns the node at coordinate `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the mesh.
+    pub fn node_at(&self, coord: Coord) -> NodeId {
+        assert!(
+            coord.x < self.width && coord.y < self.height,
+            "coordinate {coord} out of range"
+        );
+        NodeId(coord.y * self.width + coord.x)
+    }
+
+    /// Iterates over all nodes in row-major order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes()).map(NodeId)
+    }
+
+    /// Returns the nodes of row `y`, west to east.
+    pub fn row(&self, y: usize) -> Vec<NodeId> {
+        assert!(y < self.height, "row {y} out of range");
+        (0..self.width).map(|x| self.node_at(Coord::new(x, y))).collect()
+    }
+
+    /// Returns the nodes of column `x`, north to south.
+    pub fn column(&self, x: usize) -> Vec<NodeId> {
+        assert!(x < self.width, "column {x} out of range");
+        (0..self.height).map(|y| self.node_at(Coord::new(x, y))).collect()
+    }
+
+    /// Manhattan distance (link count) between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.coord(a).manhattan(self.coord(b))
+    }
+
+    /// The (up to four) neighbours of `node`.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let c = self.coord(node);
+        let mut out = Vec::with_capacity(4);
+        if c.x > 0 {
+            out.push(self.node_at(Coord::new(c.x - 1, c.y)));
+        }
+        if c.x + 1 < self.width {
+            out.push(self.node_at(Coord::new(c.x + 1, c.y)));
+        }
+        if c.y > 0 {
+            out.push(self.node_at(Coord::new(c.x, c.y - 1)));
+        }
+        if c.y + 1 < self.height {
+            out.push(self.node_at(Coord::new(c.x, c.y + 1)));
+        }
+        out
+    }
+
+    /// Returns the node a memory controller attached to `edge` at offset
+    /// `index` along that edge is adjacent to. Memory traffic to that
+    /// controller is injected/ejected at this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the edge length.
+    pub fn edge_node(&self, edge: MeshEdge, index: usize) -> NodeId {
+        match edge {
+            MeshEdge::North => {
+                assert!(index < self.width);
+                self.node_at(Coord::new(index, 0))
+            }
+            MeshEdge::South => {
+                assert!(index < self.width);
+                self.node_at(Coord::new(index, self.height - 1))
+            }
+            MeshEdge::West => {
+                assert!(index < self.height);
+                self.node_at(Coord::new(0, index))
+            }
+            MeshEdge::East => {
+                assert!(index < self.height);
+                self.node_at(Coord::new(self.width - 1, index))
+            }
+        }
+    }
+
+    /// Places `count` memory controllers evenly along the given edges,
+    /// alternating between them (the Tile-Gx72 places its four controllers on
+    /// the north and south edges). Returns the attachment node of each
+    /// controller in order.
+    pub fn place_controllers(&self, count: usize, edges: &[MeshEdge]) -> Vec<NodeId> {
+        assert!(!edges.is_empty(), "at least one edge is required");
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let edge = edges[i % edges.len()];
+            let along = i / edges.len();
+            let edge_len = match edge {
+                MeshEdge::North | MeshEdge::South => self.width,
+                MeshEdge::West | MeshEdge::East => self.height,
+            };
+            let per_edge = count.div_ceil(edges.len()).max(1);
+            let spacing = edge_len / (per_edge + 1);
+            let index = ((along + 1) * spacing.max(1)).min(edge_len - 1);
+            out.push(self.edge_node(edge, index));
+        }
+        out
+    }
+}
+
+impl Default for MeshTopology {
+    /// The paper's 8×8 experimental mesh.
+    fn default() -> Self {
+        MeshTopology::new(8, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_numbering() {
+        let m = MeshTopology::new(8, 8);
+        assert_eq!(m.coord(NodeId(0)), Coord::new(0, 0));
+        assert_eq!(m.coord(NodeId(7)), Coord::new(7, 0));
+        assert_eq!(m.coord(NodeId(8)), Coord::new(0, 1));
+        assert_eq!(m.coord(NodeId(63)), Coord::new(7, 7));
+        assert_eq!(m.node_at(Coord::new(3, 4)), NodeId(35));
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let m = MeshTopology::new(6, 9);
+        for n in m.iter_nodes() {
+            assert_eq!(m.node_at(m.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = MeshTopology::new(8, 8);
+        assert_eq!(m.distance(NodeId(0), NodeId(63)), 14);
+        assert_eq!(m.distance(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.distance(NodeId(0), NodeId(7)), 7);
+        assert_eq!(m.distance(NodeId(0), NodeId(56)), 7);
+    }
+
+    #[test]
+    fn neighbors_corner_and_center() {
+        let m = MeshTopology::new(8, 8);
+        assert_eq!(m.neighbors(NodeId(0)).len(), 2);
+        assert_eq!(m.neighbors(NodeId(7)).len(), 2);
+        assert_eq!(m.neighbors(NodeId(9)).len(), 4);
+        let center = m.node_at(Coord::new(4, 4));
+        assert_eq!(m.neighbors(center).len(), 4);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let m = MeshTopology::new(4, 3);
+        assert_eq!(m.row(1), vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(m.column(2), vec![NodeId(2), NodeId(6), NodeId(10)]);
+    }
+
+    #[test]
+    fn edge_nodes() {
+        let m = MeshTopology::new(8, 8);
+        assert_eq!(m.edge_node(MeshEdge::North, 3), NodeId(3));
+        assert_eq!(m.edge_node(MeshEdge::South, 3), NodeId(59));
+        assert_eq!(m.edge_node(MeshEdge::West, 2), NodeId(16));
+        assert_eq!(m.edge_node(MeshEdge::East, 2), NodeId(23));
+    }
+
+    #[test]
+    fn controller_placement_on_north_south() {
+        let m = MeshTopology::new(8, 8);
+        let mcs = m.place_controllers(4, &[MeshEdge::North, MeshEdge::South]);
+        assert_eq!(mcs.len(), 4);
+        // Two on the north edge (row 0), two on the south edge (row 7).
+        let north = mcs.iter().filter(|n| m.coord(**n).y == 0).count();
+        let south = mcs.iter().filter(|n| m.coord(**n).y == 7).count();
+        assert_eq!(north, 2);
+        assert_eq!(south, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let m = MeshTopology::new(2, 2);
+        m.coord(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        MeshTopology::new(0, 4);
+    }
+}

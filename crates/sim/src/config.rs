@@ -1,0 +1,174 @@
+//! Machine configuration.
+
+use ironhide_cache::{CacheConfig, TlbConfig};
+use ironhide_mem::DramConfig;
+use ironhide_mesh::NocLatencyConfig;
+
+/// Fixed latencies of the machine, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyConfig {
+    /// Private L1 hit latency.
+    pub l1_hit: u64,
+    /// Shared L2 slice access latency (tag + data array, excluding the NoC).
+    pub l2_hit: u64,
+    /// Page-table walk latency charged on a TLB miss.
+    pub page_walk: u64,
+    /// Cycles to flush-and-invalidate one private cache line during a purge
+    /// (the prototype reads a dummy buffer through the L1, so every line costs
+    /// roughly an L2 round trip).
+    pub purge_line: u64,
+    /// Cycles for the memory-fence portion of a purge
+    /// (`tmc_mem_fence`/`tmc_mem_fence_node`: wait until all dirty data has
+    /// drained to the L2 slices and DRAM).
+    pub purge_fence: u64,
+    /// Cycles to invalidate one TLB entry during a purge.
+    pub purge_tlb_entry: u64,
+    /// Cycles to re-home one page of shared-L2 data during an IRONHIDE
+    /// cluster reconfiguration (unmap, set-home, remap).
+    pub rehome_page: u64,
+    /// Pipeline flush cost of an ordinary process context switch.
+    pub context_switch: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 2,
+            l2_hit: 11,
+            page_walk: 60,
+            purge_line: 260,
+            purge_tlb_entry: 40,
+            purge_fence: 45_000,
+            rehome_page: 900,
+            context_switch: 1_500,
+        }
+    }
+}
+
+/// Full description of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Mesh width (columns of tiles).
+    pub mesh_width: usize,
+    /// Mesh height (rows of tiles).
+    pub mesh_height: usize,
+    /// Private L1 data cache geometry (per tile).
+    pub l1: CacheConfig,
+    /// Shared L2 slice geometry (per tile).
+    pub l2_slice: CacheConfig,
+    /// Private data TLB geometry (per tile).
+    pub tlb: TlbConfig,
+    /// DRAM device parameters (per controller).
+    pub dram: DramConfig,
+    /// Number of memory controllers.
+    pub controllers: usize,
+    /// Size of each DRAM region in bytes (each controller maps one secure and
+    /// one insecure region).
+    pub dram_region_bytes: u64,
+    /// Core clock frequency in GHz, used to convert cycles to wall-clock time.
+    pub clock_ghz: f64,
+    /// Fixed-latency parameters.
+    pub latency: LatencyConfig,
+    /// NoC latency parameters.
+    pub noc: NocLatencyConfig,
+}
+
+impl MachineConfig {
+    /// The paper's experimental machine: 64 tiles (8×8 mesh), 32 KB 4-way L1,
+    /// 256 KB 8-way L2 slice and a 32-entry TLB per tile, four memory
+    /// controllers, 1.2 GHz clock (Tile-Gx72 class).
+    pub fn paper_default() -> Self {
+        MachineConfig {
+            mesh_width: 8,
+            mesh_height: 8,
+            l1: CacheConfig::paper_l1(),
+            l2_slice: CacheConfig::paper_l2_slice(),
+            tlb: TlbConfig::paper_dtlb(),
+            dram: DramConfig::default(),
+            controllers: 4,
+            dram_region_bytes: 1 << 30,
+            clock_ghz: 1.2,
+            latency: LatencyConfig::default(),
+            noc: NocLatencyConfig::default(),
+        }
+    }
+
+    /// A deliberately tiny machine (4 tiles, small caches) for fast unit and
+    /// property tests.
+    pub fn small_test() -> Self {
+        MachineConfig {
+            mesh_width: 2,
+            mesh_height: 2,
+            l1: CacheConfig::new(1024, 2, 64),
+            l2_slice: CacheConfig::new(4096, 4, 64),
+            tlb: TlbConfig::new(4, 4096),
+            dram: DramConfig::default(),
+            controllers: 2,
+            dram_region_bytes: 1 << 22,
+            clock_ghz: 1.0,
+            latency: LatencyConfig::default(),
+            noc: NocLatencyConfig::default(),
+        }
+    }
+
+    /// Number of tiles (cores) in the machine.
+    pub fn cores(&self) -> usize {
+        self.mesh_width * self.mesh_height
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero cores, zero
+    /// controllers, or a non-positive clock).
+    pub fn validate(&self) {
+        assert!(self.cores() > 0, "machine must have at least one core");
+        assert!(self.controllers > 0, "machine must have at least one memory controller");
+        assert!(self.clock_ghz > 0.0, "clock frequency must be positive");
+        assert!(self.dram_region_bytes > 0, "DRAM regions must be non-empty");
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let c = MachineConfig::paper_default();
+        c.validate();
+        assert_eq!(c.cores(), 64);
+        assert_eq!(c.controllers, 4);
+        assert!(c.clock_ghz > 1.0);
+    }
+
+    #[test]
+    fn small_machine_is_valid() {
+        let c = MachineConfig::small_test();
+        c.validate();
+        assert_eq!(c.cores(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_machine_rejected() {
+        let mut c = MachineConfig::small_test();
+        c.mesh_width = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn default_latencies_ordered() {
+        let l = LatencyConfig::default();
+        assert!(l.l1_hit < l.l2_hit);
+        assert!(l.l2_hit < l.page_walk);
+        assert!(l.purge_fence > l.purge_line);
+    }
+}

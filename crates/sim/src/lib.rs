@@ -1,0 +1,52 @@
+//! # ironhide-sim
+//!
+//! The trace-driven multicore timing simulator at the heart of the IRONHIDE
+//! reproduction. It assembles the substrate models — the 2-D mesh NoC
+//! ([`ironhide_mesh`]), functional caches/TLBs and the page-homing map
+//! ([`ironhide_cache`]), and the DRAM-region/memory-controller model
+//! ([`ironhide_mem`]) — into a 64-core tiled machine resembling the paper's
+//! Tilera Tile-Gx72 prototype.
+//!
+//! The simulator is *trace driven and cycle approximate*: workloads present
+//! per-process streams of virtual-address memory accesses, and the machine
+//! charges each access the latency of the path it takes through the hierarchy
+//! (TLB → private L1 → NoC → home L2 slice → NoC → memory controller → DRAM).
+//! All security-relevant state effects are functional — purging a core really
+//! empties its L1 and TLB, re-homing a page really moves which L2 slice caches
+//! it — so the performance costs the paper reports (cold-miss inflation after
+//! MI6 purges, capacity effects of partitioning) emerge from the model rather
+//! than being constants.
+//!
+//! The security *policies* (enclave entry/exit protocols, cluster formation,
+//! the reconfiguration heuristic) live one crate up in `ironhide-core`; this
+//! crate only provides the mechanisms they drive.
+//!
+//! # Example
+//!
+//! ```
+//! use ironhide_sim::config::MachineConfig;
+//! use ironhide_sim::machine::Machine;
+//! use ironhide_sim::process::SecurityClass;
+//! use ironhide_mesh::NodeId;
+//!
+//! let mut machine = Machine::new(MachineConfig::small_test());
+//! let pid = machine.create_process("demo", SecurityClass::Insecure);
+//! let cold = machine.access(NodeId(0), pid, 0x1000, false);
+//! let warm = machine.access(NodeId(0), pid, 0x1000, false);
+//! assert!(warm < cold, "second access must hit in the private L1");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod machine;
+pub mod process;
+pub mod stats;
+pub mod time;
+
+pub use config::{LatencyConfig, MachineConfig};
+pub use machine::{AccessPath, Machine};
+pub use process::{ProcessId, SecurityClass};
+pub use stats::{MachineStats, ProcessStats};
+pub use time::Clock;

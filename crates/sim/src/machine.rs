@@ -1,0 +1,745 @@
+//! The simulated multicore machine.
+//!
+//! [`Machine`] owns every hardware structure of the target multicore — the
+//! per-tile private L1 caches and TLBs, the distributed shared L2 slices, the
+//! mesh NoC, the memory controllers and the DRAM region map — and exposes the
+//! *mechanisms* the secure execution architectures drive:
+//!
+//! * [`Machine::access`] — charge one memory access the latency of its path
+//!   through the hierarchy, updating all functional state along the way;
+//! * [`Machine::purge_private`] / [`Machine::purge_controllers`] — the
+//!   flush-and-invalidate operations MI6 performs at every enclave boundary;
+//! * [`Machine::set_process_slices`] — restrict a process's pages to a set of
+//!   L2 slices (static partitioning, local homing) and re-home pages when the
+//!   allocation changes (IRONHIDE's dynamic hardware isolation);
+//! * [`Machine::set_cluster_map`] — activate network-level cluster isolation.
+
+use ironhide_cache::{PageId, SetAssocCache, SliceId, Tlb};
+use ironhide_mem::{ControllerMask, MemoryController, RegionMap, RegionOwner};
+use ironhide_mesh::{
+    ClusterMap, LatencyModel, MeshEdge, MeshTopology, NocStats, PacketKind, NodeId,
+    RoutingAlgorithm,
+};
+
+use crate::config::MachineConfig;
+use crate::process::{ProcessId, ProcessState, SecurityClass};
+use crate::stats::{MachineStats, ProcessStats};
+use crate::time::Clock;
+
+/// The levels of the hierarchy that serviced an access, returned for
+/// diagnostics and assertions in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Serviced by the private L1.
+    L1,
+    /// Missed L1, serviced by the home L2 slice.
+    L2 {
+        /// The tile whose slice homed the line.
+        home: NodeId,
+    },
+    /// Missed L1 and L2, serviced by off-chip memory.
+    Dram {
+        /// The tile whose slice homed the line.
+        home: NodeId,
+        /// The memory controller that serviced the request.
+        controller: usize,
+    },
+}
+
+/// The simulated multicore machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    topology: MeshTopology,
+    clock: Clock,
+    l1s: Vec<SetAssocCache>,
+    tlbs: Vec<Tlb>,
+    l2s: Vec<SetAssocCache>,
+    noc: LatencyModel,
+    noc_stats: NocStats,
+    controllers: Vec<MemoryController>,
+    mc_nodes: Vec<NodeId>,
+    regions: RegionMap,
+    processes: Vec<ProcessState>,
+    proc_stats: Vec<ProcessStats>,
+    cluster_map: Option<ClusterMap>,
+    load_hint: u64,
+    ipc_marker: bool,
+    core_purges: u64,
+    pages_rehomed: u64,
+    last_path: Option<AccessPath>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate();
+        let topology = MeshTopology::new(config.mesh_width, config.mesh_height);
+        let cores = config.cores();
+        let l1s = (0..cores).map(|_| SetAssocCache::new(config.l1)).collect();
+        let tlbs = (0..cores).map(|_| Tlb::new(config.tlb)).collect();
+        let l2s = (0..cores).map(|_| SetAssocCache::new(config.l2_slice)).collect();
+        let controllers =
+            (0..config.controllers).map(|i| MemoryController::new(i, config.dram)).collect();
+        let mc_nodes =
+            topology.place_controllers(config.controllers, &[MeshEdge::North, MeshEdge::South]);
+        let regions = RegionMap::paper_layout(config.controllers, config.dram_region_bytes);
+        let clock = Clock::new(config.clock_ghz);
+        Machine {
+            noc: LatencyModel::new(config.noc),
+            noc_stats: NocStats::new(),
+            config,
+            topology,
+            clock,
+            l1s,
+            tlbs,
+            l2s,
+            controllers,
+            mc_nodes,
+            regions,
+            processes: Vec::new(),
+            proc_stats: Vec::new(),
+            cluster_map: None,
+            load_hint: 0,
+            ipc_marker: false,
+            core_purges: 0,
+            pages_rehomed: 0,
+            last_path: None,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.topology
+    }
+
+    /// The clock used for cycle/time conversion.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// The DRAM region map.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// Nodes the memory controllers are attached to.
+    pub fn controller_nodes(&self) -> &[NodeId] {
+        &self.mc_nodes
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.config.tlb.page_bytes as u64
+    }
+
+    /// The hierarchy level that serviced the most recent access.
+    pub fn last_path(&self) -> Option<AccessPath> {
+        self.last_path
+    }
+
+    /// Hints how many cores are concurrently issuing memory traffic; the
+    /// memory controllers use it to scale their queueing delay.
+    pub fn set_load_hint(&mut self, active_cores: u64) {
+        self.load_hint = active_cores;
+    }
+
+    /// Marks subsequent accesses as shared-IPC-buffer traffic. IPC traffic is
+    /// the only traffic allowed to cross the cluster boundary, so the NoC
+    /// accounts for it separately (the isolation auditor checks that every
+    /// boundary-crossing packet is IPC-class).
+    pub fn set_ipc_marker(&mut self, ipc: bool) {
+        self.ipc_marker = ipc;
+    }
+
+    /// Activates (or clears) network-level cluster isolation.
+    pub fn set_cluster_map(&mut self, map: Option<ClusterMap>) {
+        if let Some(m) = &map {
+            assert_eq!(
+                m.topology().nodes(),
+                self.topology.nodes(),
+                "cluster map must cover the machine topology"
+            );
+        }
+        self.cluster_map = map;
+        self.noc.reset_load();
+    }
+
+    /// The active cluster map, if any.
+    pub fn cluster_map(&self) -> Option<&ClusterMap> {
+        self.cluster_map.as_ref()
+    }
+
+    // ----- processes -------------------------------------------------------
+
+    /// Creates a process of the given security class. The process initially
+    /// owns every DRAM region of its class and may home pages on every L2
+    /// slice; the execution architectures restrict both before running.
+    pub fn create_process(&mut self, name: impl Into<String>, class: SecurityClass) -> ProcessId {
+        let mut p = ProcessState::new(name, class);
+        let owner = match class {
+            SecurityClass::Secure => RegionOwner::Secure,
+            SecurityClass::Insecure => RegionOwner::Insecure,
+        };
+        p.regions = self.regions.regions_of(owner).iter().map(|r| r.id).collect();
+        p.home = ironhide_cache::HomeMap::local(
+            (0..self.config.cores()).map(SliceId),
+        );
+        self.processes.push(p);
+        self.proc_stats.push(ProcessStats::new());
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Number of processes created.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The security class of `pid`.
+    pub fn process_class(&self, pid: ProcessId) -> SecurityClass {
+        self.processes[pid.0].class
+    }
+
+    /// The name of `pid`.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.processes[pid.0].name
+    }
+
+    /// Per-process statistics.
+    pub fn process_stats(&self, pid: ProcessId) -> &ProcessStats {
+        &self.proc_stats[pid.0]
+    }
+
+    /// Number of distinct virtual pages `pid` has touched.
+    pub fn process_footprint_pages(&self, pid: ProcessId) -> usize {
+        self.processes[pid.0].footprint_pages()
+    }
+
+    /// The physical pages `pid` currently owns (used by the isolation
+    /// auditor to verify DRAM-region ownership).
+    pub fn process_physical_pages(&self, pid: ProcessId) -> Vec<PageId> {
+        self.processes[pid.0].physical_pages()
+    }
+
+    /// Restricts the L2 slices `pid` may home pages on, re-homing any pages
+    /// that now live outside the allowed set. Returns `(pages_moved, cycles)`
+    /// where `cycles` is the cost of the unmap/set-home/remap sequence.
+    pub fn set_process_slices(&mut self, pid: ProcessId, slices: Vec<SliceId>) -> (u64, u64) {
+        let p = &mut self.processes[pid.0];
+        p.home.set_allowed(slices);
+        let moved = p.home.rehome_all().unwrap_or(0);
+        self.pages_rehomed += moved;
+        (moved, moved * self.config.latency.rehome_page)
+    }
+
+    /// The L2 slices `pid` may currently home pages on.
+    pub fn process_slices(&self, pid: ProcessId) -> Vec<SliceId> {
+        self.processes[pid.0].home.allowed_slices().to_vec()
+    }
+
+    /// Restricts the memory controllers (and therefore DRAM regions) `pid`
+    /// allocates from. Only regions of the process's own security class served
+    /// by a controller in `mask` remain eligible; pages that were already
+    /// allocated elsewhere keep their mapping (as on the prototype, where the
+    /// interleaving mask only affects future allocations). Returns the number
+    /// of regions that remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask would leave the process with no regions at all.
+    pub fn set_process_controllers(&mut self, pid: ProcessId, mask: ControllerMask) -> usize {
+        let owner = match self.processes[pid.0].class {
+            SecurityClass::Secure => RegionOwner::Secure,
+            SecurityClass::Insecure => RegionOwner::Insecure,
+        };
+        let regions: Vec<_> = self
+            .regions
+            .regions_of(owner)
+            .iter()
+            .filter(|r| mask.contains(r.controller))
+            .map(|r| r.id)
+            .collect();
+        assert!(
+            !regions.is_empty(),
+            "controller mask {mask:?} leaves process {pid} with no DRAM regions"
+        );
+        let count = regions.len();
+        self.processes[pid.0].regions = regions;
+        count
+    }
+
+    /// The memory controllers whose attachment node lies inside each node of
+    /// `nodes` (used by the cluster manager to dedicate controllers to a
+    /// cluster).
+    pub fn controllers_attached_to(&self, nodes: &[NodeId]) -> ControllerMask {
+        let mut mask = 0u32;
+        for (id, node) in self.mc_nodes.iter().enumerate() {
+            if nodes.contains(node) {
+                mask |= 1 << id;
+            }
+        }
+        ControllerMask(mask)
+    }
+
+    // ----- address translation --------------------------------------------
+
+    fn translate(&mut self, pid: ProcessId, vaddr: u64) -> u64 {
+        let page_bytes = self.page_bytes();
+        let vpn = vaddr / page_bytes;
+        let p = &mut self.processes[pid.0];
+        if let Some(ppn) = p.page_table.get(&vpn) {
+            return ppn * page_bytes + (vaddr % page_bytes);
+        }
+        // Allocate a new physical page from the process's regions,
+        // round-robin across regions, wrapping within each region.
+        let region_idx = (p.allocated_pages as usize) % p.regions.len().max(1);
+        let region_id = p.regions[region_idx];
+        let region = self
+            .regions
+            .regions()
+            .iter()
+            .find(|r| r.id == region_id)
+            .expect("process region must exist");
+        let pages_per_region = (region.size / page_bytes).max(1);
+        let index_in_region = (p.allocated_pages / p.regions.len().max(1) as u64) % pages_per_region;
+        let ppn = region.base / page_bytes + index_in_region;
+        p.page_table.insert(vpn, ppn);
+        // Pin the page's home slice round-robin over the allowed slices.
+        let allowed = p.home.allowed_slices().to_vec();
+        if !allowed.is_empty() {
+            let slice = allowed[(p.allocated_pages as usize) % allowed.len()];
+            let _ = p.home.pin(PageId(ppn), slice);
+        }
+        p.allocated_pages += 1;
+        ppn * page_bytes + (vaddr % page_bytes)
+    }
+
+    /// Returns the physical address `vaddr` currently maps to for `pid`, or
+    /// `None` if the page has not been touched yet. Unlike
+    /// [`Machine::access`] this never allocates and has no timing effect; it
+    /// exists so the speculative-access hardware check can screen physical
+    /// addresses.
+    pub fn peek_paddr(&self, pid: ProcessId, vaddr: u64) -> Option<u64> {
+        let page_bytes = self.page_bytes();
+        let vpn = vaddr / page_bytes;
+        self.processes[pid.0]
+            .page_table
+            .get(&vpn)
+            .map(|ppn| ppn * page_bytes + (vaddr % page_bytes))
+    }
+
+    fn route_latency(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: PacketKind,
+        pid: ProcessId,
+    ) -> u64 {
+        let kind = if self.ipc_marker && !matches!(kind, PacketKind::WriteBack) {
+            PacketKind::Ipc
+        } else {
+            kind
+        };
+        let flits = kind.flits();
+        // Traffic entering or leaving the mesh at a memory-controller
+        // attachment point is edge traffic: the controller is shared
+        // infrastructure dedicated per cluster by the DRAM-region map, so it
+        // is not counted against the cluster-boundary invariant.
+        let edge_traffic = self.mc_nodes.contains(&src) || self.mc_nodes.contains(&dst);
+        let (route, clusters) = match &self.cluster_map {
+            Some(map) if !edge_traffic => {
+                let src_cluster = map.cluster_of(src);
+                let dst_cluster = map.cluster_of(dst);
+                if src_cluster == dst_cluster {
+                    let route = map
+                        .contained_route(src, dst, src_cluster)
+                        .unwrap_or_else(|_| self.topology.route(src, dst, RoutingAlgorithm::XY));
+                    (route, Some((src_cluster, dst_cluster)))
+                } else {
+                    // Only IPC-class traffic is expected to cross the boundary;
+                    // the isolation auditor in ironhide-core flags anything else.
+                    (self.topology.route(src, dst, RoutingAlgorithm::XY), Some((src_cluster, dst_cluster)))
+                }
+            }
+            _ => (self.topology.route(src, dst, RoutingAlgorithm::XY), None),
+        };
+        let latency = self.noc.traverse(&route, flits);
+        self.noc_stats.record(kind, flits, route.hops(), latency, clusters);
+        let _ = pid;
+        latency
+    }
+
+    // ----- the access path -------------------------------------------------
+
+    /// Performs one memory access by the thread of `pid` running on `core`,
+    /// returning the latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `pid` is out of range.
+    pub fn access(&mut self, core: NodeId, pid: ProcessId, vaddr: u64, write: bool) -> u64 {
+        assert!(core.0 < self.config.cores(), "core {core} out of range");
+        assert!(pid.0 < self.processes.len(), "unknown process {pid}");
+        let lat = self.config.latency;
+        let mut cycles = 0u64;
+
+        // 1. TLB.
+        let tlb_hit = self.tlbs[core.0].access(vaddr);
+        if !tlb_hit {
+            cycles += lat.page_walk;
+        }
+
+        // 2. Translate (allocating on first touch).
+        let paddr = self.translate(pid, vaddr);
+
+        // 3. Private L1.
+        let l1_outcome = self.l1s[core.0].access(paddr, write);
+        cycles += lat.l1_hit;
+        let mut path = AccessPath::L1;
+        if l1_outcome.is_miss() {
+            // Write back the victim off the critical path but account for it.
+            if let Some(ev) = l1_outcome.evicted() {
+                if ev.dirty {
+                    let home = self.home_node_of(pid, ev.addr);
+                    self.route_latency(core, home, PacketKind::WriteBack, pid);
+                }
+            }
+            // 4. Route to the home L2 slice.
+            let ppn = paddr / self.page_bytes();
+            let home_slice = self.processes[pid.0]
+                .home
+                .home_of(PageId(ppn))
+                .map(|s| s.0)
+                .unwrap_or(core.0);
+            let home = NodeId(home_slice);
+            cycles += self.route_latency(core, home, PacketKind::Request, pid);
+            let l2_outcome = self.l2s[home.0].access(paddr, write);
+            cycles += lat.l2_hit;
+            if l2_outcome.is_miss() {
+                if let Some(ev) = l2_outcome.evicted() {
+                    if ev.dirty {
+                        if let Ok(mc) = self.regions.controller_of(ev.addr) {
+                            let mc_node = self.mc_nodes[mc];
+                            self.route_latency(home, mc_node, PacketKind::WriteBack, pid);
+                        }
+                    }
+                }
+                // 5. Off-chip access through the owning controller.
+                let mc = self.regions.controller_of(paddr).unwrap_or(0);
+                let mc_node = self.mc_nodes[mc];
+                cycles += self.route_latency(home, mc_node, PacketKind::Request, pid);
+                cycles += self.controllers[mc].access(paddr, write, self.load_hint);
+                cycles += self.route_latency(mc_node, home, PacketKind::Response, pid);
+                path = AccessPath::Dram { home, controller: mc };
+                self.proc_stats[pid.0].dram_accesses += 1;
+            } else {
+                path = AccessPath::L2 { home };
+            }
+            cycles += self.route_latency(home, core, PacketKind::Response, pid);
+        }
+
+        // Attribute statistics to the process.
+        let stats = &mut self.proc_stats[pid.0];
+        stats.tlb.accesses += 1;
+        if tlb_hit {
+            stats.tlb.hits += 1;
+        } else {
+            stats.tlb.misses += 1;
+        }
+        stats.l1.accesses += 1;
+        if l1_outcome.is_hit() {
+            stats.l1.hits += 1;
+        } else {
+            stats.l1.misses += 1;
+            stats.l2.accesses += 1;
+            match path {
+                AccessPath::L2 { .. } => stats.l2.hits += 1,
+                AccessPath::Dram { .. } => stats.l2.misses += 1,
+                AccessPath::L1 => unreachable!("an L1 miss cannot be serviced by the L1"),
+            }
+        }
+        stats.memory_cycles += cycles;
+        self.last_path = Some(path);
+        cycles
+    }
+
+    fn home_node_of(&self, pid: ProcessId, paddr: u64) -> NodeId {
+        let ppn = paddr / self.page_bytes();
+        self.processes[pid.0]
+            .home
+            .home_of(PageId(ppn))
+            .map(|s| NodeId(s.0))
+            .unwrap_or(NodeId(0))
+    }
+
+    // ----- purges and reconfiguration --------------------------------------
+
+    /// Flushes-and-invalidates the private L1 and TLB of one core, returning
+    /// the cycles the operation takes on that core.
+    pub fn purge_core(&mut self, core: NodeId) -> u64 {
+        assert!(core.0 < self.config.cores(), "core {core} out of range");
+        let lat = self.config.latency;
+        let l1 = &mut self.l1s[core.0];
+        let resident = l1.resident_lines() as u64;
+        l1.purge();
+        let tlb = &mut self.tlbs[core.0];
+        let entries = tlb.resident() as u64;
+        tlb.purge();
+        self.core_purges += 1;
+        resident * lat.purge_line + entries * lat.purge_tlb_entry
+    }
+
+    /// Purges the private state of all `cores` in parallel (as the prototype
+    /// does), followed by a machine-wide memory fence. Returns the wall-clock
+    /// cycles of the whole operation: the slowest core plus the fence.
+    pub fn purge_private(&mut self, cores: &[NodeId]) -> u64 {
+        let mut worst = 0;
+        for c in cores {
+            worst = worst.max(self.purge_core(*c));
+        }
+        if cores.is_empty() {
+            0
+        } else {
+            worst + self.config.latency.purge_fence
+        }
+    }
+
+    /// Purges the queues and open-row state of the controllers selected by
+    /// `mask`, returning the cycles of the slowest drain.
+    pub fn purge_controllers(&mut self, mask: ControllerMask) -> u64 {
+        let mut worst = 0;
+        for id in mask.iter() {
+            if id < self.controllers.len() {
+                worst = worst.max(self.controllers[id].purge());
+            }
+        }
+        worst
+    }
+
+    /// Flushes every shared L2 slice in `slices` (used when a slice changes
+    /// cluster during reconfiguration), returning the cycles of the slowest
+    /// flush.
+    pub fn purge_slices(&mut self, slices: &[SliceId]) -> u64 {
+        let lat = self.config.latency;
+        let mut worst = 0;
+        for s in slices {
+            if s.0 < self.l2s.len() {
+                let resident = self.l2s[s.0].resident_lines() as u64;
+                self.l2s[s.0].purge();
+                worst = worst.max(resident * lat.purge_line / 4);
+            }
+        }
+        worst
+    }
+
+    // ----- statistics -------------------------------------------------------
+
+    /// Aggregated machine statistics.
+    pub fn stats(&self) -> MachineStats {
+        let mut out = MachineStats::new();
+        for c in &self.l1s {
+            out.l1.merge(c.stats());
+        }
+        for t in &self.tlbs {
+            out.tlb.merge(t.stats());
+        }
+        for c in &self.l2s {
+            out.l2.merge(c.stats());
+        }
+        for mc in &self.controllers {
+            out.mem.merge(mc.stats());
+        }
+        out.noc = self.noc_stats.clone();
+        out.core_purges = self.core_purges;
+        out.pages_rehomed = self.pages_rehomed;
+        out
+    }
+
+    /// Resets all statistics (cache contents are preserved). Used after the
+    /// warm-up phase of each experiment.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1s {
+            c.reset_stats();
+        }
+        for t in &mut self.tlbs {
+            t.reset_stats();
+        }
+        for c in &mut self.l2s {
+            c.reset_stats();
+        }
+        for mc in &mut self.controllers {
+            mc.reset_stats();
+        }
+        self.noc_stats.reset();
+        for s in &mut self.proc_stats {
+            s.reset();
+        }
+        self.core_purges = 0;
+        self.pages_rehomed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small_test())
+    }
+
+    #[test]
+    fn l1_hit_after_miss() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        let cold = m.access(NodeId(0), pid, 0x1000, false);
+        assert!(matches!(m.last_path(), Some(AccessPath::Dram { .. })));
+        let warm = m.access(NodeId(0), pid, 0x1000, false);
+        assert!(matches!(m.last_path(), Some(AccessPath::L1)));
+        assert!(warm < cold);
+        assert_eq!(warm, m.config().latency.l1_hit);
+    }
+
+    #[test]
+    fn l2_services_other_cores_misses() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access(NodeId(0), pid, 0x2000, false);
+        // A different core misses its own L1 but hits the shared slice.
+        m.access(NodeId(1), pid, 0x2000, false);
+        assert!(matches!(m.last_path(), Some(AccessPath::L2 { .. })));
+    }
+
+    #[test]
+    fn secure_and_insecure_pages_live_in_their_regions() {
+        let mut m = machine();
+        let sec = m.create_process("enclave", SecurityClass::Secure);
+        let ins = m.create_process("os", SecurityClass::Insecure);
+        m.access(NodeId(0), sec, 0x0, true);
+        m.access(NodeId(1), ins, 0x0, true);
+        let sstats = m.process_stats(sec);
+        let istats = m.process_stats(ins);
+        assert_eq!(sstats.l1.accesses, 1);
+        assert_eq!(istats.l1.accesses, 1);
+        // Different processes with the same virtual address must not alias.
+        assert_eq!(m.process_footprint_pages(sec), 1);
+        assert_eq!(m.process_footprint_pages(ins), 1);
+    }
+
+    #[test]
+    fn purge_core_causes_cold_misses() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        for i in 0..8u64 {
+            m.access(NodeId(0), pid, i * 64, false);
+        }
+        // Warm: all hits.
+        let warm: u64 = (0..8u64).map(|i| m.access(NodeId(0), pid, i * 64, false)).sum();
+        let purge_cost = m.purge_core(NodeId(0));
+        assert!(purge_cost > 0);
+        let cold: u64 = (0..8u64).map(|i| m.access(NodeId(0), pid, i * 64, false)).sum();
+        assert!(cold > warm, "post-purge accesses must be slower ({cold} <= {warm})");
+    }
+
+    #[test]
+    fn purge_private_parallel_cost_is_max_plus_fence() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        for i in 0..16u64 {
+            m.access(NodeId(0), pid, i * 64, false);
+        }
+        let fence = m.config().latency.purge_fence;
+        let cost = m.purge_private(&[NodeId(0), NodeId(1)]);
+        assert!(cost > fence);
+        assert_eq!(m.stats().core_purges, 2);
+        assert_eq!(m.purge_private(&[]), 0);
+    }
+
+    #[test]
+    fn set_process_slices_rehomes_pages() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        for p in 0..6u64 {
+            m.access(NodeId(0), pid, p * 4096, false);
+        }
+        let (moved, cycles) = m.set_process_slices(pid, vec![SliceId(3)]);
+        assert!(moved > 0, "restricting slices must re-home pages");
+        assert_eq!(cycles, moved * m.config().latency.rehome_page);
+        assert_eq!(m.process_slices(pid), vec![SliceId(3)]);
+        // All subsequent L1 misses for this process now travel to slice 3.
+        m.purge_core(NodeId(0));
+        m.access(NodeId(0), pid, 0, false);
+        match m.last_path() {
+            Some(AccessPath::L2 { home }) | Some(AccessPath::Dram { home, .. }) => {
+                assert_eq!(home, NodeId(3));
+            }
+            other => panic!("expected an L2/DRAM path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_map_keeps_intra_cluster_traffic_contained() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Secure);
+        let map = ClusterMap::row_major_split(MeshTopology::new(2, 2), 2);
+        // Dedicate to the secure cluster the controller(s) attached to its own
+        // tiles, as IRONHIDE does, so off-chip traffic also stays contained.
+        let secure_nodes = map.nodes_of(ironhide_mesh::ClusterId::Secure);
+        let mask = m.controllers_attached_to(&secure_nodes);
+        assert!(mask.count() >= 1);
+        m.set_process_controllers(pid, mask);
+        m.set_cluster_map(Some(map));
+        m.set_process_slices(pid, vec![SliceId(0), SliceId(1)]);
+        for p in 0..4u64 {
+            m.access(NodeId(0), pid, p * 4096, false);
+        }
+        assert_eq!(m.stats().noc.cross_cluster_packets, 0);
+    }
+
+    #[test]
+    fn controller_purge_counts() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access(NodeId(0), pid, 0x10_000, false);
+        let cycles = m.purge_controllers(ControllerMask::first(2));
+        assert!(cycles > 0);
+        assert_eq!(m.stats().mem.purges, 2);
+    }
+
+    #[test]
+    fn stats_reset_preserves_cache_contents() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access(NodeId(0), pid, 0x40, false);
+        m.reset_stats();
+        assert_eq!(m.stats().l1.accesses, 0);
+        assert_eq!(m.process_stats(pid).l1.accesses, 0);
+        // Contents survived the reset: this access still hits.
+        m.access(NodeId(0), pid, 0x40, false);
+        assert_eq!(m.process_stats(pid).l1.hits, 1);
+    }
+
+    #[test]
+    fn footprint_tracks_distinct_pages() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        for p in 0..5u64 {
+            m.access(NodeId(0), pid, p * 4096 + 8, false);
+            m.access(NodeId(0), pid, p * 4096 + 16, false);
+        }
+        assert_eq!(m.process_footprint_pages(pid), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_rejected() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access(NodeId(99), pid, 0, false);
+    }
+}

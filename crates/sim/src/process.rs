@@ -1,0 +1,120 @@
+//! Processes, security classes and per-process address-space state.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ironhide_cache::{HomeMap, PageId, SliceId};
+use ironhide_mem::RegionId;
+
+/// Identifier of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// The security class of a process, which determines the DRAM regions it may
+/// own and (under the clustered architectures) the cluster it is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityClass {
+    /// A security-critical process that runs inside an enclave (SGX/MI6) or in
+    /// the secure cluster (IRONHIDE) after attestation.
+    Secure,
+    /// An ordinary process, including the untrusted OS.
+    Insecure,
+}
+
+impl SecurityClass {
+    /// The opposite class.
+    pub fn other(self) -> Self {
+        match self {
+            SecurityClass::Secure => SecurityClass::Insecure,
+            SecurityClass::Insecure => SecurityClass::Secure,
+        }
+    }
+}
+
+impl fmt::Display for SecurityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityClass::Secure => write!(f, "secure"),
+            SecurityClass::Insecure => write!(f, "insecure"),
+        }
+    }
+}
+
+/// Mutable per-process state kept by the machine: the page table, the DRAM
+/// regions the process may allocate from, and the L2 home map for its pages.
+#[derive(Debug, Clone)]
+pub struct ProcessState {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Security class.
+    pub class: SecurityClass,
+    /// Virtual-to-physical page mapping (page numbers, not byte addresses).
+    pub page_table: HashMap<u64, u64>,
+    /// DRAM regions this process allocates physical pages from.
+    pub regions: Vec<RegionId>,
+    /// Allocation cursor: physical pages handed out so far.
+    pub allocated_pages: u64,
+    /// L2 home map for the process's pages.
+    pub home: HomeMap,
+}
+
+impl ProcessState {
+    /// Creates a process with an empty address space. The home map starts
+    /// with no allowed slices; the machine assigns slices when the process is
+    /// admitted to a partition or cluster.
+    pub fn new(name: impl Into<String>, class: SecurityClass) -> Self {
+        ProcessState {
+            name: name.into(),
+            class,
+            page_table: HashMap::new(),
+            regions: Vec::new(),
+            allocated_pages: 0,
+            home: HomeMap::local(Vec::<SliceId>::new()),
+        }
+    }
+
+    /// Number of distinct virtual pages touched so far.
+    pub fn footprint_pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Returns the pinned home slices of all of the process's physical pages
+    /// (used when auditing isolation).
+    pub fn physical_pages(&self) -> Vec<PageId> {
+        self.page_table.values().map(|p| PageId(*p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_class_other() {
+        assert_eq!(SecurityClass::Secure.other(), SecurityClass::Insecure);
+        assert_eq!(SecurityClass::Insecure.other(), SecurityClass::Secure);
+    }
+
+    #[test]
+    fn new_process_is_empty() {
+        let p = ProcessState::new("aes", SecurityClass::Secure);
+        assert_eq!(p.footprint_pages(), 0);
+        assert_eq!(p.allocated_pages, 0);
+        assert!(p.physical_pages().is_empty());
+        assert_eq!(p.class, SecurityClass::Secure);
+        assert_eq!(p.name, "aes");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(3).to_string(), "pid3");
+        assert_eq!(SecurityClass::Secure.to_string(), "secure");
+        assert_eq!(SecurityClass::Insecure.to_string(), "insecure");
+    }
+}

@@ -1,0 +1,786 @@
+//! The nine interactive applications of the paper's evaluation, wired up as
+//! [`InteractiveApp`] implementations.
+
+use ironhide_core::app::{InteractiveApp, Interaction, ProcessProfile, WorkUnit};
+use ironhide_sim::process::SecurityClass;
+
+use crate::crypto::{Aes256, QueryGenerator};
+use crate::graph::{sssp, pagerank_iteration, triangle_count_range, CsrGraph, GraphRegions, TemporalUpdateGenerator};
+use crate::recorder::{AccessRecorder, Region};
+use crate::services::{HttpLoadGenerator, KvStore, MemtierGenerator, OsServiceProcess, WebServer};
+use crate::vision::{BeeColony, Cnn, CnnShape, Frame, VisionPipeline};
+
+/// How large an instance of each application to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleFactor {
+    /// Tiny inputs and a handful of interactions: used by unit/integration
+    /// tests and the quickstart example.
+    Smoke,
+    /// The scaled-down-but-representative configuration the figure benches
+    /// run (the paper's raw input counts — 2 M memcached requests, 1 M pages,
+    /// tens of thousands of graph inputs — are scaled to keep a full sweep
+    /// under a few minutes of host time; see EXPERIMENTS.md).
+    Paper,
+}
+
+impl ScaleFactor {
+    fn user_interactions(self) -> usize {
+        match self {
+            ScaleFactor::Smoke => 10,
+            ScaleFactor::Paper => 48,
+        }
+    }
+
+    fn os_interactions(self) -> usize {
+        match self {
+            ScaleFactor::Smoke => 16,
+            ScaleFactor::Paper => 160,
+        }
+    }
+
+    fn graph_side(self) -> usize {
+        match self {
+            ScaleFactor::Smoke => 12,
+            ScaleFactor::Paper => 40,
+        }
+    }
+
+    fn frame_side(self) -> usize {
+        match self {
+            ScaleFactor::Smoke => 12,
+            ScaleFactor::Paper => 32,
+        }
+    }
+
+    fn sample_rate(self) -> u64 {
+        match self {
+            ScaleFactor::Smoke => 2,
+            ScaleFactor::Paper => 6,
+        }
+    }
+
+    fn trace_cap(self) -> usize {
+        match self {
+            ScaleFactor::Smoke => 300,
+            ScaleFactor::Paper => 1400,
+        }
+    }
+}
+
+/// The applications evaluated in Figures 6–8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// `<SSSP, GRAPH>` — single-source shortest paths fed by temporal road
+    /// updates.
+    SsspGraph,
+    /// `<PR, GRAPH>` — PageRank fed by temporal road updates.
+    PrGraph,
+    /// `<TC, GRAPH>` — triangle counting fed by temporal road updates.
+    TcGraph,
+    /// `<ABC, VISION>` — bee-colony mission planning fed by the vision
+    /// pipeline.
+    AbcVision,
+    /// `<ALEXNET, VISION>` — AlexNet-class perception fed by the vision
+    /// pipeline.
+    AlexnetVision,
+    /// `<SQZ-NET, VISION>` — SqueezeNet-class perception fed by the vision
+    /// pipeline.
+    SqznetVision,
+    /// `<AES, QUERY>` — AES-256 query encryption fed by a YCSB-style
+    /// generator.
+    QueryAes,
+    /// `<MEMCACHED, OS>` — key-value store interacting with the untrusted OS.
+    MemcachedOs,
+    /// `<LIGHTTPD, OS>` — static web server interacting with the untrusted OS.
+    LighttpdOs,
+}
+
+impl AppId {
+    /// All nine applications in the order Figure 6 presents them.
+    pub const ALL: [AppId; 9] = [
+        AppId::SsspGraph,
+        AppId::PrGraph,
+        AppId::TcGraph,
+        AppId::AbcVision,
+        AppId::AlexnetVision,
+        AppId::SqznetVision,
+        AppId::QueryAes,
+        AppId::MemcachedOs,
+        AppId::LighttpdOs,
+    ];
+
+    /// The seven user-level interactive applications.
+    pub fn user_level() -> Vec<AppId> {
+        AppId::ALL.iter().copied().filter(|a| !a.is_os_level()).collect()
+    }
+
+    /// The two OS-level interactive applications.
+    pub fn os_level() -> Vec<AppId> {
+        AppId::ALL.iter().copied().filter(|a| a.is_os_level()).collect()
+    }
+
+    /// Whether this is one of the OS-interactive applications.
+    pub fn is_os_level(self) -> bool {
+        matches!(self, AppId::MemcachedOs | AppId::LighttpdOs)
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppId::SsspGraph => "<SSSP, GRAPH>",
+            AppId::PrGraph => "<PR, GRAPH>",
+            AppId::TcGraph => "<TC, GRAPH>",
+            AppId::AbcVision => "<ABC, VISION>",
+            AppId::AlexnetVision => "<ALEXNET, VISION>",
+            AppId::SqznetVision => "<SQZ-NET, VISION>",
+            AppId::QueryAes => "<AES, QUERY>",
+            AppId::MemcachedOs => "<MEMCACHED, OS>",
+            AppId::LighttpdOs => "<LIGHTTPD, OS>",
+        }
+    }
+
+    /// Builds the application at the requested scale.
+    pub fn instantiate(self, scale: &ScaleFactor) -> Box<dyn InteractiveApp> {
+        let scale = *scale;
+        match self {
+            AppId::SsspGraph => Box::new(GraphApp::new(GraphAlgo::Sssp, scale)),
+            AppId::PrGraph => Box::new(GraphApp::new(GraphAlgo::PageRank, scale)),
+            AppId::TcGraph => Box::new(GraphApp::new(GraphAlgo::TriangleCount, scale)),
+            AppId::AbcVision => Box::new(VisionApp::new(VisionConsumer::Abc, scale)),
+            AppId::AlexnetVision => {
+                Box::new(VisionApp::new(VisionConsumer::Cnn(CnnShape::AlexNetClass), scale))
+            }
+            AppId::SqznetVision => {
+                Box::new(VisionApp::new(VisionConsumer::Cnn(CnnShape::SqueezeNetClass), scale))
+            }
+            AppId::QueryAes => Box::new(QueryAesApp::new(scale)),
+            AppId::MemcachedOs => Box::new(MemcachedApp::new(scale)),
+            AppId::LighttpdOs => Box::new(LighttpdApp::new(scale)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// <SSSP|PR|TC, GRAPH>
+// ---------------------------------------------------------------------------
+
+/// The secure graph kernel paired with the GRAPH generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphAlgo {
+    /// Single-source shortest paths.
+    Sssp,
+    /// PageRank.
+    PageRank,
+    /// Triangle counting.
+    TriangleCount,
+}
+
+/// A `<graph-kernel, GRAPH>` interactive application.
+#[derive(Debug)]
+pub struct GraphApp {
+    algo: GraphAlgo,
+    scale: ScaleFactor,
+    name: &'static str,
+    graph: CsrGraph,
+    regions: GraphRegions,
+    generator: TemporalUpdateGenerator,
+    ranks: Vec<f64>,
+    tc_cursor: usize,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+}
+
+impl GraphApp {
+    /// Builds the application.
+    pub fn new(algo: GraphAlgo, scale: ScaleFactor) -> Self {
+        let graph = CsrGraph::road_network(scale.graph_side(), 0xC0FFEE);
+        let regions = GraphRegions::layout(&graph, 0x10_0000);
+        let n = graph.vertices();
+        let (name, secure_profile) = match algo {
+            GraphAlgo::Sssp => (
+                "<SSSP, GRAPH>",
+                ProcessProfile::new("SSSP", SecurityClass::Secure, 0.82, 700, 32),
+            ),
+            GraphAlgo::PageRank => (
+                "<PR, GRAPH>",
+                ProcessProfile::new("PR", SecurityClass::Secure, 0.90, 400, 48),
+            ),
+            GraphAlgo::TriangleCount => (
+                "<TC, GRAPH>",
+                ProcessProfile::new("TC", SecurityClass::Secure, 0.40, 30_000, 4),
+            ),
+        };
+        GraphApp {
+            algo,
+            scale,
+            name,
+            generator: TemporalUpdateGenerator::new(7, 192),
+            ranks: vec![1.0 / n as f64; n],
+            tc_cursor: 0,
+            regions,
+            graph,
+            insecure_profile: ProcessProfile::new("GRAPH", SecurityClass::Insecure, 0.96, 120, 62),
+            secure_profile,
+        }
+    }
+
+    fn recorder(&self) -> AccessRecorder {
+        AccessRecorder::new(self.scale.sample_rate(), self.scale.trace_cap())
+    }
+}
+
+impl InteractiveApp for GraphApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn insecure_profile(&self) -> &ProcessProfile {
+        &self.insecure_profile
+    }
+    fn secure_profile(&self) -> &ProcessProfile {
+        &self.secure_profile
+    }
+    fn interactions(&self) -> usize {
+        self.scale.user_interactions()
+    }
+    fn interactivity_per_second(&self) -> f64 {
+        400.0
+    }
+
+    fn interaction(&mut self, idx: usize) -> Interaction {
+        // Insecure: apply a batch of temporal sensor updates (the sensor
+        // ingest and graph-mutation work parallelises well across cores).
+        let mut rec = self.recorder();
+        self.generator.apply_batch(&mut self.graph, &self.regions, &mut rec);
+        let insecure_touches = rec.total_touches();
+        let insecure = WorkUnit::new(insecure_touches * 2_400 + 700_000, rec.take());
+
+        // Secure: run the analytics kernel over the updated graph.
+        let mut rec = self.recorder();
+        let n = self.graph.vertices();
+        match self.algo {
+            GraphAlgo::Sssp => {
+                let source = idx % n;
+                let _ = sssp(&self.graph, source, 12, &self.regions, &mut rec);
+            }
+            GraphAlgo::PageRank => {
+                self.ranks = pagerank_iteration(&self.graph, &self.ranks, 0.85, &self.regions, &mut rec);
+            }
+            GraphAlgo::TriangleCount => {
+                let window = (n / 8).max(8);
+                let from = self.tc_cursor;
+                let _ = triangle_count_range(&self.graph, from, from + window, &self.regions, &mut rec);
+                self.tc_cursor = (self.tc_cursor + window) % n;
+            }
+        }
+        let secure_touches = rec.total_touches();
+        let cycles_per_touch = match self.algo {
+            GraphAlgo::Sssp => 85,
+            GraphAlgo::PageRank => 95,
+            GraphAlgo::TriangleCount => 60,
+        };
+        let secure = WorkUnit::new(secure_touches * cycles_per_touch + 350_000, rec.take());
+
+        Interaction { insecure, secure, ipc_bytes: 48 * 16 }
+    }
+
+    fn reset(&mut self) {
+        let n = self.graph.vertices();
+        self.generator = TemporalUpdateGenerator::new(7, 192);
+        self.ranks = vec![1.0 / n as f64; n];
+        self.tc_cursor = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// <ABC|ALEXNET|SQZ-NET, VISION>
+// ---------------------------------------------------------------------------
+
+/// The secure consumer paired with the VISION pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisionConsumer {
+    /// Artificial-bee-colony mission planning.
+    Abc,
+    /// CNN perception of the given shape.
+    Cnn(CnnShape),
+}
+
+/// A `<consumer, VISION>` interactive application.
+#[derive(Debug)]
+pub struct VisionApp {
+    consumer: VisionConsumer,
+    scale: ScaleFactor,
+    name: &'static str,
+    pipeline: VisionPipeline,
+    colony: BeeColony,
+    cnn: Cnn,
+    last_frame: Option<Frame>,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+}
+
+impl VisionApp {
+    /// Builds the application.
+    pub fn new(consumer: VisionConsumer, scale: ScaleFactor) -> Self {
+        let (name, secure_profile) = match consumer {
+            VisionConsumer::Abc => (
+                "<ABC, VISION>",
+                ProcessProfile::new("ABC", SecurityClass::Secure, 0.75, 1_200, 24),
+            ),
+            VisionConsumer::Cnn(CnnShape::AlexNetClass) => (
+                "<ALEXNET, VISION>",
+                ProcessProfile::new("ALEXNET", SecurityClass::Secure, 0.93, 350, 48),
+            ),
+            VisionConsumer::Cnn(CnnShape::SqueezeNetClass) => (
+                "<SQZ-NET, VISION>",
+                ProcessProfile::new("SQZ-NET", SecurityClass::Secure, 0.88, 500, 32),
+            ),
+        };
+        VisionApp {
+            consumer,
+            scale,
+            name,
+            pipeline: VisionPipeline::new(21, scale.frame_side(), 0x20_0000),
+            colony: BeeColony::new(22, 24, 8, 0x30_0000),
+            cnn: Cnn::new(
+                match consumer {
+                    VisionConsumer::Cnn(shape) => shape,
+                    VisionConsumer::Abc => CnnShape::SqueezeNetClass,
+                },
+                23,
+                0x40_0000,
+            ),
+            last_frame: None,
+            insecure_profile: ProcessProfile::new("VISION", SecurityClass::Insecure, 0.90, 300, 48),
+            secure_profile,
+        }
+    }
+
+    fn recorder(&self) -> AccessRecorder {
+        AccessRecorder::new(self.scale.sample_rate(), self.scale.trace_cap())
+    }
+}
+
+impl InteractiveApp for VisionApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn insecure_profile(&self) -> &ProcessProfile {
+        &self.insecure_profile
+    }
+    fn secure_profile(&self) -> &ProcessProfile {
+        &self.secure_profile
+    }
+    fn interactions(&self) -> usize {
+        self.scale.user_interactions()
+    }
+    fn interactivity_per_second(&self) -> f64 {
+        400.0
+    }
+
+    fn interaction(&mut self, _idx: usize) -> Interaction {
+        // Insecure: run the RAW pipeline to produce the next frame.
+        let mut rec = self.recorder();
+        let frame = self.pipeline.next_frame(&mut rec);
+        let insecure_touches = rec.total_touches();
+        let insecure = WorkUnit::new(insecure_touches * 70 + 300_000, rec.take());
+
+        // Secure: plan or perceive on that frame.
+        let mut rec = self.recorder();
+        let (secure_touches, cycles_per_touch) = match self.consumer {
+            VisionConsumer::Abc => {
+                for _ in 0..4 {
+                    self.colony.step(&frame, &mut rec);
+                }
+                (rec.total_touches(), 180)
+            }
+            VisionConsumer::Cnn(_) => {
+                let _ = self.cnn.forward(&frame, &mut rec);
+                (rec.total_touches(), 45)
+            }
+        };
+        let secure = WorkUnit::new(secure_touches * cycles_per_touch + 450_000, rec.take());
+        let ipc_bytes = (frame.pixels.len() * 4) as u64;
+        self.last_frame = Some(frame);
+        Interaction { insecure, secure, ipc_bytes }
+    }
+
+    fn reset(&mut self) {
+        self.pipeline = VisionPipeline::new(21, self.scale.frame_side(), 0x20_0000);
+        self.colony = BeeColony::new(22, 24, 8, 0x30_0000);
+        self.last_frame = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// <AES, QUERY>
+// ---------------------------------------------------------------------------
+
+/// The `<AES, QUERY>` interactive application.
+#[derive(Debug)]
+pub struct QueryAesApp {
+    scale: ScaleFactor,
+    generator: QueryGenerator,
+    aes: Aes256,
+    query_region: Region,
+    key_region: Region,
+    sbox_region: Region,
+    output_region: Region,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+}
+
+impl QueryAesApp {
+    /// Builds the application.
+    pub fn new(scale: ScaleFactor) -> Self {
+        let query_region = Region::new(0x50_0000, 64, 4096);
+        let key_region = Region::new(query_region.end(), 16, 15);
+        let sbox_region = Region::new(key_region.end(), 1, 256);
+        let output_region = Region::new(sbox_region.end() + 64, 64, 4096);
+        QueryAesApp {
+            scale,
+            generator: QueryGenerator::new(31, 4096, 256),
+            aes: Aes256::new(&[0x42u8; 32]),
+            query_region,
+            key_region,
+            sbox_region,
+            output_region,
+            insecure_profile: ProcessProfile::new("QUERY", SecurityClass::Insecure, 0.70, 400, 16),
+            secure_profile: ProcessProfile::new("AES", SecurityClass::Secure, 0.85, 600, 24),
+        }
+    }
+
+    fn recorder(&self) -> AccessRecorder {
+        AccessRecorder::new(self.scale.sample_rate(), self.scale.trace_cap())
+    }
+
+    fn batch(&self) -> usize {
+        match self.scale {
+            ScaleFactor::Smoke => 4,
+            ScaleFactor::Paper => 12,
+        }
+    }
+}
+
+impl InteractiveApp for QueryAesApp {
+    fn name(&self) -> &str {
+        "<AES, QUERY>"
+    }
+    fn insecure_profile(&self) -> &ProcessProfile {
+        &self.insecure_profile
+    }
+    fn secure_profile(&self) -> &ProcessProfile {
+        &self.secure_profile
+    }
+    fn interactions(&self) -> usize {
+        self.scale.user_interactions()
+    }
+    fn interactivity_per_second(&self) -> f64 {
+        400.0
+    }
+
+    fn interaction(&mut self, _idx: usize) -> Interaction {
+        // Insecure: generate a batch of queries and serialise them.
+        let mut rec = self.recorder();
+        let mut payloads = Vec::new();
+        for q in 0..self.batch() {
+            let query = self.generator.next_query();
+            for line in 0..(query.payload.len() / 64).max(1) {
+                rec.write(&self.query_region, (q * 8 + line) as u64);
+            }
+            payloads.push(query.payload);
+        }
+        let insecure_touches = rec.total_touches();
+        let insecure = WorkUnit::new(insecure_touches * 150 + 120_000, rec.take());
+
+        // Secure: encrypt every payload with AES-256, touching the key
+        // schedule and S-box heavily (the classic L1-resident hot set).
+        let mut rec = self.recorder();
+        let mut total_bytes = 0u64;
+        for (q, payload) in payloads.iter().enumerate() {
+            let _cipher = self.aes.encrypt(payload);
+            total_bytes += payload.len() as u64;
+            for block in 0..payload.len() / 16 {
+                for round in 0..15u64 {
+                    rec.read(&self.key_region, round);
+                    rec.read(&self.sbox_region, (block as u64 * 31 + round * 17) % 256);
+                }
+                rec.read(&self.query_region, (q * 8 + block / 4) as u64);
+                rec.write(&self.output_region, (q * 8 + block / 4) as u64);
+            }
+        }
+        // ~20 cycles per byte is representative of table-free software AES.
+        let secure = WorkUnit::new(total_bytes * 120 + 60_000, rec.take());
+        Interaction { insecure, secure, ipc_bytes: (self.batch() * 256) as u64 }
+    }
+
+    fn reset(&mut self) {
+        self.generator = QueryGenerator::new(31, 4096, 256);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// <MEMCACHED, OS> and <LIGHTTPD, OS>
+// ---------------------------------------------------------------------------
+
+/// The `<MEMCACHED, OS>` interactive application.
+#[derive(Debug)]
+pub struct MemcachedApp {
+    scale: ScaleFactor,
+    os: OsServiceProcess,
+    store: KvStore,
+    clients: MemtierGenerator,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+}
+
+impl MemcachedApp {
+    /// Builds the application.
+    pub fn new(scale: ScaleFactor) -> Self {
+        MemcachedApp {
+            scale,
+            os: OsServiceProcess::new(51, 0x60_0000),
+            store: KvStore::new(8192, 0x70_0000),
+            clients: MemtierGenerator::new(52, 64 * 1024, 0.9),
+            insecure_profile: ProcessProfile::new("OS", SecurityClass::Insecure, 0.60, 500, 16),
+            secure_profile: ProcessProfile::new("MEMCACHED", SecurityClass::Secure, 0.80, 800, 24),
+        }
+    }
+
+    fn recorder(&self) -> AccessRecorder {
+        AccessRecorder::new(self.scale.sample_rate(), self.scale.trace_cap())
+    }
+
+    fn requests_per_interaction(&self) -> usize {
+        match self.scale {
+            ScaleFactor::Smoke => 8,
+            ScaleFactor::Paper => 24,
+        }
+    }
+}
+
+impl InteractiveApp for MemcachedApp {
+    fn name(&self) -> &str {
+        "<MEMCACHED, OS>"
+    }
+    fn insecure_profile(&self) -> &ProcessProfile {
+        &self.insecure_profile
+    }
+    fn secure_profile(&self) -> &ProcessProfile {
+        &self.secure_profile
+    }
+    fn interactions(&self) -> usize {
+        self.scale.os_interactions()
+    }
+    fn interactivity_per_second(&self) -> f64 {
+        220_000.0
+    }
+
+    fn interaction(&mut self, _idx: usize) -> Interaction {
+        // Insecure: the OS services the socket reads/writes behind the batch.
+        let mut rec = self.recorder();
+        for _ in 0..self.requests_per_interaction() {
+            let call = self.os.pick_call();
+            self.os.service(call, 256, &mut rec);
+        }
+        let insecure_touches = rec.total_touches();
+        let insecure = WorkUnit::new(insecure_touches * 6 + 1_500, rec.take());
+
+        // Secure: the store executes the request batch.
+        let mut rec = self.recorder();
+        for _ in 0..self.requests_per_interaction() {
+            let (is_get, key, value) = self.clients.next_request();
+            if is_get {
+                let _ = self.store.get(key, &mut rec);
+            } else {
+                let _ = self.store.set(key, value, &mut rec);
+            }
+        }
+        let secure_touches = rec.total_touches();
+        let secure = WorkUnit::new(secure_touches * 8 + 2_000, rec.take());
+        Interaction { insecure, secure, ipc_bytes: (self.requests_per_interaction() * 128) as u64 }
+    }
+
+    fn reset(&mut self) {
+        self.os = OsServiceProcess::new(51, 0x60_0000);
+        self.store = KvStore::new(8192, 0x70_0000);
+        self.clients = MemtierGenerator::new(52, 64 * 1024, 0.9);
+    }
+}
+
+/// The `<LIGHTTPD, OS>` interactive application.
+#[derive(Debug)]
+pub struct LighttpdApp {
+    scale: ScaleFactor,
+    os: OsServiceProcess,
+    server: WebServer,
+    clients: HttpLoadGenerator,
+    insecure_profile: ProcessProfile,
+    secure_profile: ProcessProfile,
+}
+
+impl LighttpdApp {
+    /// Builds the application.
+    pub fn new(scale: ScaleFactor) -> Self {
+        LighttpdApp {
+            scale,
+            os: OsServiceProcess::new(61, 0x80_0000),
+            server: WebServer::new(2048, 20 * 1024, 0x90_0000),
+            clients: HttpLoadGenerator::new(62, 2048),
+            insecure_profile: ProcessProfile::new("OS", SecurityClass::Insecure, 0.65, 450, 24),
+            secure_profile: ProcessProfile::new("LIGHTTPD", SecurityClass::Secure, 0.30, 12_000, 2),
+        }
+    }
+
+    fn recorder(&self) -> AccessRecorder {
+        AccessRecorder::new(self.scale.sample_rate() * 2, self.scale.trace_cap())
+    }
+
+    fn pages_per_interaction(&self) -> usize {
+        match self.scale {
+            ScaleFactor::Smoke => 1,
+            ScaleFactor::Paper => 2,
+        }
+    }
+}
+
+impl InteractiveApp for LighttpdApp {
+    fn name(&self) -> &str {
+        "<LIGHTTPD, OS>"
+    }
+    fn insecure_profile(&self) -> &ProcessProfile {
+        &self.insecure_profile
+    }
+    fn secure_profile(&self) -> &ProcessProfile {
+        &self.secure_profile
+    }
+    fn interactions(&self) -> usize {
+        self.scale.os_interactions()
+    }
+    fn interactivity_per_second(&self) -> f64 {
+        220_000.0
+    }
+
+    fn interaction(&mut self, _idx: usize) -> Interaction {
+        // Insecure: the OS performs the fread/writev work for the connections.
+        let mut rec = self.recorder();
+        for _ in 0..(self.pages_per_interaction() * 4) {
+            let call = self.os.pick_call();
+            self.os.service(call, 1024, &mut rec);
+        }
+        let insecure_touches = rec.total_touches();
+        let insecure = WorkUnit::new(insecure_touches * 6 + 1_800, rec.take());
+
+        // Secure: serve the requested pages from the file-content cache.
+        let mut rec = self.recorder();
+        let mut bytes = 0usize;
+        for _ in 0..self.pages_per_interaction() {
+            let page = self.clients.next_page();
+            bytes += self.server.serve(page, &mut rec);
+        }
+        let secure_touches = rec.total_touches();
+        let secure = WorkUnit::new(secure_touches * 5 + 2_500, rec.take());
+        Interaction { insecure, secure, ipc_bytes: bytes as u64 / 8 }
+    }
+
+    fn reset(&mut self) {
+        self.os = OsServiceProcess::new(61, 0x80_0000);
+        self.server = WebServer::new(2048, 20 * 1024, 0x90_0000);
+        self.clients = HttpLoadGenerator::new(62, 2048);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_instantiate_and_generate_interactions() {
+        for id in AppId::ALL {
+            let mut app = id.instantiate(&ScaleFactor::Smoke);
+            assert_eq!(app.name(), id.label());
+            assert!(app.interactions() > 0);
+            let i0 = app.interaction(0);
+            assert!(
+                !i0.insecure.accesses.is_empty(),
+                "{}: the insecure process must touch memory",
+                id.label()
+            );
+            assert!(
+                !i0.secure.accesses.is_empty(),
+                "{}: the secure process must touch memory",
+                id.label()
+            );
+            assert!(i0.ipc_bytes > 0);
+            assert!(i0.secure.compute_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn user_and_os_split_matches_paper() {
+        assert_eq!(AppId::user_level().len(), 7);
+        assert_eq!(AppId::os_level().len(), 2);
+        assert!(AppId::MemcachedOs.is_os_level());
+        assert!(!AppId::QueryAes.is_os_level());
+    }
+
+    #[test]
+    fn os_apps_have_higher_interactivity_and_smaller_units() {
+        let mut user = AppId::QueryAes.instantiate(&ScaleFactor::Smoke);
+        let mut os = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+        assert!(os.interactivity_per_second() > user.interactivity_per_second() * 100.0);
+        let u = user.interaction(0);
+        let o = os.interaction(0);
+        assert!(
+            o.secure.compute_cycles < u.secure.compute_cycles,
+            "OS-interactive work per interaction must be smaller"
+        );
+    }
+
+    #[test]
+    fn secure_profiles_encode_scalability_differences() {
+        let tc = GraphApp::new(GraphAlgo::TriangleCount, ScaleFactor::Smoke);
+        let pr = GraphApp::new(GraphAlgo::PageRank, ScaleFactor::Smoke);
+        assert!(tc.secure_profile().max_useful_cores < pr.secure_profile().max_useful_cores);
+        assert!(tc.secure_profile().sync_cycles_per_core > pr.secure_profile().sync_cycles_per_core);
+        let httpd = LighttpdApp::new(ScaleFactor::Smoke);
+        assert!(httpd.secure_profile().max_useful_cores <= 4);
+    }
+
+    #[test]
+    fn reset_makes_interaction_streams_repeatable() {
+        for id in [AppId::QueryAes, AppId::MemcachedOs, AppId::SsspGraph] {
+            let mut app = id.instantiate(&ScaleFactor::Smoke);
+            let first: Vec<_> = (0..3).map(|i| app.interaction(i).secure.accesses.len()).collect();
+            app.reset();
+            let second: Vec<_> = (0..3).map(|i| app.interaction(i).secure.accesses.len()).collect();
+            assert_eq!(first, second, "{} must be repeatable after reset", id.label());
+        }
+    }
+
+    #[test]
+    fn aes_hot_set_is_rereferenced_across_interactions() {
+        let mut app = QueryAesApp::new(ScaleFactor::Smoke);
+        let a = app.interaction(0);
+        let b = app.interaction(1);
+        let keys_a: std::collections::HashSet<u64> = a
+            .secure
+            .accesses
+            .iter()
+            .filter(|r| !r.write)
+            .map(|r| r.vaddr)
+            .collect();
+        let reuse = b
+            .secure
+            .accesses
+            .iter()
+            .filter(|r| !r.write && keys_a.contains(&r.vaddr))
+            .count();
+        assert!(reuse > 0, "the AES key schedule must be re-referenced every interaction");
+    }
+
+    #[test]
+    fn paper_scale_is_larger_than_smoke() {
+        assert!(ScaleFactor::Paper.user_interactions() > ScaleFactor::Smoke.user_interactions());
+        assert!(ScaleFactor::Paper.trace_cap() > ScaleFactor::Smoke.trace_cap());
+    }
+}

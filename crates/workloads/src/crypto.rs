@@ -1,0 +1,290 @@
+//! Query-encryption workload: an AES-256 implementation (the secure process)
+//! and a YCSB-style query generator (the insecure process).
+//!
+//! The paper's `<AES, QUERY>` application periodically generates database
+//! queries (e.g. from an ATM front-end) and hands them to a secure enclave
+//! that encrypts them with a 256-bit key. The AES here is a complete,
+//! table-free byte-oriented AES-256 (key expansion + 14-round encryption)
+//! validated against the FIPS-197 test vector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// AES-256
+// ---------------------------------------------------------------------------
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// An expanded AES-256 key schedule (15 round keys of 16 bytes).
+#[derive(Debug, Clone)]
+pub struct Aes256 {
+    round_keys: [[u8; 16]; 15],
+}
+
+impl Aes256 {
+    /// Expands a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // 8 words of key, expanded to 60 words (15 round keys).
+        let mut w = [[0u8; 4]; 60];
+        for (i, chunk) in key.chunks(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 8..60 {
+            let mut temp = w[i - 1];
+            if i % 8 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 8 - 1];
+            } else if i % 8 == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 8][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 15];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes256 { round_keys }
+    }
+
+    /// The expanded round keys (exposed so the workload can declare them as a
+    /// hot memory region).
+    pub fn round_keys(&self) -> &[[u8; 16]; 15] {
+        &self.round_keys
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= *k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: state[4*c + r].
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            for r in 0..4 {
+                out[4 * c + r] = state[4 * ((c + r) % 4) + r];
+            }
+        }
+        *state = out;
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..14 {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[14]);
+        state
+    }
+
+    /// Encrypts a buffer in ECB fashion (zero-padded), returning the
+    /// ciphertext. The workload uses whole-block payloads so padding never
+    /// carries information.
+    pub fn encrypt(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len().div_ceil(16) * 16);
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            out.extend_from_slice(&self.encrypt_block(&block));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// YCSB-style query generator
+// ---------------------------------------------------------------------------
+
+/// The kind of query the generator produces (a simplified YCSB mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Point read of one record.
+    Read,
+    /// Update of one record.
+    Update,
+    /// Insert of a new record.
+    Insert,
+    /// Short range scan.
+    Scan,
+}
+
+/// One generated query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Query class.
+    pub kind: QueryKind,
+    /// Primary key the query addresses.
+    pub key: u64,
+    /// Serialised payload to be encrypted by the secure process.
+    pub payload: Vec<u8>,
+}
+
+/// A YCSB-style generator with a Zipfian-ish skewed key distribution.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    rng: StdRng,
+    records: u64,
+    payload_bytes: usize,
+}
+
+impl QueryGenerator {
+    /// Creates a generator over `records` records with `payload_bytes`-byte
+    /// payloads.
+    pub fn new(seed: u64, records: u64, payload_bytes: usize) -> Self {
+        QueryGenerator { rng: StdRng::seed_from_u64(seed), records: records.max(1), payload_bytes }
+    }
+
+    /// Generates the next query.
+    pub fn next_query(&mut self) -> Query {
+        let kind = match self.rng.gen_range(0..100) {
+            0..=49 => QueryKind::Read,
+            50..=79 => QueryKind::Update,
+            80..=89 => QueryKind::Insert,
+            _ => QueryKind::Scan,
+        };
+        // Skewed key popularity: square a uniform draw so low keys dominate.
+        let u: f64 = self.rng.gen();
+        let key = ((u * u) * self.records as f64) as u64 % self.records;
+        let payload: Vec<u8> = (0..self.payload_bytes).map(|_| self.rng.gen()).collect();
+        Query { kind, key, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_197_aes256_vector() {
+        // FIPS-197 Appendix C.3.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        let aes = Aes256::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+    }
+
+    #[test]
+    fn encryption_is_deterministic_and_block_padded() {
+        let aes = Aes256::new(&[7u8; 32]);
+        let a = aes.encrypt(b"hello world");
+        let b = aes.encrypt(b"hello world");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let c = aes.encrypt(&[0u8; 33]);
+        assert_eq!(c.len(), 48);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes256::new(&[1u8; 32]).encrypt_block(&[0u8; 16]);
+        let b = Aes256::new(&[2u8; 32]).encrypt_block(&[0u8; 16]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_schedule_has_15_round_keys() {
+        let aes = Aes256::new(&[0u8; 32]);
+        assert_eq!(aes.round_keys().len(), 15);
+    }
+
+    #[test]
+    fn query_generator_is_deterministic_per_seed() {
+        let mut a = QueryGenerator::new(42, 1000, 64);
+        let mut b = QueryGenerator::new(42, 1000, 64);
+        for _ in 0..50 {
+            let qa = a.next_query();
+            let qb = b.next_query();
+            assert_eq!(qa.kind, qb.kind);
+            assert_eq!(qa.key, qb.key);
+            assert_eq!(qa.payload, qb.payload);
+        }
+    }
+
+    #[test]
+    fn query_mix_contains_all_kinds_and_valid_keys() {
+        let mut g = QueryGenerator::new(7, 500, 32);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let q = g.next_query();
+            assert!(q.key < 500);
+            assert_eq!(q.payload.len(), 32);
+            kinds.insert(format!("{:?}", q.kind));
+        }
+        assert_eq!(kinds.len(), 4);
+    }
+}

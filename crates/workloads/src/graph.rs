@@ -1,0 +1,349 @@
+//! Real-time graph-processing workloads.
+//!
+//! The paper's first class of user-level interactive applications pairs an
+//! insecure temporal-graph update generator (GRAPH, modelled after a road
+//! network receiving sensor updates) with one of three secure graph analytics
+//! kernels from the CRONO suite: single-source shortest paths (SSSP),
+//! PageRank (PR) and triangle counting (TC). The California road network
+//! input of the paper is replaced by a synthetic grid-with-shortcuts road
+//! network of configurable size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::recorder::{AccessRecorder, Region};
+
+/// A compressed-sparse-row graph with edge weights.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an adjacency list.
+    pub fn from_adjacency(adj: &[Vec<(u32, u32)>]) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0);
+        for edges in adj {
+            for (t, w) in edges {
+                targets.push(*t);
+                weights.push(*w);
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets, weights }
+    }
+
+    /// Generates a synthetic road-network-like graph: an `side × side` grid
+    /// (roads to the four neighbours) plus a few random long-distance
+    /// shortcuts (highways), with small integer weights.
+    pub fn road_network(side: usize, seed: u64) -> Self {
+        let n = side * side;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj = vec![Vec::new(); n];
+        let idx = |x: usize, y: usize| y * side + x;
+        for y in 0..side {
+            for x in 0..side {
+                let v = idx(x, y);
+                if x + 1 < side {
+                    let w = rng.gen_range(1..10);
+                    adj[v].push((idx(x + 1, y) as u32, w));
+                    adj[idx(x + 1, y)].push((v as u32, w));
+                }
+                if y + 1 < side {
+                    let w = rng.gen_range(1..10);
+                    adj[v].push((idx(x, y + 1) as u32, w));
+                    adj[idx(x, y + 1)].push((v as u32, w));
+                }
+            }
+        }
+        // Shortcuts: ~2% of nodes get a long-range edge.
+        for _ in 0..(n / 50).max(1) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let w = rng.gen_range(1..5);
+                adj[a].push((b as u32, w));
+                adj[b].push((a as u32, w));
+            }
+        }
+        CsrGraph::from_adjacency(&adj)
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbours (target, weight) of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let range = self.offsets[v]..self.offsets[v + 1];
+        range.map(move |i| (self.targets[i], self.weights[i]))
+    }
+
+    /// Applies a temporal weight update to edge index `e`.
+    pub fn update_weight(&mut self, e: usize, weight: u32) {
+        let len = self.weights.len();
+        self.weights[e % len] = weight;
+    }
+}
+
+/// Memory-region layout shared by the graph kernels so the recorder can
+/// attribute touches to the CSR arrays and per-vertex state.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphRegions {
+    /// CSR offsets array.
+    pub offsets: Region,
+    /// CSR targets array.
+    pub targets: Region,
+    /// CSR weights array.
+    pub weights: Region,
+    /// Per-vertex state (distances, ranks, counts).
+    pub state: Region,
+    /// Second per-vertex state array (next ranks / visited flags).
+    pub state2: Region,
+}
+
+impl GraphRegions {
+    /// Lays the graph's arrays out contiguously starting at `base`.
+    pub fn layout(graph: &CsrGraph, base: u64) -> Self {
+        let offsets = Region::new(base, 8, graph.vertices() as u64 + 1);
+        let targets = Region::new(offsets.end(), 4, graph.edges() as u64);
+        let weights = Region::new(targets.end(), 4, graph.edges() as u64);
+        let state = Region::new(weights.end(), 8, graph.vertices() as u64);
+        let state2 = Region::new(state.end(), 8, graph.vertices() as u64);
+        GraphRegions { offsets, targets, weights, state, state2 }
+    }
+}
+
+/// The insecure GRAPH process: generates temporal weight updates from
+/// simulated road sensors and applies them to the shared static graph.
+#[derive(Debug, Clone)]
+pub struct TemporalUpdateGenerator {
+    rng: StdRng,
+    updates_per_batch: usize,
+}
+
+impl TemporalUpdateGenerator {
+    /// Creates a generator emitting `updates_per_batch` weight updates per
+    /// interaction.
+    pub fn new(seed: u64, updates_per_batch: usize) -> Self {
+        TemporalUpdateGenerator { rng: StdRng::seed_from_u64(seed), updates_per_batch }
+    }
+
+    /// Applies one batch of sensor updates to `graph`, recording the touches.
+    pub fn apply_batch(
+        &mut self,
+        graph: &mut CsrGraph,
+        regions: &GraphRegions,
+        rec: &mut AccessRecorder,
+    ) -> usize {
+        for _ in 0..self.updates_per_batch {
+            let e = self.rng.gen_range(0..graph.edges());
+            let w = self.rng.gen_range(1..12);
+            rec.read(&regions.offsets, (e % graph.vertices()) as u64);
+            rec.write(&regions.weights, e as u64);
+            graph.update_weight(e, w);
+        }
+        self.updates_per_batch
+    }
+}
+
+/// Single-source shortest paths via Bellman-Ford-style relaxation rounds
+/// (bounded, as in delta-stepping's light-edge phases).
+pub fn sssp(
+    graph: &CsrGraph,
+    source: usize,
+    max_rounds: usize,
+    regions: &GraphRegions,
+    rec: &mut AccessRecorder,
+) -> Vec<u64> {
+    let n = graph.vertices();
+    let mut dist = vec![u64::MAX; n];
+    dist[source] = 0;
+    rec.write(&regions.state, source as u64);
+    let mut frontier = vec![source];
+    for _ in 0..max_rounds {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for &v in &frontier {
+            rec.read(&regions.offsets, v as u64);
+            rec.read(&regions.state, v as u64);
+            for (t, w) in graph.neighbors(v) {
+                rec.read(&regions.targets, t as u64);
+                rec.read(&regions.weights, t as u64);
+                let cand = dist[v].saturating_add(w as u64);
+                if cand < dist[t as usize] {
+                    dist[t as usize] = cand;
+                    rec.write(&regions.state, t as u64);
+                    next.push(t as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// One PageRank power-iteration sweep; returns the updated ranks.
+pub fn pagerank_iteration(
+    graph: &CsrGraph,
+    ranks: &[f64],
+    damping: f64,
+    regions: &GraphRegions,
+    rec: &mut AccessRecorder,
+) -> Vec<f64> {
+    let n = graph.vertices();
+    let mut next = vec![(1.0 - damping) / n as f64; n];
+    for v in 0..n {
+        rec.read(&regions.offsets, v as u64);
+        rec.read(&regions.state, v as u64);
+        let degree = graph.neighbors(v).count().max(1);
+        let share = damping * ranks[v] / degree as f64;
+        for (t, _) in graph.neighbors(v) {
+            rec.read(&regions.targets, t as u64);
+            next[t as usize] += share;
+            rec.write(&regions.state2, t as u64);
+        }
+    }
+    next
+}
+
+/// Counts triangles incident on the vertex range `[from, to)` (a partition of
+/// one full counting pass, so each interaction advances through the graph).
+pub fn triangle_count_range(
+    graph: &CsrGraph,
+    from: usize,
+    to: usize,
+    regions: &GraphRegions,
+    rec: &mut AccessRecorder,
+) -> u64 {
+    let n = graph.vertices();
+    let mut count = 0u64;
+    for v in from..to.min(n) {
+        rec.read(&regions.offsets, v as u64);
+        let neigh_v: Vec<u32> = graph.neighbors(v).map(|(t, _)| t).filter(|t| *t as usize > v).collect();
+        for &u in &neigh_v {
+            rec.read(&regions.targets, u as u64);
+            for (w, _) in graph.neighbors(u as usize) {
+                rec.read(&regions.targets, w as u64);
+                if (w as usize) > u as usize && neigh_v.contains(&w) {
+                    rec.read(&regions.state, w as u64);
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> CsrGraph {
+        // 0 - 1 - 2 triangle plus a pendant vertex 3.
+        CsrGraph::from_adjacency(&[
+            vec![(1, 1), (2, 4)],
+            vec![(0, 1), (2, 1), (3, 7)],
+            vec![(0, 4), (1, 1)],
+            vec![(1, 7)],
+        ])
+    }
+
+    #[test]
+    fn csr_construction() {
+        let g = tiny_graph();
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 8);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn road_network_is_connected_grid() {
+        let g = CsrGraph::road_network(8, 1);
+        assert_eq!(g.vertices(), 64);
+        // Every vertex in a grid has at least two incident edges.
+        for v in 0..g.vertices() {
+            assert!(g.neighbors(v).count() >= 2, "vertex {v} is underconnected");
+        }
+        // Deterministic for a fixed seed.
+        let g2 = CsrGraph::road_network(8, 1);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn sssp_finds_shortest_paths() {
+        let g = tiny_graph();
+        let regions = GraphRegions::layout(&g, 0);
+        let mut rec = AccessRecorder::unsampled();
+        let dist = sssp(&g, 0, 16, &regions, &mut rec);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], 2, "path 0-1-2 beats the direct weight-4 edge");
+        assert_eq!(dist[3], 8);
+        assert!(rec.recorded() > 0);
+    }
+
+    #[test]
+    fn pagerank_conserves_mass_and_converges() {
+        let g = CsrGraph::road_network(6, 3);
+        let regions = GraphRegions::layout(&g, 0);
+        let mut rec = AccessRecorder::unsampled();
+        let n = g.vertices();
+        let mut ranks = vec![1.0 / n as f64; n];
+        for _ in 0..20 {
+            ranks = pagerank_iteration(&g, &ranks, 0.85, &regions, &mut rec);
+        }
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "rank mass must be conserved, got {sum}");
+        assert!(ranks.iter().all(|r| *r > 0.0));
+    }
+
+    #[test]
+    fn triangle_count_matches_known_graph() {
+        let g = tiny_graph();
+        let regions = GraphRegions::layout(&g, 0);
+        let mut rec = AccessRecorder::unsampled();
+        let count = triangle_count_range(&g, 0, 4, &regions, &mut rec);
+        assert_eq!(count, 1, "the 0-1-2 triangle is the only one");
+    }
+
+    #[test]
+    fn temporal_updates_change_weights_deterministically() {
+        let mut g1 = CsrGraph::road_network(6, 9);
+        let mut g2 = CsrGraph::road_network(6, 9);
+        let regions = GraphRegions::layout(&g1, 0);
+        let mut gen1 = TemporalUpdateGenerator::new(5, 32);
+        let mut gen2 = TemporalUpdateGenerator::new(5, 32);
+        let mut rec = AccessRecorder::unsampled();
+        gen1.apply_batch(&mut g1, &regions, &mut rec);
+        gen2.apply_batch(&mut g2, &regions, &mut AccessRecorder::unsampled());
+        for e in 0..g1.edges() {
+            assert_eq!(g1.weights[e], g2.weights[e]);
+        }
+        assert!(rec.recorded() > 0);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let g = CsrGraph::road_network(8, 0);
+        let r = GraphRegions::layout(&g, 0x1000);
+        assert!(r.offsets.end() <= r.targets.base());
+        assert!(r.targets.end() <= r.weights.base());
+        assert!(r.weights.end() <= r.state.base());
+        assert!(r.state.end() <= r.state2.base());
+    }
+}

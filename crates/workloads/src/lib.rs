@@ -1,0 +1,47 @@
+//! # ironhide-workloads
+//!
+//! Models of the interactive applications the paper evaluates (Section IV-B),
+//! built from real Rust implementations of the underlying kernels.
+//!
+//! Each application pairs an insecure producer process with a secure consumer
+//! process:
+//!
+//! | Application | Insecure process | Secure process |
+//! |---|---|---|
+//! | `<SSSP, GRAPH>` | temporal road-network update generator | single-source shortest paths |
+//! | `<PR, GRAPH>` | temporal road-network update generator | PageRank |
+//! | `<TC, GRAPH>` | temporal road-network update generator | triangle counting |
+//! | `<ABC, VISION>` | RAW-image vision pipeline | artificial-bee-colony mission planner |
+//! | `<ALEXNET, VISION>` | RAW-image vision pipeline | AlexNet-class CNN inference |
+//! | `<SQZ-NET, VISION>` | RAW-image vision pipeline | SqueezeNet-class CNN inference |
+//! | `<AES, QUERY>` | YCSB-style query generator | AES-256 query encryption |
+//! | `<MEMCACHED, OS>` | untrusted OS service process | memcached-class key-value store |
+//! | `<LIGHTTPD, OS>` | untrusted OS service process | lighttpd-class static web server |
+//!
+//! The kernels (delta-stepping SSSP, PageRank, triangle counting, the image
+//! pipeline, the bee-colony optimiser, the CNN forward passes, AES-256, the
+//! hash-table store and the static file server) are genuinely executed on
+//! synthetic inputs; an [`recorder::AccessRecorder`] turns their data-structure
+//! touches into the bounded per-interaction address traces that drive the
+//! timing simulator. The paper's proprietary inputs (the California road
+//! network, ImageNet images, production memcached/lighttpd traffic) are
+//! replaced by synthetic generators sized to preserve the qualitative
+//! working-set and interactivity behaviour; see `DESIGN.md` for the
+//! substitution table.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod crypto;
+pub mod graph;
+pub mod recorder;
+pub mod services;
+pub mod vision;
+
+pub use app::{AppId, ScaleFactor};
+pub use recorder::{AccessRecorder, Region};
+
+// Re-export the trait and supporting types so downstream users can name them
+// through one crate.
+pub use ironhide_core::app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};

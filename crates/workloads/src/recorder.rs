@@ -1,0 +1,189 @@
+//! Turning kernel executions into bounded address traces.
+//!
+//! The workload kernels operate on ordinary Rust data structures. To drive
+//! the timing simulator they declare each important data structure as a
+//! [`Region`] of the process's virtual address space and report element
+//! touches to an [`AccessRecorder`], which converts them into [`MemRef`]s.
+//! Because real kernels can touch millions of elements per input, the
+//! recorder *samples* touches (keeping every `1/sample_rate`-th reference)
+//! so each interaction contributes a bounded, representative trace.
+
+use ironhide_core::app::MemRef;
+
+/// A named span of the owning process's virtual address space backing one
+/// data structure (an array, a hash table, an image plane, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    elem_bytes: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Creates a region of `len` elements of `elem_bytes` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_bytes` is zero.
+    pub fn new(base: u64, elem_bytes: u64, len: u64) -> Self {
+        assert!(elem_bytes > 0, "elements must have a non-zero size");
+        Region { base, elem_bytes, len }
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the region in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.elem_bytes * self.len
+    }
+
+    /// Virtual address of element `index` (indices wrap so synthetic kernels
+    /// can address freely).
+    pub fn addr_of(&self, index: u64) -> u64 {
+        let idx = if self.len == 0 { 0 } else { index % self.len };
+        self.base + idx * self.elem_bytes
+    }
+
+    /// The first address after the region; useful for laying out the next
+    /// region with headroom.
+    pub fn end(&self) -> u64 {
+        self.base + self.size_bytes()
+    }
+}
+
+/// Collects sampled memory references for one work unit.
+#[derive(Debug, Clone)]
+pub struct AccessRecorder {
+    refs: Vec<MemRef>,
+    sample_rate: u64,
+    counter: u64,
+    total_touches: u64,
+    cap: usize,
+}
+
+impl AccessRecorder {
+    /// Creates a recorder that keeps one in `sample_rate` touches and at most
+    /// `cap` references per work unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero.
+    pub fn new(sample_rate: u64, cap: usize) -> Self {
+        assert!(sample_rate > 0, "sample rate must be at least 1");
+        AccessRecorder { refs: Vec::new(), sample_rate, counter: 0, total_touches: 0, cap }
+    }
+
+    /// A recorder that keeps everything (used in unit tests).
+    pub fn unsampled() -> Self {
+        AccessRecorder::new(1, usize::MAX)
+    }
+
+    /// Total touches reported (before sampling).
+    pub fn total_touches(&self) -> u64 {
+        self.total_touches
+    }
+
+    /// Number of references kept so far.
+    pub fn recorded(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Records a read of element `index` of `region`.
+    pub fn read(&mut self, region: &Region, index: u64) {
+        self.touch(region, index, false);
+    }
+
+    /// Records a write to element `index` of `region`.
+    pub fn write(&mut self, region: &Region, index: u64) {
+        self.touch(region, index, true);
+    }
+
+    fn touch(&mut self, region: &Region, index: u64, write: bool) {
+        self.total_touches += 1;
+        self.counter += 1;
+        if self.counter % self.sample_rate != 0 || self.refs.len() >= self.cap {
+            return;
+        }
+        self.refs.push(MemRef { vaddr: region.addr_of(index), write });
+    }
+
+    /// Finishes the work unit, returning the sampled references and resetting
+    /// the recorder for the next unit.
+    pub fn take(&mut self) -> Vec<MemRef> {
+        self.total_touches = 0;
+        self.counter = 0;
+        std::mem::take(&mut self.refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_addressing() {
+        let r = Region::new(0x1000, 8, 100);
+        assert_eq!(r.addr_of(0), 0x1000);
+        assert_eq!(r.addr_of(1), 0x1008);
+        assert_eq!(r.addr_of(100), 0x1000, "indices wrap");
+        assert_eq!(r.size_bytes(), 800);
+        assert_eq!(r.end(), 0x1000 + 800);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn recorder_keeps_everything_when_unsampled() {
+        let region = Region::new(0, 4, 16);
+        let mut rec = AccessRecorder::unsampled();
+        for i in 0..10 {
+            rec.read(&region, i);
+        }
+        rec.write(&region, 3);
+        assert_eq!(rec.recorded(), 11);
+        assert_eq!(rec.total_touches(), 11);
+        let refs = rec.take();
+        assert_eq!(refs.len(), 11);
+        assert!(refs[10].write);
+        assert_eq!(rec.recorded(), 0);
+    }
+
+    #[test]
+    fn sampling_reduces_trace_size() {
+        let region = Region::new(0, 64, 1000);
+        let mut rec = AccessRecorder::new(10, usize::MAX);
+        for i in 0..1000 {
+            rec.read(&region, i);
+        }
+        assert_eq!(rec.total_touches(), 1000);
+        assert_eq!(rec.recorded(), 100);
+    }
+
+    #[test]
+    fn cap_bounds_the_trace() {
+        let region = Region::new(0, 64, 1000);
+        let mut rec = AccessRecorder::new(1, 50);
+        for i in 0..1000 {
+            rec.write(&region, i);
+        }
+        assert_eq!(rec.recorded(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_sample_rate_rejected() {
+        AccessRecorder::new(0, 10);
+    }
+}

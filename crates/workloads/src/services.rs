@@ -1,0 +1,367 @@
+//! OS-level interactive services: a memcached-class key-value store, a
+//! lighttpd-class static web server, and the untrusted OS process that
+//! services their system calls.
+//!
+//! These applications interact with the OS at very high rates (the paper
+//! measures ~220 K secure-process entry/exit events per second, matching
+//! HotCalls), which is what makes them so sensitive to per-interaction
+//! enclave costs. The store and the server are real data structures (an
+//! open-addressing hash table; a file-content cache keyed by URL) driven by
+//! memtier-/http_load-style request generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::recorder::{AccessRecorder, Region};
+
+// ---------------------------------------------------------------------------
+// Key-value store (MEMCACHED-class, secure)
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity open-addressing hash table standing in for memcached's
+/// slab-allocated item store.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    keys: Vec<Option<u64>>,
+    values: Vec<u64>,
+    capacity: usize,
+    table_region: Region,
+    value_region: Region,
+    hits: u64,
+    misses: u64,
+}
+
+/// The result of one key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOutcome {
+    /// GET found the key.
+    Hit,
+    /// GET did not find the key.
+    Miss,
+    /// SET stored or updated the key.
+    Stored,
+}
+
+impl KvStore {
+    /// Creates a store with `capacity` slots, laid out at `base`.
+    pub fn new(capacity: usize, base: u64) -> Self {
+        let capacity = capacity.next_power_of_two();
+        let table_region = Region::new(base, 16, capacity as u64);
+        let value_region = Region::new(table_region.end(), 64, capacity as u64);
+        KvStore {
+            keys: vec![None; capacity],
+            values: vec![0; capacity],
+            capacity,
+            table_region,
+            value_region,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize & (self.capacity - 1)
+    }
+
+    /// GET: probes the table, recording every probe.
+    pub fn get(&mut self, key: u64, rec: &mut AccessRecorder) -> KvOutcome {
+        let mut slot = self.slot_of(key);
+        for _ in 0..self.capacity {
+            rec.read(&self.table_region, slot as u64);
+            match self.keys[slot] {
+                Some(k) if k == key => {
+                    rec.read(&self.value_region, slot as u64);
+                    self.hits += 1;
+                    return KvOutcome::Hit;
+                }
+                None => {
+                    self.misses += 1;
+                    return KvOutcome::Miss;
+                }
+                _ => slot = (slot + 1) & (self.capacity - 1),
+            }
+        }
+        self.misses += 1;
+        KvOutcome::Miss
+    }
+
+    /// SET: inserts or updates, evicting by overwriting the probe chain's end
+    /// when full (memcached would LRU-evict within a slab class).
+    pub fn set(&mut self, key: u64, value: u64, rec: &mut AccessRecorder) -> KvOutcome {
+        let mut slot = self.slot_of(key);
+        for _ in 0..self.capacity {
+            rec.read(&self.table_region, slot as u64);
+            match self.keys[slot] {
+                Some(k) if k == key => break,
+                None => break,
+                _ => slot = (slot + 1) & (self.capacity - 1),
+            }
+        }
+        self.keys[slot] = Some(key);
+        self.values[slot] = value;
+        rec.write(&self.table_region, slot as u64);
+        rec.write(&self.value_region, slot as u64);
+        KvOutcome::Stored
+    }
+
+    /// GET hit rate observed so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memtier-style request generator: a configurable GET/SET mix over a
+/// skewed key distribution.
+#[derive(Debug, Clone)]
+pub struct MemtierGenerator {
+    rng: StdRng,
+    keyspace: u64,
+    get_ratio: f64,
+}
+
+impl MemtierGenerator {
+    /// Creates a generator over `keyspace` keys with the given GET ratio.
+    pub fn new(seed: u64, keyspace: u64, get_ratio: f64) -> Self {
+        MemtierGenerator { rng: StdRng::seed_from_u64(seed), keyspace: keyspace.max(1), get_ratio }
+    }
+
+    /// Produces the next `(is_get, key, value)` request.
+    pub fn next_request(&mut self) -> (bool, u64, u64) {
+        let is_get = self.rng.gen::<f64>() < self.get_ratio;
+        let u: f64 = self.rng.gen();
+        let key = ((u * u) * self.keyspace as f64) as u64 % self.keyspace;
+        (is_get, key, self.rng.gen())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static web server (LIGHTTPD-class, secure)
+// ---------------------------------------------------------------------------
+
+/// A lighttpd-class static file server: parses a request path, looks the file
+/// up in a page cache, and streams it out in chunks.
+#[derive(Debug, Clone)]
+pub struct WebServer {
+    pages: usize,
+    page_bytes: usize,
+    cache_region: Region,
+    metadata_region: Region,
+    requests: u64,
+}
+
+impl WebServer {
+    /// Creates a server hosting `pages` pages of `page_bytes` bytes, laid out
+    /// at `base`.
+    pub fn new(pages: usize, page_bytes: usize, base: u64) -> Self {
+        let metadata_region = Region::new(base, 64, pages as u64);
+        let cache_region = Region::new(metadata_region.end(), 64, (pages * page_bytes / 64) as u64);
+        WebServer { pages, page_bytes, cache_region, metadata_region, requests: 0 }
+    }
+
+    /// Serves one request for page `page_id`, returning the bytes sent.
+    pub fn serve(&mut self, page_id: u64, rec: &mut AccessRecorder) -> usize {
+        self.requests += 1;
+        let page = (page_id % self.pages as u64) as usize;
+        // Request parsing + metadata lookup (stat, mime type, headers).
+        rec.read(&self.metadata_region, page as u64);
+        rec.write(&self.metadata_region, page as u64);
+        // Stream the file content cache in 64-byte lines (sampled upstream).
+        let lines = self.page_bytes / 64;
+        let base_line = page * lines;
+        for l in 0..lines {
+            rec.read(&self.cache_region, (base_line + l) as u64);
+        }
+        self.page_bytes
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+/// An http_load-style client: random page popularity with a heavy tail.
+#[derive(Debug, Clone)]
+pub struct HttpLoadGenerator {
+    rng: StdRng,
+    pages: u64,
+}
+
+impl HttpLoadGenerator {
+    /// Creates a client requesting from `pages` distinct pages.
+    pub fn new(seed: u64, pages: u64) -> Self {
+        HttpLoadGenerator { rng: StdRng::seed_from_u64(seed), pages: pages.max(1) }
+    }
+
+    /// Picks the next page to request.
+    pub fn next_page(&mut self) -> u64 {
+        // lighttpd's request stream in the paper shows little locality, so
+        // draw uniformly rather than with a skew.
+        self.rng.gen_range(0..self.pages)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The untrusted OS process (insecure)
+// ---------------------------------------------------------------------------
+
+/// The system calls the OS process services for the OS-interactive
+/// applications (the set highlighted by HotCalls and the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syscall {
+    /// Read from a file or socket.
+    Fread,
+    /// File-descriptor control.
+    Fcntl,
+    /// Close a descriptor.
+    Close,
+    /// Vectored write to a socket.
+    Writev,
+}
+
+/// The untrusted OS service process: maintains descriptor tables and socket
+/// buffers and performs the requested call.
+#[derive(Debug, Clone)]
+pub struct OsServiceProcess {
+    rng: StdRng,
+    fd_table: Region,
+    socket_buffers: Region,
+    page_cache: Region,
+    calls: u64,
+}
+
+impl OsServiceProcess {
+    /// Creates the OS process with its tables laid out at `base`.
+    pub fn new(seed: u64, base: u64) -> Self {
+        let fd_table = Region::new(base, 64, 1024);
+        let socket_buffers = Region::new(fd_table.end(), 64, 4096);
+        let page_cache = Region::new(socket_buffers.end(), 64, 16 * 1024);
+        OsServiceProcess { rng: StdRng::seed_from_u64(seed), fd_table, socket_buffers, page_cache, calls: 0 }
+    }
+
+    /// Services one system call of `bytes` bytes, recording its touches.
+    pub fn service(&mut self, call: Syscall, bytes: usize, rec: &mut AccessRecorder) {
+        self.calls += 1;
+        let fd = self.rng.gen_range(0..self.fd_table.len());
+        rec.read(&self.fd_table, fd);
+        rec.write(&self.fd_table, fd);
+        let lines = (bytes / 64).max(1) as u64;
+        match call {
+            Syscall::Fread => {
+                let start = self.rng.gen_range(0..self.page_cache.len());
+                for l in 0..lines {
+                    rec.read(&self.page_cache, start + l);
+                    rec.write(&self.socket_buffers, (start + l) % self.socket_buffers.len());
+                }
+            }
+            Syscall::Fcntl => {
+                rec.read(&self.fd_table, fd);
+            }
+            Syscall::Close => {
+                rec.write(&self.fd_table, fd);
+            }
+            Syscall::Writev => {
+                let start = self.rng.gen_range(0..self.socket_buffers.len());
+                for l in 0..lines {
+                    rec.read(&self.socket_buffers, start + l);
+                }
+            }
+        }
+    }
+
+    /// Calls serviced so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Picks a call type with a distribution resembling the paper's request
+    /// mix (reads and vectored writes dominate).
+    pub fn pick_call(&mut self) -> Syscall {
+        match self.rng.gen_range(0..100) {
+            0..=44 => Syscall::Fread,
+            45..=54 => Syscall::Fcntl,
+            55..=64 => Syscall::Close,
+            _ => Syscall::Writev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_store_get_set_roundtrip() {
+        let mut store = KvStore::new(1024, 0);
+        let mut rec = AccessRecorder::unsampled();
+        assert_eq!(store.get(42, &mut rec), KvOutcome::Miss);
+        assert_eq!(store.set(42, 7, &mut rec), KvOutcome::Stored);
+        assert_eq!(store.get(42, &mut rec), KvOutcome::Hit);
+        assert!(store.hit_rate() > 0.0);
+        assert!(rec.recorded() >= 4);
+    }
+
+    #[test]
+    fn kv_store_handles_collisions() {
+        let mut store = KvStore::new(16, 0);
+        let mut rec = AccessRecorder::unsampled();
+        for k in 0..12u64 {
+            store.set(k, k * 10, &mut rec);
+        }
+        for k in 0..12u64 {
+            assert_eq!(store.get(k, &mut rec), KvOutcome::Hit, "key {k} must survive collisions");
+        }
+    }
+
+    #[test]
+    fn memtier_mix_respects_get_ratio() {
+        let mut gen = MemtierGenerator::new(3, 10_000, 0.9);
+        let gets = (0..1000).filter(|_| gen.next_request().0).count();
+        assert!((850..=950).contains(&gets), "got {gets} GETs out of 1000");
+    }
+
+    #[test]
+    fn web_server_serves_full_pages() {
+        let mut server = WebServer::new(128, 20 * 1024, 0);
+        let mut rec = AccessRecorder::unsampled();
+        let sent = server.serve(5, &mut rec);
+        assert_eq!(sent, 20 * 1024);
+        assert_eq!(server.requests(), 1);
+        // 20 KB page = 320 cache lines + metadata touches.
+        assert!(rec.recorded() >= 320);
+    }
+
+    #[test]
+    fn http_load_generates_in_range_pages() {
+        let mut client = HttpLoadGenerator::new(1, 100);
+        for _ in 0..200 {
+            assert!(client.next_page() < 100);
+        }
+    }
+
+    #[test]
+    fn os_process_services_all_call_types() {
+        let mut os = OsServiceProcess::new(2, 0);
+        let mut rec = AccessRecorder::unsampled();
+        for call in [Syscall::Fread, Syscall::Fcntl, Syscall::Close, Syscall::Writev] {
+            os.service(call, 512, &mut rec);
+        }
+        assert_eq!(os.calls(), 4);
+        assert!(rec.recorded() > 8);
+    }
+
+    #[test]
+    fn os_call_mix_covers_all_kinds() {
+        let mut os = OsServiceProcess::new(7, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(format!("{:?}", os.pick_call()));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

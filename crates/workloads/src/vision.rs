@@ -1,0 +1,380 @@
+//! Perception and mission-planning workloads.
+//!
+//! The paper's second class of user-level interactive applications pairs an
+//! insecure VISION pipeline (RAW image processing) with one of three secure
+//! consumers: the ABC (artificial bee colony) mission planner and two CNN
+//! perception networks (AlexNet- and SqueezeNet-class). ImageNet inputs and
+//! the real network weights are unavailable offline, so the pipeline runs on
+//! synthetic RAW frames and the networks are scaled-down but structurally
+//! faithful forward passes (convolution, ReLU, pooling, fully-connected /
+//! fire-module squeeze-expand layers) over real floating-point arithmetic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::recorder::{AccessRecorder, Region};
+
+// ---------------------------------------------------------------------------
+// The insecure VISION pipeline
+// ---------------------------------------------------------------------------
+
+/// A square grayscale frame produced by the vision pipeline.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame side length in pixels.
+    pub side: usize,
+    /// Pixel values in `[0, 1]`.
+    pub pixels: Vec<f32>,
+}
+
+/// The insecure RAW-image processing pipeline: synthesize a RAW frame,
+/// demosaic (box average), denoise (3×3 blur) and normalise.
+#[derive(Debug, Clone)]
+pub struct VisionPipeline {
+    rng: StdRng,
+    side: usize,
+    raw: Region,
+    work: Region,
+}
+
+impl VisionPipeline {
+    /// Creates a pipeline producing `side × side` frames, with its buffers
+    /// laid out starting at `base`.
+    pub fn new(seed: u64, side: usize, base: u64) -> Self {
+        let raw = Region::new(base, 4, (side * side) as u64);
+        let work = Region::new(raw.end(), 4, (side * side) as u64);
+        VisionPipeline { rng: StdRng::seed_from_u64(seed), side, raw, work }
+    }
+
+    /// Processes one RAW frame and returns the cleaned-up result.
+    pub fn next_frame(&mut self, rec: &mut AccessRecorder) -> Frame {
+        let n = self.side * self.side;
+        // Capture: synthetic RAW sensor data with a moving gradient + noise.
+        let phase: f32 = self.rng.gen();
+        let mut raw = vec![0f32; n];
+        for (i, value) in raw.iter_mut().enumerate() {
+            let x = (i % self.side) as f32 / self.side as f32;
+            let y = (i / self.side) as f32 / self.side as f32;
+            let noise: f32 = self.rng.gen::<f32>() * 0.1;
+            *value = ((x + y + phase) * std::f32::consts::PI).sin().abs() * 0.9 + noise;
+            rec.write(&self.raw, i as u64);
+        }
+        // Denoise: 3×3 box blur.
+        let mut out = vec![0f32; n];
+        for y in 0..self.side {
+            for x in 0..self.side {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let nx = x as i64 + dx;
+                        let ny = y as i64 + dy;
+                        if nx >= 0 && ny >= 0 && (nx as usize) < self.side && (ny as usize) < self.side
+                        {
+                            let idx = ny as usize * self.side + nx as usize;
+                            rec.read(&self.raw, idx as u64);
+                            acc += raw[idx];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                let idx = y * self.side + x;
+                out[idx] = (acc / cnt).clamp(0.0, 1.0);
+                rec.write(&self.work, idx as u64);
+            }
+        }
+        Frame { side: self.side, pixels: out }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ABC mission planner (secure)
+// ---------------------------------------------------------------------------
+
+/// A self-adaptive artificial-bee-colony optimiser searching for a low-cost
+/// waypoint placement given the obstacle density extracted from a frame.
+#[derive(Debug, Clone)]
+pub struct BeeColony {
+    rng: StdRng,
+    food_sources: Vec<Vec<f64>>,
+    fitness: Vec<f64>,
+    trials: Vec<u32>,
+    limit: u32,
+    sources: Region,
+    scratch: Region,
+}
+
+impl BeeColony {
+    /// Creates a colony of `colony_size` food sources over a `dims`-dimensional
+    /// search space, with state laid out at `base`.
+    pub fn new(seed: u64, colony_size: usize, dims: usize, base: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let food_sources: Vec<Vec<f64>> =
+            (0..colony_size).map(|_| (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let sources = Region::new(base, 8, (colony_size * dims) as u64);
+        let scratch = Region::new(sources.end(), 8, colony_size as u64);
+        BeeColony {
+            rng,
+            fitness: vec![f64::INFINITY; colony_size],
+            trials: vec![0; colony_size],
+            limit: 10,
+            food_sources,
+            sources,
+            scratch,
+        }
+    }
+
+    /// Objective: waypoints should avoid dense regions of the frame while
+    /// staying short (a weighted Rastrigin-like surface modulated by the
+    /// frame's mean intensity).
+    fn objective(position: &[f64], obstacle_density: f64) -> f64 {
+        position
+            .iter()
+            .map(|x| x * x - 0.3 * (3.0 * std::f64::consts::PI * x).cos() + 0.3)
+            .sum::<f64>()
+            * (1.0 + obstacle_density)
+    }
+
+    /// Runs one employed/onlooker/scout cycle against `frame`, returning the
+    /// best objective value found so far.
+    pub fn step(&mut self, frame: &Frame, rec: &mut AccessRecorder) -> f64 {
+        let density =
+            frame.pixels.iter().map(|p| *p as f64).sum::<f64>() / frame.pixels.len() as f64;
+        let dims = self.food_sources[0].len();
+        let colony = self.food_sources.len();
+        // Employed bees: perturb each source along one dimension.
+        for i in 0..colony {
+            let d = self.rng.gen_range(0..dims);
+            let partner = self.rng.gen_range(0..colony);
+            let phi: f64 = self.rng.gen_range(-1.0..1.0);
+            rec.read(&self.sources, (i * dims + d) as u64);
+            rec.read(&self.sources, (partner * dims + d) as u64);
+            let mut candidate = self.food_sources[i].clone();
+            candidate[d] += phi * (candidate[d] - self.food_sources[partner][d]);
+            let new_fit = Self::objective(&candidate, density);
+            let old_fit = Self::objective(&self.food_sources[i], density);
+            rec.write(&self.scratch, i as u64);
+            if new_fit < old_fit {
+                self.food_sources[i] = candidate;
+                self.fitness[i] = new_fit;
+                self.trials[i] = 0;
+                rec.write(&self.sources, (i * dims + d) as u64);
+            } else {
+                self.fitness[i] = old_fit;
+                self.trials[i] += 1;
+            }
+        }
+        // Scout bees: abandon exhausted sources.
+        for i in 0..colony {
+            if self.trials[i] > self.limit {
+                for d in 0..dims {
+                    self.food_sources[i][d] = self.rng.gen_range(-1.0..1.0);
+                    rec.write(&self.sources, (i * dims + d) as u64);
+                }
+                self.trials[i] = 0;
+                self.fitness[i] = Self::objective(&self.food_sources[i], density);
+            }
+        }
+        self.fitness.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CNN perception (secure)
+// ---------------------------------------------------------------------------
+
+/// The two perception-network shapes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnnShape {
+    /// AlexNet-class: larger convolutions and two dense layers — a bigger
+    /// weight working set with strong reuse.
+    AlexNetClass,
+    /// SqueezeNet-class: fire modules (1×1 squeeze + mixed expand), far fewer
+    /// weights.
+    SqueezeNetClass,
+}
+
+/// A small but structurally faithful convolutional network forward pass.
+#[derive(Debug, Clone)]
+pub struct Cnn {
+    shape: CnnShape,
+    conv1: Vec<f32>,
+    conv2: Vec<f32>,
+    dense: Vec<f32>,
+    classes: usize,
+    weights_region: Region,
+    activations_region: Region,
+}
+
+impl Cnn {
+    /// Builds a network of the given shape with deterministic pseudo-random
+    /// weights, laid out at `base`.
+    pub fn new(shape: CnnShape, seed: u64, base: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (c1, c2, dense, classes) = match shape {
+            CnnShape::AlexNetClass => (16 * 9, 32 * 16 * 9, 32 * 64, 16),
+            CnnShape::SqueezeNetClass => (8 * 9, 8 * 8 * 9, 8 * 16, 16),
+        };
+        let mut gen = |n: usize| (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect::<Vec<f32>>();
+        let conv1 = gen(c1);
+        let conv2 = gen(c2);
+        let dense_w = gen(dense);
+        let total_weights = (c1 + c2 + dense) as u64;
+        let weights_region = Region::new(base, 4, total_weights);
+        let activations_region = Region::new(weights_region.end(), 4, 64 * 64);
+        Cnn {
+            shape,
+            conv1,
+            conv2,
+            dense: dense_w,
+            classes,
+            weights_region,
+            activations_region,
+        }
+    }
+
+    /// The network shape.
+    pub fn shape(&self) -> CnnShape {
+        self.shape
+    }
+
+    /// Runs a forward pass over `frame` and returns the class scores.
+    pub fn forward(&self, frame: &Frame, rec: &mut AccessRecorder) -> Vec<f32> {
+        // Layer 1: 3×3 convolution + ReLU + 2×2 max-pool over the frame.
+        let side = frame.side;
+        let kernels1 = self.conv1.len() / 9;
+        let pooled_side = (side / 2).max(1);
+        let mut pooled = vec![0f32; pooled_side * pooled_side];
+        for k in 0..kernels1 {
+            for y in (0..side.saturating_sub(2)).step_by(2) {
+                for x in (0..side.saturating_sub(2)).step_by(2) {
+                    let mut acc = 0.0;
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let w = self.conv1[k * 9 + ky * 3 + kx];
+                            rec.read(&self.weights_region, (k * 9 + ky * 3 + kx) as u64);
+                            let p = frame.pixels[(y + ky) * side + (x + kx)];
+                            acc += w * p;
+                        }
+                    }
+                    let idx = (y / 2) * pooled_side + (x / 2);
+                    pooled[idx] = pooled[idx].max(acc.max(0.0));
+                    rec.write(&self.activations_region, idx as u64);
+                }
+            }
+        }
+        // Layer 2: grouped 3×3 convolution over the pooled map (a stand-in for
+        // the middle convolutional / fire stack), global average per kernel.
+        let kernels2 = (self.conv2.len() / 9).max(1);
+        let mut features = vec![0f32; kernels2];
+        for (k, feature) in features.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for y in 0..pooled_side.saturating_sub(2) {
+                for x in 0..pooled_side.saturating_sub(2) {
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let w = self.conv2[(k * 9 + ky * 3 + kx) % self.conv2.len()];
+                            rec.read(
+                                &self.weights_region,
+                                (self.conv1.len() + (k * 9 + ky * 3 + kx) % self.conv2.len()) as u64,
+                            );
+                            acc += w * pooled[(y + ky) * pooled_side + (x + kx)].max(0.0);
+                        }
+                    }
+                }
+            }
+            *feature = acc / (pooled_side * pooled_side) as f32;
+            rec.write(&self.activations_region, (pooled.len() + k) as u64);
+        }
+        // Dense layer: features -> class scores.
+        let mut scores = vec![0f32; self.classes];
+        for (c, score) in scores.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (f, feat) in features.iter().enumerate() {
+                let wi = (c * features.len() + f) % self.dense.len();
+                rec.read(
+                    &self.weights_region,
+                    (self.conv1.len() + self.conv2.len() + wi) as u64,
+                );
+                acc += self.dense[wi] * feat;
+            }
+            *score = acc;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(side: usize) -> Frame {
+        let mut pipeline = VisionPipeline::new(3, side, 0);
+        pipeline.next_frame(&mut AccessRecorder::unsampled())
+    }
+
+    #[test]
+    fn pipeline_produces_normalised_frames() {
+        let mut rec = AccessRecorder::unsampled();
+        let mut p = VisionPipeline::new(1, 16, 0);
+        let f = p.next_frame(&mut rec);
+        assert_eq!(f.pixels.len(), 256);
+        assert!(f.pixels.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(rec.recorded() > 256, "capture + blur must touch memory");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let mut a = VisionPipeline::new(9, 8, 0);
+        let mut b = VisionPipeline::new(9, 8, 0);
+        let fa = a.next_frame(&mut AccessRecorder::unsampled());
+        let fb = b.next_frame(&mut AccessRecorder::unsampled());
+        assert_eq!(fa.pixels, fb.pixels);
+    }
+
+    #[test]
+    fn bee_colony_improves_over_iterations() {
+        let mut colony = BeeColony::new(11, 16, 6, 0);
+        let f = frame(8);
+        let mut rec = AccessRecorder::unsampled();
+        let first = colony.step(&f, &mut rec);
+        let mut best = first;
+        for _ in 0..30 {
+            best = best.min(colony.step(&f, &mut rec));
+        }
+        assert!(best <= first, "ABC must never regress its best solution");
+        assert!(best.is_finite());
+    }
+
+    #[test]
+    fn cnn_forward_is_deterministic_and_sized() {
+        let f = frame(16);
+        let net = Cnn::new(CnnShape::AlexNetClass, 5, 0);
+        let mut rec = AccessRecorder::unsampled();
+        let a = net.forward(&f, &mut rec);
+        let b = net.forward(&f, &mut AccessRecorder::unsampled());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(rec.recorded() > 100);
+    }
+
+    #[test]
+    fn alexnet_class_touches_more_weights_than_squeezenet_class() {
+        let f = frame(16);
+        let alex = Cnn::new(CnnShape::AlexNetClass, 5, 0);
+        let sqz = Cnn::new(CnnShape::SqueezeNetClass, 5, 0);
+        let mut rec_a = AccessRecorder::unsampled();
+        let mut rec_s = AccessRecorder::unsampled();
+        alex.forward(&f, &mut rec_a);
+        sqz.forward(&f, &mut rec_s);
+        assert!(
+            rec_a.total_touches() > rec_s.total_touches(),
+            "the AlexNet-class network has the larger weight working set"
+        );
+    }
+
+    #[test]
+    fn different_shapes_report_their_shape() {
+        assert_eq!(Cnn::new(CnnShape::SqueezeNetClass, 1, 0).shape(), CnnShape::SqueezeNetClass);
+    }
+}

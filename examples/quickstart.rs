@@ -1,0 +1,45 @@
+//! Quickstart: run one interactive application under all four execution
+//! architectures and compare the completion-time breakdown.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ironhide::prelude::*;
+
+fn main() {
+    // The paper's machine: 64 tiles on an 8x8 mesh, 4 memory controllers.
+    let machine = MachineConfig::paper_default();
+    let runner = ExperimentRunner::new(machine);
+
+    println!("<AES, QUERY> under each execution architecture (smoke scale)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "arch", "total (ms)", "compute", "overhead", "reconfig (ms)", "L1 miss"
+    );
+
+    let mut baseline_ms = None;
+    for arch in Architecture::ALL {
+        let mut app = AppId::QueryAes.instantiate(&ScaleFactor::Smoke);
+        let report = runner.run(arch, app.as_mut()).expect("run succeeds");
+        assert!(report.isolation.is_clean(), "strong isolation must hold");
+        let total = report.total_time_ms();
+        let baseline = *baseline_ms.get_or_insert(total);
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} {:>14.3} {:>7.1}%  ({:.2}x insecure)",
+            arch.to_string(),
+            total,
+            report.compute_time_ms(),
+            report.overhead_time_ms(),
+            report.reconfig_time_ms(),
+            report.l1_miss_rate * 100.0,
+            total / baseline,
+        );
+    }
+
+    println!(
+        "\nIRONHIDE pins the AES enclave to a secure cluster of cores, so it pays no\n\
+         per-interaction enclave entry/exit or purge cost — only a one-time cluster\n\
+         reconfiguration — while keeping the strong isolation guarantees of MI6."
+    );
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration tests: whole applications running on the full
+//! machine under every architecture, checking the orderings the paper's
+//! argument rests on.
+
+use ironhide::prelude::*;
+
+fn runner() -> ExperimentRunner {
+    let mut params = ArchParams::default();
+    params.warmup_interactions = 2;
+    params.predictor_sample = 3;
+    ExperimentRunner::new(MachineConfig::paper_default()).with_params(params)
+}
+
+#[test]
+fn every_application_runs_under_every_architecture() {
+    let runner = runner().with_realloc(ReallocPolicy::Static);
+    for app_id in [AppId::QueryAes, AppId::MemcachedOs, AppId::PrGraph] {
+        for arch in Architecture::ALL {
+            let mut app = app_id.instantiate(&ScaleFactor::Smoke);
+            let report = runner.run(arch, app.as_mut()).unwrap();
+            assert!(report.total_cycles > 0, "{} under {arch} produced no work", app_id.label());
+            assert_eq!(report.interactions, app.interactions() as u64);
+            assert!(
+                report.isolation.is_clean(),
+                "{} under {arch} violated isolation: {:?}",
+                app_id.label(),
+                report.isolation.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn security_cost_ordering_holds_for_os_interactive_apps() {
+    let runner = runner().with_realloc(ReallocPolicy::Static);
+    let mut insecure_app = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+    let mut sgx_app = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+    let mut mi6_app = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+    let mut ih_app = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+
+    let insecure = runner.run(Architecture::Insecure, insecure_app.as_mut()).unwrap();
+    let sgx = runner.run(Architecture::SgxLike, sgx_app.as_mut()).unwrap();
+    let mi6 = runner.run(Architecture::Mi6, mi6_app.as_mut()).unwrap();
+    let ih = runner.run(Architecture::Ironhide, ih_app.as_mut()).unwrap();
+
+    assert!(sgx.total_cycles > insecure.total_cycles);
+    assert!(mi6.total_cycles > sgx.total_cycles);
+    assert!(ih.total_cycles < mi6.total_cycles, "IRONHIDE must beat MI6 on OS-interactive apps");
+    assert!(ih.total_cycles < sgx.total_cycles, "IRONHIDE must beat SGX on OS-interactive apps");
+    assert_eq!(ih.overhead_cycles, 0);
+    assert!(mi6.overhead_cycles > 0);
+}
+
+#[test]
+fn mi6_inflates_l1_miss_rate_relative_to_ironhide() {
+    let runner = runner().with_realloc(ReallocPolicy::Static);
+    let mut mi6_app = AppId::QueryAes.instantiate(&ScaleFactor::Smoke);
+    let mut ih_app = AppId::QueryAes.instantiate(&ScaleFactor::Smoke);
+    let mi6 = runner.run(Architecture::Mi6, mi6_app.as_mut()).unwrap();
+    let ih = runner.run(Architecture::Ironhide, ih_app.as_mut()).unwrap();
+    assert!(
+        mi6.l1_miss_rate > ih.l1_miss_rate,
+        "purging every interaction must thrash the L1 (MI6 {:.3} vs IRONHIDE {:.3})",
+        mi6.l1_miss_rate,
+        ih.l1_miss_rate
+    );
+}
+
+#[test]
+fn heuristic_gives_triangle_counting_a_small_secure_cluster() {
+    let mut params = ArchParams::default();
+    params.warmup_interactions = 1;
+    let runner = ExperimentRunner::new(MachineConfig::paper_default()).with_params(params);
+    let mut app = AppId::TcGraph.instantiate(&ScaleFactor::Smoke);
+    let report = runner.run(Architecture::Ironhide, app.as_mut()).unwrap();
+    assert!(
+        report.secure_cores <= 16,
+        "TC is synchronisation bound; the predictor gave it {} cores",
+        report.secure_cores
+    );
+    assert!(report.secure_cores >= 1);
+}
+
+#[test]
+fn reports_are_reproducible_for_a_fixed_configuration() {
+    let runner = runner().with_realloc(ReallocPolicy::Static);
+    let mut a = AppId::LighttpdOs.instantiate(&ScaleFactor::Smoke);
+    let mut b = AppId::LighttpdOs.instantiate(&ScaleFactor::Smoke);
+    let ra = runner.run(Architecture::Mi6, a.as_mut()).unwrap();
+    let rb = runner.run(Architecture::Mi6, b.as_mut()).unwrap();
+    assert_eq!(ra.total_cycles, rb.total_cycles, "the simulation must be deterministic");
+    assert_eq!(ra.l1_miss_rate, rb.l1_miss_rate);
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the strong-isolation invariants.
+
+use proptest::prelude::*;
+
+use ironhide::ironhide_core::speccheck::SpeculativeAccessCheck;
+use ironhide::ironhide_mem::{RegionMap, RegionOwner};
+use ironhide::ironhide_mesh::{ClusterId, ClusterMap, MeshTopology, NodeId};
+use ironhide::ironhide_sim::machine::Machine;
+use ironhide::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Row-major cluster splits of any size can always contain their own
+    /// traffic under bidirectional deterministic routing.
+    #[test]
+    fn row_major_clusters_always_contain_their_traffic(secure_cores in 0usize..=64) {
+        let map = ClusterMap::row_major_split(MeshTopology::new(8, 8), secure_cores);
+        prop_assert!(map.verify_containment().is_ok());
+        prop_assert_eq!(map.size_of(ClusterId::Secure), secure_cores);
+        prop_assert_eq!(map.size_of(ClusterId::Insecure), 64 - secure_cores);
+    }
+
+    /// The speculative-access hardware check never lets an insecure access to
+    /// a secure DRAM region proceed, and never blocks a secure access.
+    #[test]
+    fn spec_check_blocks_exactly_insecure_to_secure(addr in 0u64..0x8000, controllers in 1usize..=4) {
+        let regions = RegionMap::paper_layout(controllers, 0x1000);
+        let mut check = SpeculativeAccessCheck::new();
+        let insecure = check.check(&regions, SecurityClass::Insecure, addr);
+        let secure = check.check(&regions, SecurityClass::Secure, addr);
+        prop_assert!(secure.allowed());
+        match regions.owner_of(addr) {
+            Ok(RegionOwner::Secure) => prop_assert!(!insecure.allowed()),
+            _ => prop_assert!(insecure.allowed()),
+        }
+    }
+
+    /// Every physical page the machine hands to a process lives in a DRAM
+    /// region owned by that process's security class, whatever the virtual
+    /// addresses look like.
+    #[test]
+    fn allocated_pages_stay_in_owned_regions(vaddrs in prop::collection::vec(0u64..0x4000_0000, 1..40)) {
+        let mut machine = Machine::new(MachineConfig::small_test());
+        let secure = machine.create_process("s", SecurityClass::Secure);
+        let insecure = machine.create_process("i", SecurityClass::Insecure);
+        for (i, v) in vaddrs.iter().enumerate() {
+            let pid = if i % 2 == 0 { secure } else { insecure };
+            machine.access(NodeId((i % 4) as usize), pid, *v, i % 3 == 0);
+        }
+        for (pid, owner) in [(secure, RegionOwner::Secure), (insecure, RegionOwner::Insecure)] {
+            for page in machine.process_physical_pages(pid) {
+                let paddr = page.0 * machine.page_bytes();
+                prop_assert_eq!(machine.regions().owner_of(paddr).unwrap(), owner);
+            }
+        }
+    }
+
+    /// A report produced under IRONHIDE never contains non-IPC cross-cluster
+    /// traffic, for any (valid) static secure-cluster size.
+    #[test]
+    fn ironhide_cross_cluster_traffic_is_only_ipc(secure_fraction in 0.15f64..0.85) {
+        let mut params = ArchParams::default();
+        params.warmup_interactions = 1;
+        params.predictor_sample = 1;
+        params.initial_secure_fraction = secure_fraction;
+        let runner = ExperimentRunner::new(MachineConfig::paper_default())
+            .with_params(params)
+            .with_realloc(ReallocPolicy::Static);
+        let mut app = AppId::QueryAes.instantiate(&ScaleFactor::Smoke);
+        let report = runner.run(Architecture::Ironhide, app.as_mut()).unwrap();
+        prop_assert!(report.isolation.is_clean(), "violations: {:?}", report.isolation.violations);
+        prop_assert!(report.isolation.cross_cluster_packets <= report.isolation.ipc_packets);
+    }
+}

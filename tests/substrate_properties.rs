@@ -1,0 +1,104 @@
+//! Property-based tests of the substrate models (caches, TLBs, routing,
+//! homing, re-allocation policies).
+
+use proptest::prelude::*;
+
+use ironhide::ironhide_cache::{CacheConfig, HomeMap, PageId, SetAssocCache, SliceId, Tlb, TlbConfig};
+use ironhide::ironhide_core::realloc::ReallocPolicy;
+use ironhide::ironhide_mesh::{MeshTopology, NodeId, RoutingAlgorithm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deterministic routes always have Manhattan-distance length and stay
+    /// inside the mesh.
+    #[test]
+    fn routes_have_manhattan_length(src in 0usize..64, dst in 0usize..64, yx in any::<bool>()) {
+        let mesh = MeshTopology::new(8, 8);
+        let alg = if yx { RoutingAlgorithm::YX } else { RoutingAlgorithm::XY };
+        let route = mesh.route(NodeId(src), NodeId(dst), alg);
+        prop_assert_eq!(route.hops(), mesh.distance(NodeId(src), NodeId(dst)));
+        for (a, b) in route.links() {
+            prop_assert_eq!(mesh.distance(a, b), 1);
+            prop_assert!(a.0 < 64 && b.0 < 64);
+        }
+    }
+
+    /// The cache never holds more lines than its capacity, hit+miss always
+    /// equals accesses, and a purge empties it completely.
+    #[test]
+    fn cache_occupancy_and_counters_are_consistent(addrs in prop::collection::vec(0u64..0x10_000, 1..300)) {
+        let mut cache = SetAssocCache::new(CacheConfig::new(2048, 4, 64));
+        for (i, a) in addrs.iter().enumerate() {
+            cache.access(*a, i % 4 == 0);
+            prop_assert!(cache.resident_lines() <= cache.config().lines());
+        }
+        let stats = *cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        cache.purge();
+        prop_assert_eq!(cache.resident_lines(), 0);
+        // Everything misses after a purge.
+        for a in addrs.iter().take(8) {
+            prop_assert!(cache.access(*a, false).is_miss() || cache.probe(*a));
+        }
+    }
+
+    /// A line that was just accessed always hits immediately afterwards
+    /// (temporal locality is never broken by the replacement policy).
+    #[test]
+    fn immediate_rereference_always_hits(addrs in prop::collection::vec(0u64..0x100_000, 1..200)) {
+        let mut cache = SetAssocCache::new(CacheConfig::paper_l1());
+        for a in addrs {
+            cache.access(a, false);
+            prop_assert!(cache.access(a, false).is_hit());
+        }
+    }
+
+    /// The TLB never exceeds its configured capacity.
+    #[test]
+    fn tlb_respects_capacity(pages in prop::collection::vec(0u64..10_000, 1..500)) {
+        let mut tlb = Tlb::new(TlbConfig::new(32, 4096));
+        for p in pages {
+            tlb.access(p * 4096);
+            prop_assert!(tlb.resident() <= 32);
+        }
+    }
+
+    /// Local homing keeps every page on an allowed slice, before and after a
+    /// re-homing event.
+    #[test]
+    fn homing_never_leaves_the_allowed_set(pages in prop::collection::vec(0u64..4096, 1..80), shrink_to in 1usize..8) {
+        let slices: Vec<SliceId> = (0..16).map(SliceId).collect();
+        let mut map = HomeMap::local(slices.clone());
+        for (i, p) in pages.iter().enumerate() {
+            map.pin(PageId(*p), slices[i % slices.len()]).unwrap();
+        }
+        let new_allowed: Vec<SliceId> = (0..shrink_to).map(SliceId).collect();
+        map.set_allowed(new_allowed.clone());
+        map.rehome_all().unwrap();
+        for p in &pages {
+            prop_assert!(new_allowed.contains(&map.home_of(PageId(*p)).unwrap()));
+        }
+    }
+
+    /// Every re-allocation policy returns a secure-cluster size that leaves
+    /// both clusters non-empty, and Optimal is never worse than Heuristic on
+    /// the surface it optimises.
+    #[test]
+    fn realloc_decisions_are_valid_and_optimal_is_best(opt in 1usize..64, offset in -30i32..30) {
+        let surface = |n: usize| ((n as f64) - opt as f64).powi(2);
+        for policy in [
+            ReallocPolicy::Static,
+            ReallocPolicy::Heuristic,
+            ReallocPolicy::Optimal,
+            ReallocPolicy::FixedOffset(offset),
+        ] {
+            let d = policy.decide(64, 32, surface);
+            prop_assert!(d.secure_cores >= 1 && d.secure_cores <= 63);
+        }
+        let best = ReallocPolicy::Optimal.decide(64, 32, surface).secure_cores;
+        let heuristic = ReallocPolicy::Heuristic.decide(64, 32, surface).secure_cores;
+        prop_assert!(surface(best) <= surface(heuristic));
+    }
+}
