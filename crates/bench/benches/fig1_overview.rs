@@ -17,11 +17,8 @@ fn main() {
     let mut summary = Vec::new();
     for arch in [Architecture::SgxLike, Architecture::Mi6, Architecture::Ironhide] {
         let reports = sweep.run_all(arch, ReallocPolicy::Heuristic);
-        let normalized: Vec<f64> = reports
-            .iter()
-            .zip(insecure.iter())
-            .map(|(r, base)| r.normalized_to(base))
-            .collect();
+        let normalized: Vec<f64> =
+            reports.iter().zip(insecure.iter()).map(|(r, base)| r.normalized_to(base)).collect();
         let geo = geometric_mean(&normalized);
         print_row(&[arch.to_string(), format!("{geo:.2}x")]);
         summary.push((arch, geo));

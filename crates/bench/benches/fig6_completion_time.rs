@@ -9,7 +9,11 @@ use ironhide_core::realloc::ReallocPolicy;
 use ironhide_core::runner::CompletionReport;
 use ironhide_workloads::app::AppId;
 
-fn geo_of(reports: &[(AppId, CompletionReport)], apps: &[AppId], f: impl Fn(&CompletionReport) -> f64) -> f64 {
+fn geo_of(
+    reports: &[(AppId, CompletionReport)],
+    apps: &[AppId],
+    f: impl Fn(&CompletionReport) -> f64,
+) -> f64 {
     let values: Vec<f64> =
         reports.iter().filter(|(a, _)| apps.contains(a)).map(|(_, r)| f(r)).collect();
     geometric_mean(&values)
@@ -30,7 +34,8 @@ fn main() {
         "MI6/IRONHIDE speedup",
     ]);
 
-    let mut per_arch: Vec<(AppId, CompletionReport, CompletionReport, CompletionReport)> = Vec::new();
+    let mut per_arch: Vec<(AppId, CompletionReport, CompletionReport, CompletionReport)> =
+        Vec::new();
     for app in AppId::ALL {
         let sgx = sweep.run_one(app, Architecture::SgxLike, ReallocPolicy::Heuristic);
         let mi6 = sweep.run_one(app, Architecture::Mi6, ReallocPolicy::Heuristic);
@@ -79,10 +84,8 @@ fn main() {
 
     // The per-interaction purge overhead the paper quotes for MI6 (~0.19 ms)
     // and the purge-component improvement of IRONHIDE over MI6 (~706x).
-    let mi6_overhead_per_interaction: Vec<f64> = per_arch
-        .iter()
-        .map(|(_, _, mi6, _)| mi6.overhead_per_interaction_ms())
-        .collect();
+    let mi6_overhead_per_interaction: Vec<f64> =
+        per_arch.iter().map(|(_, _, mi6, _)| mi6.overhead_per_interaction_ms()).collect();
     let purge_improvement: Vec<f64> = per_arch
         .iter()
         .map(|(_, _, mi6, ih)| {
@@ -90,8 +93,12 @@ fn main() {
             mi6.overhead_cycles as f64 / ih_over
         })
         .collect();
-    println!("\nMI6 purge overhead per interaction (paper: ~0.19 ms): {:.3} ms (geomean)",
-        geometric_mean(&mi6_overhead_per_interaction));
-    println!("IRONHIDE purge-component improvement over MI6 (paper: ~706x): {:.0}x (geomean)",
-        geometric_mean(&purge_improvement));
+    println!(
+        "\nMI6 purge overhead per interaction (paper: ~0.19 ms): {:.3} ms (geomean)",
+        geometric_mean(&mi6_overhead_per_interaction)
+    );
+    println!(
+        "IRONHIDE purge-component improvement over MI6 (paper: ~706x): {:.0}x (geomean)",
+        geometric_mean(&purge_improvement)
+    );
 }

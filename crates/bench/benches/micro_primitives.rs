@@ -22,7 +22,7 @@ fn warmed_machine() -> (Machine, ironhide_sim::process::ProcessId) {
     let pid = m.create_process("bench", SecurityClass::Secure);
     for core in 0..8usize {
         for line in 0..256u64 {
-            m.access(NodeId(core), pid, (core as u64) << 20 | line * 64, line % 3 == 0);
+            m.access(NodeId(core), pid, ((core as u64) << 20) | (line * 64), line % 3 == 0);
         }
     }
     (m, pid)

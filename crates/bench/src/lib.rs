@@ -26,14 +26,9 @@ use ironhide_core::runner::{CompletionReport, ExperimentRunner};
 use ironhide_sim::config::MachineConfig;
 use ironhide_workloads::app::{AppId, ScaleFactor};
 
-/// The geometric mean of a slice of positive values (0 when empty).
-pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
+// The single definition lives in the sweep harness; re-exported here so the
+// figure benches keep their historical `ironhide_bench::geometric_mean` path.
+pub use ironhide_core::sweep::geometric_mean;
 
 /// The experiment sweep configuration shared by the figure benches.
 #[derive(Debug, Clone)]
@@ -64,7 +59,12 @@ impl Sweep {
 
     /// Runs one application under one architecture with the given
     /// re-allocation policy.
-    pub fn run_one(&self, app: AppId, arch: Architecture, policy: ReallocPolicy) -> CompletionReport {
+    pub fn run_one(
+        &self,
+        app: AppId,
+        arch: Architecture,
+        policy: ReallocPolicy,
+    ) -> CompletionReport {
         let runner = ExperimentRunner::new(self.machine.clone())
             .with_params(self.params)
             .with_realloc(policy);
@@ -106,7 +106,8 @@ mod tests {
     #[test]
     fn smoke_sweep_runs_one_app() {
         let sweep = Sweep::smoke();
-        let report = sweep.run_one(AppId::QueryAes, Architecture::SgxLike, ReallocPolicy::Heuristic);
+        let report =
+            sweep.run_one(AppId::QueryAes, Architecture::SgxLike, ReallocPolicy::Heuristic);
         assert!(report.total_cycles > 0);
         assert!(report.isolation.is_clean());
     }

@@ -21,7 +21,10 @@ impl CacheConfig {
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be non-zero");
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes % (ways * line_bytes) == 0, "capacity must be divisible by ways * line");
+        assert!(
+            size_bytes.is_multiple_of(ways * line_bytes),
+            "capacity must be divisible by ways * line"
+        );
         let sets = size_bytes / (ways * line_bytes);
         assert!(sets.is_power_of_two(), "number of sets must be a power of two");
         CacheConfig { size_bytes, ways, line_bytes }

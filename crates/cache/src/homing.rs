@@ -180,12 +180,8 @@ impl HomeMap {
                 reason: "cannot re-home pages: no slices allowed",
             });
         }
-        let stale: Vec<PageId> = self
-            .pins
-            .iter()
-            .filter(|(_, s)| !self.allowed.contains(s))
-            .map(|(p, _)| *p)
-            .collect();
+        let stale: Vec<PageId> =
+            self.pins.iter().filter(|(_, s)| !self.allowed.contains(s)).map(|(p, _)| *p).collect();
         let mut moved = 0;
         for (i, page) in stale.iter().enumerate() {
             let target = self.allowed[i % self.allowed.len()];

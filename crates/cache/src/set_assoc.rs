@@ -314,7 +314,8 @@ mod tests {
 
     #[test]
     fn fifo_policy_differs_from_lru() {
-        let mut c = SetAssocCache::with_policy(CacheConfig::new(512, 2, 64), ReplacementPolicy::Fifo);
+        let mut c =
+            SetAssocCache::with_policy(CacheConfig::new(512, 2, 64), ReplacementPolicy::Fifo);
         c.access(0x000, false);
         c.access(0x100, false);
         c.access(0x000, false); // does not matter for FIFO

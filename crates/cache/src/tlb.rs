@@ -19,7 +19,12 @@ pub struct Tlb {
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(config: TlbConfig) -> Self {
-        Tlb { config, entries: Vec::with_capacity(config.entries), tick: 0, stats: CacheStats::new() }
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            tick: 0,
+            stats: CacheStats::new(),
+        }
     }
 
     /// The TLB geometry.

@@ -132,7 +132,12 @@ impl ClusterManager {
         }
     }
 
-    fn apply(&mut self, machine: &mut Machine, secure_pid: ProcessId, insecure_pid: ProcessId) -> u64 {
+    fn apply(
+        &mut self,
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+    ) -> u64 {
         let secure_slices: Vec<SliceId> =
             self.map.nodes_of(ClusterId::Secure).iter().map(|n| SliceId(n.0)).collect();
         let insecure_slices: Vec<SliceId> =
@@ -200,8 +205,7 @@ impl ClusterManager {
         // Drain the controllers that change sides as well.
         let old_secure_mask = self.config.secure_controllers;
         self.map = new_map;
-        self.config =
-            Self::controller_split(machine.config().controllers, new_secure_cores, total);
+        self.config = Self::controller_split(machine.config().controllers, new_secure_cores, total);
         if old_secure_mask != self.config.secure_controllers {
             let changed = ControllerMask(old_secure_mask.0 ^ self.config.secure_controllers.0);
             cycles += machine.purge_controllers(changed);

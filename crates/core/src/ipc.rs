@@ -34,7 +34,10 @@ impl SharedIpcBuffer {
     ///
     /// Panics if `size_bytes` is zero or smaller than one cache line.
     pub fn new(base_vaddr: u64, size_bytes: u64, line_bytes: u64) -> Self {
-        assert!(size_bytes >= line_bytes && line_bytes > 0, "IPC buffer must hold at least one line");
+        assert!(
+            size_bytes >= line_bytes && line_bytes > 0,
+            "IPC buffer must hold at least one line"
+        );
         SharedIpcBuffer {
             base_vaddr,
             size_bytes,

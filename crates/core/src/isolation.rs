@@ -130,16 +130,19 @@ impl IsolationAuditor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ironhide_sim::config::MachineConfig;
     use ironhide_mesh::NodeId;
+    use ironhide_sim::config::MachineConfig;
 
     #[test]
     fn clean_insecure_run_is_clean() {
         let mut m = Machine::new(MachineConfig::small_test());
         let pid = m.create_process("p", SecurityClass::Insecure);
         m.access(NodeId(0), pid, 0x1000, false);
-        let summary =
-            IsolationAuditor::new().audit(&m, Architecture::Insecure, &SpeculativeAccessCheck::new());
+        let summary = IsolationAuditor::new().audit(
+            &m,
+            Architecture::Insecure,
+            &SpeculativeAccessCheck::new(),
+        );
         assert!(summary.is_clean());
         assert!(summary.containment_verified);
     }

@@ -71,10 +71,9 @@ impl fmt::Display for AttestationError {
                 write!(f, "signature check failed for {pid}")
             }
             AttestationError::Unknown { pid } => write!(f, "{pid} was never attested"),
-            AttestationError::MeasurementMismatch { pid, expected, found } => write!(
-                f,
-                "measurement of {pid} changed (expected {expected}, found {found})"
-            ),
+            AttestationError::MeasurementMismatch { pid, expected, found } => {
+                write!(f, "measurement of {pid} changed (expected {expected}, found {found})")
+            }
         }
     }
 }
@@ -146,11 +145,7 @@ impl SecureKernel {
         let (expected, _) = self.registry.get(&pid).ok_or(AttestationError::Unknown { pid })?;
         let found = Self::measure(image);
         if found != *expected {
-            return Err(AttestationError::MeasurementMismatch {
-                pid,
-                expected: *expected,
-                found,
-            });
+            return Err(AttestationError::MeasurementMismatch { pid, expected: *expected, found });
         }
         if !self.admitted.contains(&pid) {
             self.admitted.push(pid);
@@ -243,10 +238,7 @@ mod tests {
     #[test]
     fn unknown_process_cannot_be_admitted() {
         let mut k = SecureKernel::new();
-        assert!(matches!(
-            k.admit(ProcessId(9), b"x"),
-            Err(AttestationError::Unknown { .. })
-        ));
+        assert!(matches!(k.admit(ProcessId(9), b"x"), Err(AttestationError::Unknown { .. })));
     }
 
     #[test]

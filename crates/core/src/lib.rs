@@ -31,6 +31,10 @@
 //!   application on a simulated machine under a chosen architecture and
 //!   reports the completion-time breakdown, cache miss rates and isolation
 //!   summary used to regenerate the paper's figures.
+//! * [`sweep`] — the deterministic, rayon-parallel sweep harness that runs
+//!   whole {app × architecture × re-allocation policy × scale} grids,
+//!   collects the reports into a serialisable [`sweep::SweepMatrix`] and
+//!   exposes the paper's Figure 6/7/8 orderings as queryable summaries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -44,8 +48,9 @@ pub mod kernel;
 pub mod realloc;
 pub mod runner;
 pub mod speccheck;
+pub mod sweep;
 
-pub use app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+pub use app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
 pub use arch::{ArchParams, Architecture};
 pub use cluster::{ClusterConfig, ClusterManager};
 pub use ipc::SharedIpcBuffer;
@@ -54,3 +59,7 @@ pub use kernel::{AttestationError, Measurement, SecureKernel, TrustRelation};
 pub use realloc::{ReallocDecision, ReallocPolicy};
 pub use runner::{CompletionReport, ExperimentRunner, RunError};
 pub use speccheck::{SpecCheckOutcome, SpeculativeAccessCheck};
+pub use sweep::{
+    AppSpec, CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepError, SweepGrid,
+    SweepMatrix, SweepRunner,
+};

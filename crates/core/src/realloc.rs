@@ -14,6 +14,8 @@
 //!   percentage of the machine's cores, quantifying how sensitive performance
 //!   is to mis-prediction.
 
+use std::fmt;
+
 /// Policy used to choose the secure cluster's core count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReallocPolicy {
@@ -55,6 +57,17 @@ impl ReallocPolicy {
     }
 }
 
+impl fmt::Display for ReallocPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReallocPolicy::Static => write!(f, "Static"),
+            ReallocPolicy::Heuristic => write!(f, "Heuristic"),
+            ReallocPolicy::Optimal => write!(f, "Optimal"),
+            ReallocPolicy::FixedOffset(percent) => write!(f, "Fixed{percent:+}%"),
+        }
+    }
+}
+
 /// The decision produced by a policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReallocDecision {
@@ -80,11 +93,9 @@ impl ReallocPolicy {
         let clamp = |n: i64| -> usize { n.clamp(1, total_cores as i64 - 1) as usize };
         let initial = clamp(initial as i64);
         match self {
-            ReallocPolicy::Static => ReallocDecision {
-                secure_cores: initial,
-                evaluations: 0,
-                charge_overhead: false,
-            },
+            ReallocPolicy::Static => {
+                ReallocDecision { secure_cores: initial, evaluations: 0, charge_overhead: false }
+            }
             ReallocPolicy::Heuristic => {
                 let mut evaluations = 0u64;
                 let mut best = initial;

@@ -16,7 +16,7 @@ use ironhide_sim::config::MachineConfig;
 use ironhide_sim::machine::Machine;
 use ironhide_sim::process::{ProcessId, SecurityClass};
 
-use crate::app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+use crate::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
 use crate::arch::{ArchParams, Architecture};
 use crate::cluster::{ClusterError, ClusterManager};
 use crate::ipc::SharedIpcBuffer;
@@ -91,6 +91,11 @@ pub struct CompletionReport {
     pub isolation: IsolationSummary,
     /// Clock frequency used for time conversion, in GHz.
     pub clock_ghz: f64,
+    /// Machine-wide counter snapshot at the end of the measured phase
+    /// (aggregate L1/TLB/L2, memory-controller and NoC counters plus purge /
+    /// re-homing event counts). Consumed by the golden-stats regression tests
+    /// and the serialised sweep matrix.
+    pub machine: ironhide_sim::stats::MachineStats,
 }
 
 impl CompletionReport {
@@ -170,7 +175,11 @@ impl ExperimentRunner {
     /// architecture parameters and the paper's gradient heuristic for
     /// IRONHIDE's core re-allocation.
     pub fn new(config: MachineConfig) -> Self {
-        ExperimentRunner { config, params: ArchParams::default(), realloc: ReallocPolicy::Heuristic }
+        ExperimentRunner {
+            config,
+            params: ArchParams::default(),
+            realloc: ReallocPolicy::Heuristic,
+        }
     }
 
     /// Overrides the architecture parameters.
@@ -210,9 +219,9 @@ impl ExperimentRunner {
         // probes candidate allocations on scratch machines so the main run's
         // state is untouched.
         let total_cores = self.config.cores();
-        let initial_secure =
-            ((total_cores as f64 * self.params.initial_secure_fraction).round() as usize)
-                .clamp(1, total_cores - 1);
+        let initial_secure = ((total_cores as f64 * self.params.initial_secure_fraction).round()
+            as usize)
+            .clamp(1, total_cores - 1);
         let mut decision_secure = initial_secure;
         let mut charge_reconfig = true;
         if arch.spatial_clusters() {
@@ -282,6 +291,7 @@ impl ExperimentRunner {
             l2_miss_rate: ratio(l2_misses, l2_accesses),
             isolation,
             clock_ghz: self.config.clock_ghz,
+            machine: run.machine.stats(),
         })
     }
 
@@ -319,7 +329,8 @@ impl ExperimentRunner {
         let mut machine = Machine::new(self.config.clone());
         let insecure_profile = app.insecure_profile().clone();
         let secure_profile = app.secure_profile().clone();
-        let insecure = machine.create_process(insecure_profile.name.clone(), SecurityClass::Insecure);
+        let insecure =
+            machine.create_process(insecure_profile.name.clone(), SecurityClass::Insecure);
         let secure = machine.create_process(secure_profile.name.clone(), SecurityClass::Secure);
 
         // Attest the secure process before it is allowed to execute under any
@@ -550,13 +561,7 @@ mod tests {
     impl ToyApp {
         fn new(interactions: usize) -> Self {
             ToyApp {
-                insecure: ProcessProfile::new(
-                    "toy-producer",
-                    SecurityClass::Insecure,
-                    0.9,
-                    50,
-                    64,
-                ),
+                insecure: ProcessProfile::new("toy-producer", SecurityClass::Insecure, 0.9, 50, 64),
                 secure: ProcessProfile::new("toy-enclave", SecurityClass::Secure, 0.8, 100, 32),
                 interactions,
             }
@@ -599,9 +604,8 @@ mod tests {
     }
 
     fn runner() -> ExperimentRunner {
-        let mut params = ArchParams::default();
-        params.warmup_interactions = 2;
-        params.predictor_sample = 2;
+        let params =
+            ArchParams { warmup_interactions: 2, predictor_sample: 2, ..ArchParams::default() };
         ExperimentRunner::new(MachineConfig::small_test()).with_params(params)
     }
 

@@ -1,0 +1,914 @@
+//! Deterministic, parallel experiment sweeps.
+//!
+//! The paper's evaluation is a grid of experiments: every interactive
+//! application, under every execution architecture, for several core
+//! re-allocation policies and input scales. [`SweepRunner`] executes such a
+//! {app × architecture × policy × scale} grid with rayon-style data
+//! parallelism while keeping the result **bit-for-bit deterministic**:
+//!
+//! * every cell derives its own seed from the sweep's master seed and the
+//!   cell's key (never from thread identity or execution order), and
+//! * results are collected in grid order regardless of which worker finished
+//!   first,
+//!
+//! so a [`SweepMatrix`] serialises byte-identically whether the sweep ran on
+//! 1 or 64 threads. The matrix exposes the orderings behind the paper's
+//! figures as queryable summaries: Figure 6 completion times
+//! ([`SweepMatrix::fig6`]), Figure 7 miss-rate deltas
+//! ([`SweepMatrix::fig7`]) and Figure 8 re-allocation-policy sensitivity
+//! ([`SweepMatrix::fig8`]).
+//!
+//! The application axis is decoupled from any concrete workload crate: a
+//! sweep runs [`AppSpec`]s — a label plus a thread-safe factory closure — so
+//! `ironhide-workloads` (or any downstream user) can feed its own
+//! applications in without `ironhide-core` depending on them.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use ironhide_sim::config::MachineConfig;
+
+use crate::app::InteractiveApp;
+use crate::arch::{ArchParams, Architecture};
+use crate::realloc::ReallocPolicy;
+use crate::runner::{CompletionReport, ExperimentRunner, RunError};
+
+// ---------------------------------------------------------------------------
+// Grid axes
+// ---------------------------------------------------------------------------
+
+/// A named point on the scale axis of a sweep grid (e.g. `"Smoke"` or
+/// `"Paper"`). The label is the identity: factories receive it and map it to
+/// whatever concrete sizing their workload understands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScalePoint {
+    label: String,
+}
+
+impl ScalePoint {
+    /// Creates a scale point with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ScalePoint { label: label.into() }
+    }
+
+    /// The point's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for ScalePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A thread-safe factory building a fresh application instance for one sweep
+/// cell, from the cell's scale point and seed.
+pub type AppFactory = Arc<dyn Fn(&ScalePoint, u64) -> Box<dyn InteractiveApp> + Send + Sync>;
+
+/// A point on the application axis: a display label plus a thread-safe
+/// factory that builds a fresh application instance for one sweep cell.
+///
+/// The factory receives the cell's [`ScalePoint`] and the cell's seed.
+/// Deterministic workloads (like the paper's nine applications) may ignore
+/// the seed; randomised workloads must draw **all** their randomness from it
+/// so the sweep stays reproducible.
+#[derive(Clone)]
+pub struct AppSpec {
+    label: String,
+    factory: AppFactory,
+}
+
+impl AppSpec {
+    /// Creates an application spec from a label and a factory.
+    pub fn new<F>(label: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn(&ScalePoint, u64) -> Box<dyn InteractiveApp> + Send + Sync + 'static,
+    {
+        AppSpec { label: label.into(), factory: Arc::new(factory) }
+    }
+
+    /// The application's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Builds a fresh instance for the given scale and cell seed.
+    pub fn instantiate(&self, scale: &ScalePoint, seed: u64) -> Box<dyn InteractiveApp> {
+        (self.factory)(scale, seed)
+    }
+}
+
+impl fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppSpec").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
+/// The full cartesian grid a sweep executes.
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    /// Applications to run.
+    pub apps: Vec<AppSpec>,
+    /// Execution architectures to compare.
+    pub architectures: Vec<Architecture>,
+    /// Core re-allocation policies (only meaningful for architectures with
+    /// spatial clusters, but every cell records the policy it ran under).
+    pub policies: Vec<ReallocPolicy>,
+    /// Input scales.
+    pub scales: Vec<ScalePoint>,
+}
+
+impl SweepGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        SweepGrid::default()
+    }
+
+    /// Adds an application.
+    pub fn with_app(mut self, app: AppSpec) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Sets the architecture axis.
+    pub fn with_architectures(mut self, archs: &[Architecture]) -> Self {
+        self.architectures = archs.to_vec();
+        self
+    }
+
+    /// Sets the policy axis.
+    pub fn with_policies(mut self, policies: &[ReallocPolicy]) -> Self {
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Adds a scale point.
+    pub fn with_scale(mut self, scale: ScalePoint) -> Self {
+        self.scales.push(scale);
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.apps.len() * self.architectures.len() * self.policies.len() * self.scales.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into cell keys, in the canonical (scale-major, then
+    /// app, architecture, policy) order the matrix stores them in.
+    pub fn keys(&self) -> Vec<CellKey> {
+        self.expanded().into_iter().map(|(key, _, _)| key).collect()
+    }
+
+    /// The single source of truth for cell ordering: every consumer (the
+    /// runner, `keys()`) derives its cells from this expansion, so the
+    /// canonical order and the per-cell seeds can never drift apart.
+    fn expanded(&self) -> Vec<(CellKey, &AppSpec, &ScalePoint)> {
+        let mut cells = Vec::with_capacity(self.len());
+        for scale in &self.scales {
+            for app in &self.apps {
+                for arch in &self.architectures {
+                    for policy in &self.policies {
+                        let key = CellKey {
+                            app: app.label.clone(),
+                            arch: *arch,
+                            policy: *policy,
+                            scale: scale.label.clone(),
+                        };
+                        cells.push((key, app, scale));
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Identity of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    /// Application label.
+    pub app: String,
+    /// Execution architecture.
+    pub arch: Architecture,
+    /// Core re-allocation policy.
+    pub policy: ReallocPolicy,
+    /// Scale label.
+    pub scale: String,
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} | {} | {} | {}", self.app, self.arch, self.policy, self.scale)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A sweep failure: the failing cell plus the underlying run error.
+#[derive(Debug, Clone)]
+pub struct SweepError {
+    /// The cell that failed.
+    pub cell: CellKey,
+    /// Why it failed.
+    pub error: RunError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep cell [{}] failed: {}", self.cell, self.error)
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Executes sweep grids in parallel, deterministically.
+///
+/// # Determinism contract
+///
+/// Two runs with the same grid, machine configuration, parameters and master
+/// seed produce [`SweepMatrix`]es whose [`SweepMatrix::to_json`] renderings
+/// are byte-identical, **regardless of the thread count** — each cell's seed
+/// is a pure function of the master seed and the cell key, and results are
+/// collected in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    machine: MachineConfig,
+    params: ArchParams,
+    threads: usize,
+    master_seed: u64,
+}
+
+impl SweepRunner {
+    /// Creates a runner simulating machines built from `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        SweepRunner { machine, params: ArchParams::default(), threads: 0, master_seed: 0 }
+    }
+
+    /// Overrides the architecture parameters used for every cell.
+    pub fn with_params(mut self, params: ArchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the worker thread count (0 = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the master seed all per-cell seeds derive from.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// The seed a given cell would run with.
+    pub fn cell_seed(&self, key: &CellKey) -> u64 {
+        derive_cell_seed(self.master_seed, key)
+    }
+
+    /// Runs every cell of `grid` and collects the reports in grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in grid order) [`SweepError`] if any cell fails;
+    /// partial results are discarded.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepMatrix, SweepError> {
+        // The canonical expansion is shared with SweepGrid::keys(), so the
+        // parallel section only touches immutable shared state and the cell
+        // order always matches the documented one.
+        let cells = grid.expanded();
+
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("sweep thread pool builds");
+        let results: Vec<Result<SweepCell, SweepError>> =
+            pool.install(|| cells.par_iter().map(|cell| self.run_cell(cell)).collect());
+
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        Ok(SweepMatrix { master_seed: self.master_seed, cells: out })
+    }
+
+    fn run_cell(
+        &self,
+        (key, app, scale): &(CellKey, &AppSpec, &ScalePoint),
+    ) -> Result<SweepCell, SweepError> {
+        let seed = derive_cell_seed(self.master_seed, key);
+        let mut instance = app.instantiate(scale, seed);
+        let runner = ExperimentRunner::new(self.machine.clone())
+            .with_params(self.params)
+            .with_realloc(key.policy);
+        let report = runner
+            .run(key.arch, instance.as_mut())
+            .map_err(|error| SweepError { cell: key.clone(), error })?;
+        Ok(SweepCell { key: key.clone(), seed, report })
+    }
+}
+
+/// Derives a cell's seed from the master seed and the cell key only — thread
+/// identity and execution order never enter the computation.
+fn derive_cell_seed(master_seed: u64, key: &CellKey) -> u64 {
+    // FNV-1a over the rendered key, then a SplitMix64 finalisation so related
+    // keys map to well-separated seeds.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.to_string().bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = hash ^ master_seed.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The cell's identity.
+    pub key: CellKey,
+    /// The seed the cell ran with.
+    pub seed: u64,
+    /// The experiment's outcome.
+    pub report: CompletionReport,
+}
+
+/// The completed grid, in canonical order, with figure-oriented queries and a
+/// deterministic JSON rendering.
+#[derive(Debug, Clone)]
+pub struct SweepMatrix {
+    /// The master seed the sweep ran with.
+    pub master_seed: u64,
+    /// Completed cells in grid order (scale-major, then app, architecture,
+    /// policy).
+    pub cells: Vec<SweepCell>,
+}
+
+/// One row of the Figure 6 summary: per-application completion times under
+/// each architecture.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Application label.
+    pub app: String,
+    /// Scale label.
+    pub scale: String,
+    /// Completion time under the insecure baseline, in milliseconds.
+    pub insecure_ms: f64,
+    /// Completion time under the SGX-like architecture, in milliseconds.
+    pub sgx_ms: f64,
+    /// Completion time under MI6, in milliseconds.
+    pub mi6_ms: f64,
+    /// Completion time under IRONHIDE, in milliseconds.
+    pub ironhide_ms: f64,
+    /// Secure-cluster cores IRONHIDE settled on.
+    pub ironhide_secure_cores: usize,
+    /// MI6 completion time over IRONHIDE completion time (>1 means IRONHIDE
+    /// is faster).
+    pub mi6_over_ironhide: f64,
+}
+
+/// One row of the Figure 7 summary: L1/L2 miss rates under MI6 and IRONHIDE.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Application label.
+    pub app: String,
+    /// Scale label.
+    pub scale: String,
+    /// Private L1 miss rate under MI6.
+    pub mi6_l1: f64,
+    /// Private L1 miss rate under IRONHIDE.
+    pub ironhide_l1: f64,
+    /// Shared L2 miss rate under MI6.
+    pub mi6_l2: f64,
+    /// Shared L2 miss rate under IRONHIDE.
+    pub ironhide_l2: f64,
+}
+
+impl Fig7Row {
+    /// L1 miss-rate delta (MI6 − IRONHIDE; positive means IRONHIDE misses
+    /// less, the paper's "L1 thrashing" effect).
+    pub fn l1_delta(&self) -> f64 {
+        self.mi6_l1 - self.ironhide_l1
+    }
+
+    /// L2 miss-rate delta (MI6 − IRONHIDE).
+    pub fn l2_delta(&self) -> f64 {
+        self.mi6_l2 - self.ironhide_l2
+    }
+}
+
+/// One row of the Figure 8 summary: IRONHIDE under one re-allocation policy.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Application label.
+    pub app: String,
+    /// Scale label.
+    pub scale: String,
+    /// Re-allocation policy.
+    pub policy: ReallocPolicy,
+    /// Completion time in milliseconds.
+    pub total_ms: f64,
+    /// Secure-cluster cores the policy settled on.
+    pub secure_cores: usize,
+}
+
+impl SweepMatrix {
+    /// Looks up one cell.
+    pub fn get(
+        &self,
+        app: &str,
+        arch: Architecture,
+        policy: ReallocPolicy,
+        scale: &str,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.key.app == app && c.key.arch == arch && c.key.policy == policy && c.key.scale == scale
+        })
+    }
+
+    /// All distinct (app, scale) pairs, in grid order.
+    fn app_scale_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for cell in &self.cells {
+            let pair = (cell.key.app.clone(), cell.key.scale.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// The Figure 6 completion-time summary under `policy`, one row per
+    /// (app, scale) pair for which all four architectures are present.
+    pub fn fig6(&self, policy: ReallocPolicy) -> Vec<Fig6Row> {
+        let mut rows = Vec::new();
+        for (app, scale) in self.app_scale_pairs() {
+            let cell = |arch| self.get(&app, arch, policy, &scale);
+            let (Some(insecure), Some(sgx), Some(mi6), Some(ironhide)) = (
+                cell(Architecture::Insecure),
+                cell(Architecture::SgxLike),
+                cell(Architecture::Mi6),
+                cell(Architecture::Ironhide),
+            ) else {
+                continue;
+            };
+            rows.push(Fig6Row {
+                app,
+                scale,
+                insecure_ms: insecure.report.total_time_ms(),
+                sgx_ms: sgx.report.total_time_ms(),
+                mi6_ms: mi6.report.total_time_ms(),
+                ironhide_ms: ironhide.report.total_time_ms(),
+                ironhide_secure_cores: ironhide.report.secure_cores,
+                mi6_over_ironhide: ironhide.report.speedup_over(&mi6.report),
+            });
+        }
+        rows
+    }
+
+    /// Checks the paper's Figure 6 ordering — insecure ≤ IRONHIDE ≤ MI6
+    /// completion time — for every complete row under `policy`, returning a
+    /// description of each violation (empty = all orderings hold).
+    pub fn fig6_ordering_violations(&self, policy: ReallocPolicy) -> Vec<String> {
+        let mut violations = Vec::new();
+        for row in self.fig6(policy) {
+            if row.insecure_ms > row.ironhide_ms {
+                violations.push(format!(
+                    "{} @{}: insecure ({:.4} ms) slower than IRONHIDE ({:.4} ms)",
+                    row.app, row.scale, row.insecure_ms, row.ironhide_ms
+                ));
+            }
+            if row.ironhide_ms > row.mi6_ms {
+                violations.push(format!(
+                    "{} @{}: IRONHIDE ({:.4} ms) slower than MI6 ({:.4} ms)",
+                    row.app, row.scale, row.ironhide_ms, row.mi6_ms
+                ));
+            }
+        }
+        violations
+    }
+
+    /// The Figure 7 miss-rate summary under `policy`, one row per (app,
+    /// scale) pair for which both MI6 and IRONHIDE are present.
+    pub fn fig7(&self, policy: ReallocPolicy) -> Vec<Fig7Row> {
+        let mut rows = Vec::new();
+        for (app, scale) in self.app_scale_pairs() {
+            let (Some(mi6), Some(ironhide)) = (
+                self.get(&app, Architecture::Mi6, policy, &scale),
+                self.get(&app, Architecture::Ironhide, policy, &scale),
+            ) else {
+                continue;
+            };
+            rows.push(Fig7Row {
+                app,
+                scale,
+                mi6_l1: mi6.report.l1_miss_rate,
+                ironhide_l1: ironhide.report.l1_miss_rate,
+                mi6_l2: mi6.report.l2_miss_rate,
+                ironhide_l2: ironhide.report.l2_miss_rate,
+            });
+        }
+        rows
+    }
+
+    /// The Figure 8 policy-sensitivity summary: every IRONHIDE cell, in grid
+    /// order.
+    pub fn fig8(&self) -> Vec<Fig8Row> {
+        self.cells
+            .iter()
+            .filter(|c| c.key.arch == Architecture::Ironhide)
+            .map(|c| Fig8Row {
+                app: c.key.app.clone(),
+                scale: c.key.scale.clone(),
+                policy: c.key.policy,
+                total_ms: c.report.total_time_ms(),
+                secure_cores: c.report.secure_cores,
+            })
+            .collect()
+    }
+
+    /// Geometric-mean IRONHIDE completion time (ms) under each of two
+    /// policies, over the (app, scale) pairs where both are present —
+    /// typically used to compare the heuristic against static re-allocation.
+    pub fn policy_geomeans(&self, a: ReallocPolicy, b: ReallocPolicy) -> Option<(f64, f64)> {
+        let mut times_a = Vec::new();
+        let mut times_b = Vec::new();
+        for (app, scale) in self.app_scale_pairs() {
+            let (Some(cell_a), Some(cell_b)) = (
+                self.get(&app, Architecture::Ironhide, a, &scale),
+                self.get(&app, Architecture::Ironhide, b, &scale),
+            ) else {
+                continue;
+            };
+            times_a.push(cell_a.report.total_time_ms());
+            times_b.push(cell_b.report.total_time_ms());
+        }
+        if times_a.is_empty() {
+            None
+        } else {
+            Some((geometric_mean(&times_a), geometric_mean(&times_b)))
+        }
+    }
+
+    /// Renders the matrix as deterministic JSON: same cells (in the same
+    /// order) and same master seed produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.cells.len() * 1024);
+        out.push_str("{\n  \"master_seed\": ");
+        out.push_str(&self.master_seed.to_string());
+        out.push_str(",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            cell_json(&mut out, cell);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// The geometric mean of a slice of positive values (0 when empty).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (hand-rolled: the build environment has no registry access,
+// so serde is unavailable; the subset needed here is tiny and its output
+// must be byte-stable anyway).
+// ---------------------------------------------------------------------------
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip rendering is deterministic and re-parses
+        // to the same bits; integral values print without a fraction, which
+        // is still a valid JSON number.
+        out.push_str(&v.to_string());
+    } else {
+        // JSON has no NaN/Infinity; null keeps the document well-formed.
+        out.push_str("null");
+    }
+}
+
+macro_rules! json_fields {
+    ($out:ident, { $($name:literal : $value:expr),+ $(,)? }) => {{
+        $out.push('{');
+        let mut first = true;
+        $(
+            if !first {
+                $out.push(',');
+            }
+            first = false;
+            let _ = first;
+            $out.push('"');
+            $out.push_str($name);
+            $out.push_str("\":");
+            $value;
+        )+
+        $out.push('}');
+    }};
+}
+
+fn cache_stats_json(out: &mut String, s: &ironhide_cache::CacheStats) {
+    json_fields!(out, {
+        "accesses": out.push_str(&s.accesses.to_string()),
+        "hits": out.push_str(&s.hits.to_string()),
+        "misses": out.push_str(&s.misses.to_string()),
+        "evictions": out.push_str(&s.evictions.to_string()),
+        "writebacks": out.push_str(&s.writebacks.to_string()),
+        "flushed_lines": out.push_str(&s.flushed_lines.to_string()),
+        "purges": out.push_str(&s.purges.to_string()),
+    });
+}
+
+fn mem_stats_json(out: &mut String, s: &ironhide_mem::MemStats) {
+    json_fields!(out, {
+        "requests": out.push_str(&s.requests.to_string()),
+        "reads": out.push_str(&s.reads.to_string()),
+        "writes": out.push_str(&s.writes.to_string()),
+        "row_hits": out.push_str(&s.row_hits.to_string()),
+        "row_misses": out.push_str(&s.row_misses.to_string()),
+        "total_latency_cycles": out.push_str(&s.total_latency_cycles.to_string()),
+        "purges": out.push_str(&s.purges.to_string()),
+    });
+}
+
+fn noc_stats_json(out: &mut String, s: &ironhide_mesh::NocStats) {
+    json_fields!(out, {
+        "packets": out.push_str(&s.packets.to_string()),
+        "flits": out.push_str(&s.flits.to_string()),
+        "hops": out.push_str(&s.hops.to_string()),
+        "latency_cycles": out.push_str(&s.latency_cycles.to_string()),
+        "cross_cluster_packets": out.push_str(&s.cross_cluster_packets.to_string()),
+        "requests": out.push_str(&s.requests.to_string()),
+        "responses": out.push_str(&s.responses.to_string()),
+        "writebacks": out.push_str(&s.writebacks.to_string()),
+        "ipc": out.push_str(&s.ipc.to_string()),
+        "maintenance": out.push_str(&s.maintenance.to_string()),
+    });
+}
+
+fn machine_stats_json(out: &mut String, s: &ironhide_sim::stats::MachineStats) {
+    json_fields!(out, {
+        "l1": cache_stats_json(out, &s.l1),
+        "tlb": cache_stats_json(out, &s.tlb),
+        "l2": cache_stats_json(out, &s.l2),
+        "mem": mem_stats_json(out, &s.mem),
+        "noc": noc_stats_json(out, &s.noc),
+        "core_purges": out.push_str(&s.core_purges.to_string()),
+        "pages_rehomed": out.push_str(&s.pages_rehomed.to_string()),
+    });
+}
+
+fn isolation_json(out: &mut String, s: &crate::isolation::IsolationSummary) {
+    json_fields!(out, {
+        "cross_cluster_packets": out.push_str(&s.cross_cluster_packets.to_string()),
+        "ipc_packets": out.push_str(&s.ipc_packets.to_string()),
+        "spec_checks": out.push_str(&s.spec_checks.to_string()),
+        "spec_blocked": out.push_str(&s.spec_blocked.to_string()),
+        "containment_verified": out.push_str(if s.containment_verified { "true" } else { "false" }),
+        "violations": {
+            out.push('[');
+            for (i, v) in s.violations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(out, v);
+            }
+            out.push(']');
+        },
+    });
+}
+
+/// Renders one report as a JSON object. Public so the golden-stats tests and
+/// any external tooling can snapshot individual reports.
+pub fn report_json(out: &mut String, r: &CompletionReport) {
+    json_fields!(out, {
+        "app": json_string(out, &r.app),
+        "arch": json_string(out, &r.arch.to_string()),
+        "total_cycles": out.push_str(&r.total_cycles.to_string()),
+        "compute_cycles": out.push_str(&r.compute_cycles.to_string()),
+        "overhead_cycles": out.push_str(&r.overhead_cycles.to_string()),
+        "reconfig_cycles": out.push_str(&r.reconfig_cycles.to_string()),
+        "interactions": out.push_str(&r.interactions.to_string()),
+        "secure_cores": out.push_str(&r.secure_cores.to_string()),
+        "l1_miss_rate": json_f64(out, r.l1_miss_rate),
+        "l2_miss_rate": json_f64(out, r.l2_miss_rate),
+        "clock_ghz": json_f64(out, r.clock_ghz),
+        "isolation": isolation_json(out, &r.isolation),
+        "machine": machine_stats_json(out, &r.machine),
+    });
+}
+
+fn cell_json(out: &mut String, cell: &SweepCell) {
+    json_fields!(out, {
+        "app": json_string(out, &cell.key.app),
+        "arch": json_string(out, &cell.key.arch.to_string()),
+        "policy": json_string(out, &cell.key.policy.to_string()),
+        "scale": json_string(out, &cell.key.scale),
+        "seed": out.push_str(&cell.seed.to_string()),
+        "report": report_json(out, &cell.report),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Interaction, MemRef, ProcessProfile, WorkUnit};
+    use ironhide_sim::process::SecurityClass;
+
+    /// A deterministic synthetic app whose trace is derived from the cell
+    /// seed, exercising the seed plumbing.
+    #[derive(Debug)]
+    struct SeededApp {
+        insecure: ProcessProfile,
+        secure: ProcessProfile,
+        seed: u64,
+    }
+
+    impl SeededApp {
+        fn new(seed: u64) -> Self {
+            SeededApp {
+                insecure: ProcessProfile::new("gen", SecurityClass::Insecure, 0.9, 50, 16),
+                secure: ProcessProfile::new("enc", SecurityClass::Secure, 0.8, 100, 8),
+                seed,
+            }
+        }
+    }
+
+    impl crate::app::InteractiveApp for SeededApp {
+        fn name(&self) -> &str {
+            "<SEEDED, TEST>"
+        }
+        fn insecure_profile(&self) -> &ProcessProfile {
+            &self.insecure
+        }
+        fn secure_profile(&self) -> &ProcessProfile {
+            &self.secure
+        }
+        fn interactions(&self) -> usize {
+            4
+        }
+        fn interactivity_per_second(&self) -> f64 {
+            100.0
+        }
+        fn interaction(&mut self, idx: usize) -> Interaction {
+            let base = (self.seed % 64) * 64;
+            let mut insecure = Vec::new();
+            let mut secure = Vec::new();
+            for i in 0..32u64 {
+                insecure.push(MemRef::write(base + (idx as u64 * 32 + i) * 64));
+                secure.push(MemRef::read(0x20_0000 + base + (i % 16) * 64));
+            }
+            Interaction {
+                insecure: WorkUnit::new(1_000, insecure),
+                secure: WorkUnit::new(2_000, secure),
+                ipc_bytes: 128,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn test_grid() -> SweepGrid {
+        SweepGrid::new()
+            .with_app(AppSpec::new("<SEEDED, TEST>", |_, seed| Box::new(SeededApp::new(seed))))
+            .with_architectures(&[Architecture::Insecure, Architecture::Ironhide])
+            .with_policies(&[ReallocPolicy::Static])
+            .with_scale(ScalePoint::new("Smoke"))
+    }
+
+    fn test_runner() -> SweepRunner {
+        let params =
+            ArchParams { warmup_interactions: 1, predictor_sample: 1, ..ArchParams::default() };
+        SweepRunner::new(MachineConfig::small_test()).with_params(params).with_seed(7)
+    }
+
+    #[test]
+    fn grid_expansion_order_is_canonical() {
+        let grid = test_grid();
+        assert_eq!(grid.len(), 2);
+        let keys = grid.keys();
+        assert_eq!(keys[0].arch, Architecture::Insecure);
+        assert_eq!(keys[1].arch, Architecture::Ironhide);
+        assert!(!grid.is_empty());
+        assert!(SweepGrid::new().is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_are_key_pure() {
+        let runner = test_runner();
+        let keys = test_grid().keys();
+        assert_eq!(runner.cell_seed(&keys[0]), runner.cell_seed(&keys[0].clone()));
+        assert_ne!(runner.cell_seed(&keys[0]), runner.cell_seed(&keys[1]));
+        let reseeded = test_runner().with_seed(8);
+        assert_ne!(runner.cell_seed(&keys[0]), reseeded.cell_seed(&keys[0]));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_independent() {
+        let grid = test_grid();
+        let baseline = test_runner().with_threads(1).run(&grid).unwrap().to_json();
+        for threads in [2, 4] {
+            let json = test_runner().with_threads(threads).run(&grid).unwrap().to_json();
+            assert_eq!(json, baseline, "thread count {threads} changed the matrix");
+        }
+    }
+
+    #[test]
+    fn matrix_queries_find_cells() {
+        let matrix = test_runner().run(&test_grid()).unwrap();
+        assert_eq!(matrix.cells.len(), 2);
+        let cell = matrix
+            .get("<SEEDED, TEST>", Architecture::Ironhide, ReallocPolicy::Static, "Smoke")
+            .expect("cell present");
+        assert!(cell.report.total_cycles > 0);
+        assert!(cell.report.isolation.is_clean());
+        // fig6 needs all four architectures; this grid only has two.
+        assert!(matrix.fig6(ReallocPolicy::Static).is_empty());
+        let fig8 = matrix.fig8();
+        assert_eq!(fig8.len(), 1);
+        assert_eq!(fig8[0].policy, ReallocPolicy::Static);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let matrix = test_runner().run(&test_grid()).unwrap();
+        let json = matrix.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"report\"").count(), 2);
+        // Balanced braces and brackets (no string in the output contains
+        // braces, so a raw count is a fair structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        json_f64(&mut out, 1.25);
+        assert_eq!(out, "1.25");
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -135,8 +135,7 @@ impl MemoryController {
     /// leak across an enclave boundary is drained. Returns the cycles charged
     /// for draining, proportional to the estimated occupancy.
     pub fn purge(&mut self) -> u64 {
-        let drain =
-            (self.queue_occupancy.round() as u64) * self.config.queue_cycles_per_entry * 2;
+        let drain = (self.queue_occupancy.round() as u64) * self.config.queue_cycles_per_entry * 2;
         self.queue_occupancy = 0.0;
         for r in &mut self.open_rows {
             *r = None;

@@ -121,10 +121,7 @@ impl ClusterMap {
 
     /// Nodes of the given cluster, in ascending order.
     pub fn nodes_of(&self, cluster: ClusterId) -> Vec<NodeId> {
-        self.topology
-            .iter_nodes()
-            .filter(|n| self.cluster_of(*n) == cluster)
-            .collect()
+        self.topology.iter_nodes().filter(|n| self.cluster_of(*n) == cluster).collect()
     }
 
     /// Number of tiles in the given cluster.
@@ -251,7 +248,7 @@ mod tests {
         // picking secure tiles in different columns of the split row.
         let mut map2 = map.clone();
         map2.reassign(NodeId(38), ClusterId::Secure); // (4,6)
-        // Route 33 -> 38 along row 4 under XY crosses insecure tiles 34..=37.
+                                                      // Route 33 -> 38 along row 4 under XY crosses insecure tiles 34..=37.
         let xy = mesh().route(NodeId(33), NodeId(38), RoutingAlgorithm::XY);
         assert!(map2.audit_route(&xy, ClusterId::Secure).is_err());
         // But those two tiles cannot be contained by YX either (same row), so

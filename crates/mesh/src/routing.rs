@@ -78,20 +78,18 @@ impl MeshTopology {
         let mut nodes = Vec::with_capacity(s.manhattan(d) + 1);
         nodes.push(src);
         let mut cur = s;
-        let step = |cur: &mut Coord, nodes: &mut Vec<NodeId>, dim_x: bool, target: usize| {
-            loop {
-                let v = if dim_x { cur.x } else { cur.y };
-                if v == target {
-                    break;
-                }
-                let next = if v < target { v + 1 } else { v - 1 };
-                if dim_x {
-                    cur.x = next;
-                } else {
-                    cur.y = next;
-                }
-                nodes.push(self.node_at(*cur));
+        let step = |cur: &mut Coord, nodes: &mut Vec<NodeId>, dim_x: bool, target: usize| loop {
+            let v = if dim_x { cur.x } else { cur.y };
+            if v == target {
+                break;
             }
+            let next = if v < target { v + 1 } else { v - 1 };
+            if dim_x {
+                cur.x = next;
+            } else {
+                cur.y = next;
+            }
+            nodes.push(self.node_at(*cur));
         };
         match algorithm {
             RoutingAlgorithm::XY => {
@@ -116,10 +114,7 @@ mod tests {
         let m = MeshTopology::new(8, 8);
         // From (0,0) to (2,2): XY visits (1,0),(2,0),(2,1),(2,2).
         let r = m.route(NodeId(0), NodeId(18), RoutingAlgorithm::XY);
-        assert_eq!(
-            r.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(10), NodeId(18)]
-        );
+        assert_eq!(r.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(10), NodeId(18)]);
         assert_eq!(r.hops(), 4);
     }
 
@@ -127,10 +122,7 @@ mod tests {
     fn yx_route_goes_y_first() {
         let m = MeshTopology::new(8, 8);
         let r = m.route(NodeId(0), NodeId(18), RoutingAlgorithm::YX);
-        assert_eq!(
-            r.nodes(),
-            &[NodeId(0), NodeId(8), NodeId(16), NodeId(17), NodeId(18)]
-        );
+        assert_eq!(r.nodes(), &[NodeId(0), NodeId(8), NodeId(16), NodeId(17), NodeId(18)]);
     }
 
     #[test]

@@ -120,13 +120,7 @@ mod tests {
     #[test]
     fn cross_cluster_counted_only_when_clusters_differ() {
         let mut s = NocStats::new();
-        s.record(
-            PacketKind::Ipc,
-            5,
-            2,
-            4,
-            Some((ClusterId::Secure, ClusterId::Insecure)),
-        );
+        s.record(PacketKind::Ipc, 5, 2, 4, Some((ClusterId::Secure, ClusterId::Insecure)));
         s.record(PacketKind::Request, 1, 2, 4, Some((ClusterId::Secure, ClusterId::Secure)));
         assert_eq!(s.cross_cluster_packets, 1);
         assert_eq!(s.ipc, 1);

@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-/// Identifier of a mesh node (a tile: core + private caches + shared L2 slice
-/// + router). Nodes are numbered in row-major order: node `y * width + x`
-/// sits at coordinate `(x, y)`.
+/// Identifier of a mesh node (a tile: core + private caches + shared L2
+/// slice + router). Nodes are numbered in row-major order: node
+/// `y * width + x` sits at coordinate `(x, y)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub usize);
 
@@ -115,10 +115,7 @@ impl MeshTopology {
     ///
     /// Panics if the coordinate lies outside the mesh.
     pub fn node_at(&self, coord: Coord) -> NodeId {
-        assert!(
-            coord.x < self.width && coord.y < self.height,
-            "coordinate {coord} out of range"
-        );
+        assert!(coord.x < self.width && coord.y < self.height, "coordinate {coord} out of range");
         NodeId(coord.y * self.width + coord.x)
     }
 

@@ -17,7 +17,7 @@
 use ironhide_cache::{PageId, SetAssocCache, SliceId, Tlb};
 use ironhide_mem::{ControllerMask, MemoryController, RegionMap, RegionOwner};
 use ironhide_mesh::{
-    ClusterMap, LatencyModel, MeshEdge, MeshTopology, NocStats, PacketKind, NodeId,
+    ClusterMap, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId, PacketKind,
     RoutingAlgorithm,
 };
 
@@ -187,9 +187,7 @@ impl Machine {
             SecurityClass::Insecure => RegionOwner::Insecure,
         };
         p.regions = self.regions.regions_of(owner).iter().map(|r| r.id).collect();
-        p.home = ironhide_cache::HomeMap::local(
-            (0..self.config.cores()).map(SliceId),
-        );
+        p.home = ironhide_cache::HomeMap::local((0..self.config.cores()).map(SliceId));
         self.processes.push(p);
         self.proc_stats.push(ProcessStats::new());
         ProcessId(self.processes.len() - 1)
@@ -306,7 +304,8 @@ impl Machine {
             .find(|r| r.id == region_id)
             .expect("process region must exist");
         let pages_per_region = (region.size / page_bytes).max(1);
-        let index_in_region = (p.allocated_pages / p.regions.len().max(1) as u64) % pages_per_region;
+        let index_in_region =
+            (p.allocated_pages / p.regions.len().max(1) as u64) % pages_per_region;
         let ppn = region.base / page_bytes + index_in_region;
         p.page_table.insert(vpn, ppn);
         // Pin the page's home slice round-robin over the allowed slices.
@@ -333,13 +332,7 @@ impl Machine {
             .map(|ppn| ppn * page_bytes + (vaddr % page_bytes))
     }
 
-    fn route_latency(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        kind: PacketKind,
-        pid: ProcessId,
-    ) -> u64 {
+    fn route_latency(&mut self, src: NodeId, dst: NodeId, kind: PacketKind, pid: ProcessId) -> u64 {
         let kind = if self.ipc_marker && !matches!(kind, PacketKind::WriteBack) {
             PacketKind::Ipc
         } else {
@@ -363,7 +356,10 @@ impl Machine {
                 } else {
                     // Only IPC-class traffic is expected to cross the boundary;
                     // the isolation auditor in ironhide-core flags anything else.
-                    (self.topology.route(src, dst, RoutingAlgorithm::XY), Some((src_cluster, dst_cluster)))
+                    (
+                        self.topology.route(src, dst, RoutingAlgorithm::XY),
+                        Some((src_cluster, dst_cluster)),
+                    )
                 }
             }
             _ => (self.topology.route(src, dst, RoutingAlgorithm::XY), None),
@@ -411,11 +407,8 @@ impl Machine {
             }
             // 4. Route to the home L2 slice.
             let ppn = paddr / self.page_bytes();
-            let home_slice = self.processes[pid.0]
-                .home
-                .home_of(PageId(ppn))
-                .map(|s| s.0)
-                .unwrap_or(core.0);
+            let home_slice =
+                self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| s.0).unwrap_or(core.0);
             let home = NodeId(home_slice);
             cycles += self.route_latency(core, home, PacketKind::Request, pid);
             let l2_outcome = self.l2s[home.0].access(paddr, write);
@@ -470,11 +463,7 @@ impl Machine {
 
     fn home_node_of(&self, pid: ProcessId, paddr: u64) -> NodeId {
         let ppn = paddr / self.page_bytes();
-        self.processes[pid.0]
-            .home
-            .home_of(PageId(ppn))
-            .map(|s| NodeId(s.0))
-            .unwrap_or(NodeId(0))
+        self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| NodeId(s.0)).unwrap_or(NodeId(0))
     }
 
     // ----- purges and reconfiguration --------------------------------------

@@ -1,11 +1,15 @@
 //! The nine interactive applications of the paper's evaluation, wired up as
 //! [`InteractiveApp`] implementations.
 
-use ironhide_core::app::{InteractiveApp, Interaction, ProcessProfile, WorkUnit};
+use ironhide_core::app::{Interaction, InteractiveApp, ProcessProfile, WorkUnit};
+use ironhide_core::sweep::{AppSpec, ScalePoint, SweepGrid};
+use ironhide_core::{Architecture, ReallocPolicy};
 use ironhide_sim::process::SecurityClass;
 
 use crate::crypto::{Aes256, QueryGenerator};
-use crate::graph::{sssp, pagerank_iteration, triangle_count_range, CsrGraph, GraphRegions, TemporalUpdateGenerator};
+use crate::graph::{
+    pagerank_iteration, sssp, triangle_count_range, CsrGraph, GraphRegions, TemporalUpdateGenerator,
+};
 use crate::recorder::{AccessRecorder, Region};
 use crate::services::{HttpLoadGenerator, KvStore, MemtierGenerator, OsServiceProcess, WebServer};
 use crate::vision::{BeeColony, Cnn, CnnShape, Frame, VisionPipeline};
@@ -24,6 +28,28 @@ pub enum ScaleFactor {
 }
 
 impl ScaleFactor {
+    /// The scale's label on a sweep grid's scale axis.
+    pub fn sweep_label(self) -> &'static str {
+        match self {
+            ScaleFactor::Smoke => "Smoke",
+            ScaleFactor::Paper => "Paper",
+        }
+    }
+
+    /// The sweep-grid scale point naming this scale.
+    pub fn sweep_point(self) -> ScalePoint {
+        ScalePoint::new(self.sweep_label())
+    }
+
+    /// Resolves a sweep scale label back to a scale factor.
+    pub fn from_sweep_label(label: &str) -> Option<ScaleFactor> {
+        match label {
+            "Smoke" => Some(ScaleFactor::Smoke),
+            "Paper" => Some(ScaleFactor::Paper),
+            _ => None,
+        }
+    }
+
     fn user_interactions(self) -> usize {
         match self {
             ScaleFactor::Smoke => 10,
@@ -139,6 +165,26 @@ impl AppId {
         }
     }
 
+    /// This application as a sweep-grid axis entry. The paper's workloads
+    /// are fully deterministic (their generators run on fixed seeds), so the
+    /// factory ignores the per-cell seed.
+    ///
+    /// The factory panics on a scale label it does not recognise — a silent
+    /// fallback would run the cell at the wrong sizing while the matrix
+    /// records the requested label, corrupting figure data undetectably.
+    pub fn sweep_spec(self) -> AppSpec {
+        AppSpec::new(self.label(), move |scale: &ScalePoint, _seed| {
+            let factor = ScaleFactor::from_sweep_label(scale.label()).unwrap_or_else(|| {
+                panic!(
+                    "unknown sweep scale label '{}' for {} (known: Smoke, Paper)",
+                    scale.label(),
+                    self.label()
+                )
+            });
+            self.instantiate(&factor)
+        })
+    }
+
     /// Builds the application at the requested scale.
     pub fn instantiate(self, scale: &ScaleFactor) -> Box<dyn InteractiveApp> {
         let scale = *scale;
@@ -158,6 +204,25 @@ impl AppId {
             AppId::LighttpdOs => Box::new(LighttpdApp::new(scale)),
         }
     }
+}
+
+/// Builds a sweep grid over the given paper applications, architectures,
+/// re-allocation policies and scales, ready for
+/// [`SweepRunner`](ironhide_core::sweep::SweepRunner).
+pub fn sweep_grid(
+    apps: &[AppId],
+    architectures: &[Architecture],
+    policies: &[ReallocPolicy],
+    scales: &[ScaleFactor],
+) -> SweepGrid {
+    let mut grid = SweepGrid::new().with_architectures(architectures).with_policies(policies);
+    for app in apps {
+        grid = grid.with_app(app.sweep_spec());
+    }
+    for scale in scales {
+        grid = grid.with_scale(scale.sweep_point());
+    }
+    grid
 }
 
 // ---------------------------------------------------------------------------
@@ -197,18 +262,15 @@ impl GraphApp {
         let regions = GraphRegions::layout(&graph, 0x10_0000);
         let n = graph.vertices();
         let (name, secure_profile) = match algo {
-            GraphAlgo::Sssp => (
-                "<SSSP, GRAPH>",
-                ProcessProfile::new("SSSP", SecurityClass::Secure, 0.82, 700, 32),
-            ),
-            GraphAlgo::PageRank => (
-                "<PR, GRAPH>",
-                ProcessProfile::new("PR", SecurityClass::Secure, 0.90, 400, 48),
-            ),
-            GraphAlgo::TriangleCount => (
-                "<TC, GRAPH>",
-                ProcessProfile::new("TC", SecurityClass::Secure, 0.40, 30_000, 4),
-            ),
+            GraphAlgo::Sssp => {
+                ("<SSSP, GRAPH>", ProcessProfile::new("SSSP", SecurityClass::Secure, 0.82, 700, 32))
+            }
+            GraphAlgo::PageRank => {
+                ("<PR, GRAPH>", ProcessProfile::new("PR", SecurityClass::Secure, 0.90, 400, 48))
+            }
+            GraphAlgo::TriangleCount => {
+                ("<TC, GRAPH>", ProcessProfile::new("TC", SecurityClass::Secure, 0.40, 30_000, 4))
+            }
         };
         GraphApp {
             algo,
@@ -263,12 +325,14 @@ impl InteractiveApp for GraphApp {
                 let _ = sssp(&self.graph, source, 12, &self.regions, &mut rec);
             }
             GraphAlgo::PageRank => {
-                self.ranks = pagerank_iteration(&self.graph, &self.ranks, 0.85, &self.regions, &mut rec);
+                self.ranks =
+                    pagerank_iteration(&self.graph, &self.ranks, 0.85, &self.regions, &mut rec);
             }
             GraphAlgo::TriangleCount => {
                 let window = (n / 8).max(8);
                 let from = self.tc_cursor;
-                let _ = triangle_count_range(&self.graph, from, from + window, &self.regions, &mut rec);
+                let _ =
+                    triangle_count_range(&self.graph, from, from + window, &self.regions, &mut rec);
                 self.tc_cursor = (self.tc_cursor + window) % n;
             }
         }
@@ -741,7 +805,9 @@ mod tests {
         let tc = GraphApp::new(GraphAlgo::TriangleCount, ScaleFactor::Smoke);
         let pr = GraphApp::new(GraphAlgo::PageRank, ScaleFactor::Smoke);
         assert!(tc.secure_profile().max_useful_cores < pr.secure_profile().max_useful_cores);
-        assert!(tc.secure_profile().sync_cycles_per_core > pr.secure_profile().sync_cycles_per_core);
+        assert!(
+            tc.secure_profile().sync_cycles_per_core > pr.secure_profile().sync_cycles_per_core
+        );
         let httpd = LighttpdApp::new(ScaleFactor::Smoke);
         assert!(httpd.secure_profile().max_useful_cores <= 4);
     }
@@ -762,19 +828,10 @@ mod tests {
         let mut app = QueryAesApp::new(ScaleFactor::Smoke);
         let a = app.interaction(0);
         let b = app.interaction(1);
-        let keys_a: std::collections::HashSet<u64> = a
-            .secure
-            .accesses
-            .iter()
-            .filter(|r| !r.write)
-            .map(|r| r.vaddr)
-            .collect();
-        let reuse = b
-            .secure
-            .accesses
-            .iter()
-            .filter(|r| !r.write && keys_a.contains(&r.vaddr))
-            .count();
+        let keys_a: std::collections::HashSet<u64> =
+            a.secure.accesses.iter().filter(|r| !r.write).map(|r| r.vaddr).collect();
+        let reuse =
+            b.secure.accesses.iter().filter(|r| !r.write && keys_a.contains(&r.vaddr)).count();
         assert!(reuse > 0, "the AES key schedule must be re-referenced every interaction");
     }
 

@@ -205,12 +205,13 @@ pub fn pagerank_iteration(
     rec: &mut AccessRecorder,
 ) -> Vec<f64> {
     let n = graph.vertices();
+    assert_eq!(ranks.len(), n, "ranks must have one entry per vertex");
     let mut next = vec![(1.0 - damping) / n as f64; n];
-    for v in 0..n {
+    for (v, rank) in ranks.iter().enumerate() {
         rec.read(&regions.offsets, v as u64);
         rec.read(&regions.state, v as u64);
         let degree = graph.neighbors(v).count().max(1);
-        let share = damping * ranks[v] / degree as f64;
+        let share = damping * rank / degree as f64;
         for (t, _) in graph.neighbors(v) {
             rec.read(&regions.targets, t as u64);
             next[t as usize] += share;
@@ -233,7 +234,8 @@ pub fn triangle_count_range(
     let mut count = 0u64;
     for v in from..to.min(n) {
         rec.read(&regions.offsets, v as u64);
-        let neigh_v: Vec<u32> = graph.neighbors(v).map(|(t, _)| t).filter(|t| *t as usize > v).collect();
+        let neigh_v: Vec<u32> =
+            graph.neighbors(v).map(|(t, _)| t).filter(|t| *t as usize > v).collect();
         for &u in &neigh_v {
             rec.read(&regions.targets, u as u64);
             for (w, _) in graph.neighbors(u as usize) {

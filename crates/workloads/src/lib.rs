@@ -39,9 +39,9 @@ pub mod recorder;
 pub mod services;
 pub mod vision;
 
-pub use app::{AppId, ScaleFactor};
+pub use app::{sweep_grid, AppId, ScaleFactor};
 pub use recorder::{AccessRecorder, Region};
 
 // Re-export the trait and supporting types so downstream users can name them
 // through one crate.
-pub use ironhide_core::app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+pub use ironhide_core::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};

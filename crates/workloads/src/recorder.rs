@@ -114,7 +114,7 @@ impl AccessRecorder {
     fn touch(&mut self, region: &Region, index: u64, write: bool) {
         self.total_touches += 1;
         self.counter += 1;
-        if self.counter % self.sample_rate != 0 || self.refs.len() >= self.cap {
+        if !self.counter.is_multiple_of(self.sample_rate) || self.refs.len() >= self.cap {
             return;
         }
         self.refs.push(MemRef { vaddr: region.addr_of(index), write });

@@ -241,7 +241,13 @@ impl OsServiceProcess {
         let fd_table = Region::new(base, 64, 1024);
         let socket_buffers = Region::new(fd_table.end(), 64, 4096);
         let page_cache = Region::new(socket_buffers.end(), 64, 16 * 1024);
-        OsServiceProcess { rng: StdRng::seed_from_u64(seed), fd_table, socket_buffers, page_cache, calls: 0 }
+        OsServiceProcess {
+            rng: StdRng::seed_from_u64(seed),
+            fd_table,
+            socket_buffers,
+            page_cache,
+            calls: 0,
+        }
     }
 
     /// Services one system call of `bytes` bytes, recording its touches.

@@ -69,7 +69,10 @@ impl VisionPipeline {
                     for dx in -1i64..=1 {
                         let nx = x as i64 + dx;
                         let ny = y as i64 + dy;
-                        if nx >= 0 && ny >= 0 && (nx as usize) < self.side && (ny as usize) < self.side
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < self.side
+                            && (ny as usize) < self.side
                         {
                             let idx = ny as usize * self.side + nx as usize;
                             rec.read(&self.raw, idx as u64);
@@ -109,8 +112,9 @@ impl BeeColony {
     /// search space, with state laid out at `base`.
     pub fn new(seed: u64, colony_size: usize, dims: usize, base: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let food_sources: Vec<Vec<f64>> =
-            (0..colony_size).map(|_| (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let food_sources: Vec<Vec<f64>> = (0..colony_size)
+            .map(|_| (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let sources = Region::new(base, 8, (colony_size * dims) as u64);
         let scratch = Region::new(sources.end(), 8, colony_size as u64);
         BeeColony {
@@ -222,15 +226,7 @@ impl Cnn {
         let total_weights = (c1 + c2 + dense) as u64;
         let weights_region = Region::new(base, 4, total_weights);
         let activations_region = Region::new(weights_region.end(), 4, 64 * 64);
-        Cnn {
-            shape,
-            conv1,
-            conv2,
-            dense: dense_w,
-            classes,
-            weights_region,
-            activations_region,
-        }
+        Cnn { shape, conv1, conv2, dense: dense_w, classes, weights_region, activations_region }
     }
 
     /// The network shape.
@@ -276,7 +272,8 @@ impl Cnn {
                             let w = self.conv2[(k * 9 + ky * 3 + kx) % self.conv2.len()];
                             rec.read(
                                 &self.weights_region,
-                                (self.conv1.len() + (k * 9 + ky * 3 + kx) % self.conv2.len()) as u64,
+                                (self.conv1.len() + (k * 9 + ky * 3 + kx) % self.conv2.len())
+                                    as u64,
                             );
                             acc += w * pooled[(y + ky) * pooled_side + (x + kx)].max(0.0);
                         }
@@ -292,10 +289,7 @@ impl Cnn {
             let mut acc = 0.0;
             for (f, feat) in features.iter().enumerate() {
                 let wi = (c * features.len() + f) % self.dense.len();
-                rec.read(
-                    &self.weights_region,
-                    (self.conv1.len() + self.conv2.len() + wi) as u64,
-                );
+                rec.read(&self.weights_region, (self.conv1.len() + self.conv2.len() + wi) as u64);
                 acc += self.dense[wi] * feat;
             }
             *score = acc;

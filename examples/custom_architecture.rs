@@ -74,8 +74,12 @@ fn main() {
     let ironhide = runner.run(Architecture::Ironhide, &mut app).expect("IRONHIDE run");
     println!("custom app on a 16-core machine:");
     println!("  MI6      {:>8.3} ms", mi6.total_time_ms());
-    println!("  IRONHIDE {:>8.3} ms ({} secure cores, {:.2}x faster)\n",
-        ironhide.total_time_ms(), ironhide.secure_cores, ironhide.speedup_over(&mi6));
+    println!(
+        "  IRONHIDE {:>8.3} ms ({} secure cores, {:.2}x faster)\n",
+        ironhide.total_time_ms(),
+        ironhide.secure_cores,
+        ironhide.speedup_over(&mi6)
+    );
 
     // 2. Drive the security machinery directly.
     let mut machine = Machine::new(config);
@@ -103,5 +107,8 @@ fn main() {
     let mut check = SpeculativeAccessCheck::new();
     let secure_region_addr = 0x0; // the low region of controller 0 is secure
     let outcome = check.check(machine.regions(), SecurityClass::Insecure, secure_region_addr);
-    println!("speculative insecure access to secure DRAM: {outcome:?} (blocked {})", check.blocked());
+    println!(
+        "speculative insecure access to secure DRAM: {outcome:?} (blocked {})",
+        check.blocked()
+    );
 }

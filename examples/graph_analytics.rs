@@ -16,10 +16,18 @@ fn run(app_id: AppId, runner: &ExperimentRunner) {
     let mut ih_app = app_id.instantiate(&ScaleFactor::Smoke);
     let ih = runner.run(Architecture::Ironhide, ih_app.as_mut()).expect("IRONHIDE run");
 
-    println!("  MI6      : {:>8.3} ms ({:.3} ms purging, L1 miss {:.1}%)",
-        mi6.total_time_ms(), mi6.overhead_time_ms(), mi6.l1_miss_rate * 100.0);
-    println!("  IRONHIDE : {:>8.3} ms (one-time reconfig {:.3} ms, L1 miss {:.1}%)",
-        ih.total_time_ms(), ih.reconfig_time_ms(), ih.l1_miss_rate * 100.0);
+    println!(
+        "  MI6      : {:>8.3} ms ({:.3} ms purging, L1 miss {:.1}%)",
+        mi6.total_time_ms(),
+        mi6.overhead_time_ms(),
+        mi6.l1_miss_rate * 100.0
+    );
+    println!(
+        "  IRONHIDE : {:>8.3} ms (one-time reconfig {:.3} ms, L1 miss {:.1}%)",
+        ih.total_time_ms(),
+        ih.reconfig_time_ms(),
+        ih.l1_miss_rate * 100.0
+    );
     println!("  secure cluster size chosen by the heuristic: {} of 64 cores", ih.secure_cores);
     println!("  speedup over MI6: {:.2}x", ih.speedup_over(&mi6));
     println!();

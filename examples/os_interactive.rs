@@ -14,12 +14,19 @@ fn main() {
     let runner = ExperimentRunner::new(MachineConfig::paper_default());
 
     for app_id in [AppId::MemcachedOs, AppId::LighttpdOs] {
-        println!("== {} (~{:.0}K secure entry/exit events per second on the prototype) ==",
+        println!(
+            "== {} (~{:.0}K secure entry/exit events per second on the prototype) ==",
             app_id.label(),
-            app_id.instantiate(&ScaleFactor::Smoke).interactivity_per_second() / 1000.0);
+            app_id.instantiate(&ScaleFactor::Smoke).interactivity_per_second() / 1000.0
+        );
 
         let mut reports = Vec::new();
-        for arch in [Architecture::Insecure, Architecture::SgxLike, Architecture::Mi6, Architecture::Ironhide] {
+        for arch in [
+            Architecture::Insecure,
+            Architecture::SgxLike,
+            Architecture::Mi6,
+            Architecture::Ironhide,
+        ] {
             let mut app = app_id.instantiate(&ScaleFactor::Smoke);
             let report = runner.run(arch, app.as_mut()).expect("run succeeds");
             reports.push(report);

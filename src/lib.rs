@@ -40,12 +40,16 @@ pub use ironhide_workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use ironhide_core::app::{InteractiveApp, Interaction, MemRef, ProcessProfile, WorkUnit};
+    pub use ironhide_core::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
     pub use ironhide_core::arch::{ArchParams, Architecture};
     pub use ironhide_core::realloc::ReallocPolicy;
     pub use ironhide_core::runner::{CompletionReport, ExperimentRunner};
+    pub use ironhide_core::sweep::{
+        AppSpec, CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix,
+        SweepRunner,
+    };
     pub use ironhide_mesh::{ClusterId, MeshTopology, NodeId, RoutingAlgorithm};
     pub use ironhide_sim::config::MachineConfig;
     pub use ironhide_sim::process::SecurityClass;
-    pub use ironhide_workloads::app::{AppId, ScaleFactor};
+    pub use ironhide_workloads::app::{sweep_grid, AppId, ScaleFactor};
 }

@@ -5,9 +5,8 @@
 use ironhide::prelude::*;
 
 fn runner() -> ExperimentRunner {
-    let mut params = ArchParams::default();
-    params.warmup_interactions = 2;
-    params.predictor_sample = 3;
+    let params =
+        ArchParams { warmup_interactions: 2, predictor_sample: 3, ..ArchParams::default() };
     ExperimentRunner::new(MachineConfig::paper_default()).with_params(params)
 }
 
@@ -68,8 +67,7 @@ fn mi6_inflates_l1_miss_rate_relative_to_ironhide() {
 
 #[test]
 fn heuristic_gives_triangle_counting_a_small_secure_cluster() {
-    let mut params = ArchParams::default();
-    params.warmup_interactions = 1;
+    let params = ArchParams { warmup_interactions: 1, ..ArchParams::default() };
     let runner = ExperimentRunner::new(MachineConfig::paper_default()).with_params(params);
     let mut app = AppId::TcGraph.instantiate(&ScaleFactor::Smoke);
     let report = runner.run(Architecture::Ironhide, app.as_mut()).unwrap();

@@ -46,7 +46,7 @@ proptest! {
         let insecure = machine.create_process("i", SecurityClass::Insecure);
         for (i, v) in vaddrs.iter().enumerate() {
             let pid = if i % 2 == 0 { secure } else { insecure };
-            machine.access(NodeId((i % 4) as usize), pid, *v, i % 3 == 0);
+            machine.access(NodeId(i % 4), pid, *v, i % 3 == 0);
         }
         for (pid, owner) in [(secure, RegionOwner::Secure), (insecure, RegionOwner::Insecure)] {
             for page in machine.process_physical_pages(pid) {
@@ -60,10 +60,12 @@ proptest! {
     /// traffic, for any (valid) static secure-cluster size.
     #[test]
     fn ironhide_cross_cluster_traffic_is_only_ipc(secure_fraction in 0.15f64..0.85) {
-        let mut params = ArchParams::default();
-        params.warmup_interactions = 1;
-        params.predictor_sample = 1;
-        params.initial_secure_fraction = secure_fraction;
+        let params = ArchParams {
+            warmup_interactions: 1,
+            predictor_sample: 1,
+            initial_secure_fraction: secure_fraction,
+            ..ArchParams::default()
+        };
         let runner = ExperimentRunner::new(MachineConfig::paper_default())
             .with_params(params)
             .with_realloc(ReallocPolicy::Static);

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use ironhide::ironhide_cache::{CacheConfig, HomeMap, PageId, SetAssocCache, SliceId, Tlb, TlbConfig};
+use ironhide::ironhide_cache::{
+    CacheConfig, HomeMap, PageId, SetAssocCache, SliceId, Tlb, TlbConfig,
+};
 use ironhide::ironhide_core::realloc::ReallocPolicy;
 use ironhide::ironhide_mesh::{MeshTopology, NodeId, RoutingAlgorithm};
 

@@ -1,0 +1,236 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! slice of the Criterion API the `micro_primitives` bench uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of Criterion's full statistical machinery it runs each benchmark
+//! for the configured measurement window and reports the mean, minimum and
+//! maximum wall-clock time per iteration — enough to compare the relative
+//! cost of the simulator primitives. Passing `--test` (as `cargo test`
+//! does for bench targets) runs each benchmark exactly once, keeping test
+//! runs fast.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched setup output is sized (accepted for API compatibility; the
+/// shim always runs one setup per measured routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize, measurement: Duration) -> Self {
+        Bencher { samples, measurement, results: Vec::new() }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.results.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.results.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Benchmark registry and configuration, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; `cargo bench`
+        // passes `--bench`. In test mode each benchmark runs once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 50,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let (samples, measurement, warm_up) = if self.test_mode {
+            (1, Duration::from_secs(3600), Duration::ZERO)
+        } else {
+            (self.sample_size, self.measurement, self.warm_up)
+        };
+        if !warm_up.is_zero() {
+            let mut warm = Bencher::new(samples, warm_up);
+            f(&mut warm);
+        }
+        let mut bencher = Bencher::new(samples, measurement);
+        f(&mut bencher);
+        report(name, &bencher.results, self.test_mode);
+        self
+    }
+
+    /// Finalises reporting (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(name: &str, results: &[Duration], test_mode: bool) {
+    if test_mode {
+        println!("test {name} ... ok (1 iteration)");
+        return;
+    }
+    if results.is_empty() {
+        println!("{name:<40} no samples collected");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().unwrap();
+    let max = results.iter().max().unwrap();
+    println!(
+        "{name:<40} time: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        results.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(5).warm_up_time(Duration::ZERO);
+        c.test_mode = false;
+        c.measurement = Duration::from_millis(50);
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher::new(3, Duration::from_secs(1));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

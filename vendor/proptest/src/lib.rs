@@ -1,0 +1,264 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! slice of the proptest API the repository's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * range strategies over integers and floats (`0usize..64`, `0u64..=7`,
+//!   `-30i32..30`, `0.15f64..0.85`),
+//! * [`prelude::any`]`::<bool>()`,
+//! * `prop::collection::vec(strategy, size_range)`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! immediately with the sampled inputs printed, which is enough for the test
+//! suite's purposes. Sampling is deterministic: every test function draws its
+//! cases from a generator seeded with a fixed constant (override with the
+//! `PROPTEST_SEED` environment variable), so failures reproduce across runs
+//! and machines.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration (subset: only the case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Builds the deterministic per-test generator.
+pub fn test_rng() -> TestRng {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_1DE5_0000_0001);
+    TestRng::seed_from_u64(seed)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for the full domain of a type (subset of `proptest::arbitrary`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the strategy covering all values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Collection strategies (subset: only `vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, printing the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@inner $cfg; $($rest)*);
+    };
+    (@inner $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng();
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Render the inputs before the body runs: the body may
+                // consume them, and we want them in the failure report.
+                let inputs: Vec<(&str, String)> =
+                    vec![$((stringify!($arg), format!("{:?}", &$arg)),)+];
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    $($crate::noop(&$arg);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest shim: property `{}` failed on case {case} with inputs:",
+                        stringify!($name),
+                    );
+                    for (name, value) in &inputs {
+                        eprintln!("  {name} = {value}");
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@inner $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Keeps sampled inputs alive for the failure report without triggering
+/// unused-variable lints when a body ignores an argument.
+pub fn noop<T>(_v: &T) {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0usize..10, b in -5i32..5, f in 0.25f64..0.75, flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u64..100, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = crate::test_rng();
+        let mut b = crate::test_rng();
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! slice of the rayon API the sweep subsystem uses: [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], and `par_iter().map(..).collect::<Vec<_>>()` on
+//! slices and vectors (via [`prelude`]).
+//!
+//! Execution model: a parallel map distributes items over `N` OS threads
+//! (scoped, created per call — adequate for the coarse-grained experiment
+//! cells this repo parallelises) using an atomic work-stealing index, and
+//! **always collects results in item order**, so the output is independent of
+//! the thread count and of scheduling, which is exactly the determinism
+//! contract the sweep tests rely on.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] for the current
+    /// scope; 0 means "use the default".
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel operation started now would use.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool. The shim spawns scoped threads per operation
+/// rather than keeping workers alive; `install` records the thread count the
+/// enclosed parallel operations should use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it creates.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        CURRENT_THREADS.with(|c| {
+            let previous = c.get();
+            c.set(self.num_threads);
+            let result = op();
+            c.set(previous);
+            result
+        })
+    }
+}
+
+/// A parallel iterator over borrowed items (subset: `map` + `collect`).
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct ParMap<'a, T, R, F> {
+    items: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<R>,
+}
+
+impl<'a, T, R, F> fmt::Debug for ParMap<'a, T, R, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParMap").field("len", &self.items.len()).finish()
+    }
+}
+
+/// Types that can produce a [`ParIter`] by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses.
+pub trait ParallelIterator<'a>: Sized {
+    /// The item type.
+    type Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<'a, Self::Item, R, F>
+    where
+        F: Fn(&'a Self::Item) -> R + Sync,
+        R: Send;
+}
+
+impl<'a, T: Sync> ParallelIterator<'a> for ParIter<'a, T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f, _out: std::marker::PhantomData }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, R, F> {
+    /// Runs the map on the installed thread count and collects the results
+    /// **in item order**, independent of scheduling.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `f` over `items` on the currently installed thread count, returning
+/// results in item order.
+fn par_map_ordered<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(&'a T) -> R + Sync),
+) -> Vec<R> {
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let value = f(&items[idx]);
+                *slots[idx].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// The imports rayon users glob in.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collection_is_thread_count_independent() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel: Vec<u64> =
+                pool.install(|| items.par_iter().map(|x| x * x).collect::<Vec<_>>());
+            assert_eq!(parallel, serial, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            nested.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let result: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(result.is_empty());
+        let one = [41u32];
+        let result: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(result, vec![42]);
+    }
+}
