@@ -1,0 +1,129 @@
+//! Throughput baseline for the simulator's memory-access hot path.
+//!
+//! Runs a fixed, fully deterministic Smoke-scale sweep (every interactive
+//! application under every execution architecture, heuristic re-allocation)
+//! on a single worker thread and reports how fast the *simulator itself*
+//! executed it: simulated memory accesses per wall-clock second, wall time,
+//! and peak RSS. The output JSON (`BENCH_<n>.json` in the repo root) is the
+//! recorded perf trajectory: every PR that touches the hot path re-runs this
+//! harness and commits the new figure next to the old ones.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ironhide-bench --bin baseline            # full grid
+//! cargo run --release -p ironhide-bench --bin baseline -- --smoke # CI smoke
+//! cargo run --release -p ironhide-bench --bin baseline -- --out path.json
+//! ```
+//!
+//! The access count is the number of [`Machine::access`] calls in the
+//! *measured* phase of every cell (the aggregate L1 access counter: every
+//! access probes the L1 exactly once); warm-up and predictor probes add wall
+//! time but are not counted, so the reported rate is a conservative lower
+//! bound on raw hot-path throughput. The simulated results themselves are
+//! byte-deterministic, so `total_cycles` doubles as a semantics checksum:
+//! two builds of the same simulator must agree on it exactly.
+//!
+//! [`Machine::access`]: ironhide_sim::machine::Machine::access
+
+use std::time::Instant;
+
+use ironhide_core::arch::Architecture;
+use ironhide_core::realloc::ReallocPolicy;
+use ironhide_core::sweep::{SweepMatrix, SweepRunner};
+use ironhide_sim::config::MachineConfig;
+use ironhide_workloads::app::{sweep_grid, AppId, ScaleFactor};
+
+/// Master seed of the baseline sweep (arbitrary but fixed forever: changing
+/// it would make the `total_cycles` checksum incomparable across PRs).
+const MASTER_SEED: u64 = 2;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: baseline [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let apps: Vec<AppId> =
+        if smoke { vec![AppId::QueryAes, AppId::PrGraph] } else { AppId::ALL.to_vec() };
+    let archs = if smoke {
+        vec![Architecture::Mi6, Architecture::Ironhide]
+    } else {
+        Architecture::ALL.to_vec()
+    };
+    let grid = sweep_grid(&apps, &archs, &[ReallocPolicy::Heuristic], &[ScaleFactor::Smoke]);
+
+    // One worker thread: this harness measures sequential hot-path cost, not
+    // sweep parallelism (which tests/sweep_determinism.rs covers separately).
+    let runner =
+        SweepRunner::new(MachineConfig::paper_default()).with_threads(1).with_seed(MASTER_SEED);
+
+    let label = if smoke { "smoke" } else { "full" };
+    eprintln!("baseline: running {label} grid ({} cells, 1 thread)...", grid.len());
+    let start = Instant::now();
+    let matrix = runner.run(&grid).unwrap_or_else(|e| {
+        eprintln!("baseline sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let wall = start.elapsed();
+
+    let report = render_report(&matrix, label, wall.as_secs_f64(), peak_rss_bytes());
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("baseline: wrote {out_path}");
+    // A human-readable one-liner for logs; the JSON is the durable record.
+    println!("{report}");
+}
+
+/// Renders the measurement as deterministic-layout JSON (the values of the
+/// timing fields naturally vary run to run; the layout does not).
+fn render_report(matrix: &SweepMatrix, grid_label: &str, wall_s: f64, peak_rss: u64) -> String {
+    let accesses: u64 = matrix.cells.iter().map(|c| c.report.machine.l1.accesses).sum();
+    let sim_cycles: u64 = matrix.cells.iter().map(|c| c.report.total_cycles).sum();
+    let rate = if wall_s > 0.0 { accesses as f64 / wall_s } else { 0.0 };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"access_hot_path_baseline\",\n");
+    out.push_str(&format!("  \"grid\": \"{grid_label}\",\n"));
+    out.push_str(&format!("  \"cells\": {},\n", matrix.cells.len()));
+    out.push_str(&format!("  \"master_seed\": {},\n", matrix.master_seed));
+    out.push_str(&format!("  \"accesses\": {accesses},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {wall_s:.3},\n"));
+    out.push_str(&format!("  \"accesses_per_sec\": {},\n", rate.round() as u64));
+    out.push_str(&format!("  \"simulated_cycles_total\": {sim_cycles},\n"));
+    out.push_str(&format!("  \"peak_rss_bytes\": {peak_rss}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}

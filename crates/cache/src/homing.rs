@@ -8,8 +8,9 @@
 //! (IRONHIDE). IRONHIDE's dynamic hardware isolation re-homes pages when L2
 //! slices move between clusters.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use ironhide_fx::FxHashMap;
 
 /// Identifier of a physical page (physical address divided by the page size).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -67,7 +68,11 @@ impl std::error::Error for HomingError {}
 pub struct HomeMap {
     policy: HomePolicy,
     allowed: Vec<SliceId>,
-    pins: HashMap<PageId, SliceId>,
+    /// Page pins, consulted on every L1 miss. Keyed with the deterministic Fx
+    /// hasher: it is both faster than SipHash and gives the map a
+    /// process-independent iteration order, which [`HomeMap::rehome_all`]'s
+    /// round-robin assignment depends on for reproducible reconfigurations.
+    pins: FxHashMap<PageId, SliceId>,
     rehomes: u64,
 }
 
@@ -78,7 +83,7 @@ impl HomeMap {
         HomeMap {
             policy: HomePolicy::HashForHome,
             allowed: allowed.into_iter().collect(),
-            pins: HashMap::new(),
+            pins: FxHashMap::default(),
             rehomes: 0,
         }
     }

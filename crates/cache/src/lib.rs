@@ -47,6 +47,6 @@ pub mod tlb;
 pub use config::{CacheConfig, TlbConfig};
 pub use homing::{HomeMap, HomePolicy, PageId, SliceId};
 pub use replacement::ReplacementPolicy;
-pub use set_assoc::{AccessOutcome, Evicted, SetAssocCache};
+pub use set_assoc::{AccessOutcome, Evicted, SetAssocCache, Way};
 pub use stats::CacheStats;
 pub use tlb::Tlb;

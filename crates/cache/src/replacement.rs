@@ -1,5 +1,7 @@
 //! Replacement policies for set-associative structures.
 
+use crate::set_assoc::Way;
+
 /// Replacement policy used when a set is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReplacementPolicy {
@@ -14,28 +16,35 @@ pub enum ReplacementPolicy {
 }
 
 impl ReplacementPolicy {
-    /// Picks the victim way given the per-way metadata maintained by the
-    /// cache: `last_use` (monotonic access stamps) and `filled_at`
-    /// (monotonic fill stamps). `tick` is a deterministic seed for `Random`.
-    pub fn victim(self, last_use: &[u64], filled_at: &[u64], tick: u64) -> usize {
+    /// Picks the victim way directly from the set's way metadata (`last_use`
+    /// access stamps for LRU, `filled_at` fill stamps for FIFO). `tick` is a
+    /// deterministic seed for `Random`. Operating on the ways in place keeps
+    /// victim selection allocation-free on the miss path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is empty.
+    pub fn victim(self, ways: &[Way], tick: u64) -> usize {
+        assert!(!ways.is_empty(), "victim selection requires at least one way");
         match self {
-            ReplacementPolicy::Lru => index_of_min(last_use),
-            ReplacementPolicy::Fifo => index_of_min(filled_at),
+            ReplacementPolicy::Lru => index_of_min_by(ways, |w| w.last_use),
+            ReplacementPolicy::Fifo => index_of_min_by(ways, |w| w.filled_at),
             ReplacementPolicy::Random => {
                 let mut x = tick.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
                 x ^= x >> 33;
                 x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
                 x ^= x >> 29;
-                (x as usize) % last_use.len()
+                (x as usize) % ways.len()
             }
         }
     }
 }
 
-fn index_of_min(values: &[u64]) -> usize {
+/// Index of the way minimising `key`, preferring the first on ties.
+fn index_of_min_by(ways: &[Way], key: impl Fn(&Way) -> u64) -> usize {
     let mut best = 0;
-    for (i, v) in values.iter().enumerate() {
-        if *v < values[best] {
+    for (i, w) in ways.iter().enumerate() {
+        if key(w) < key(&ways[best]) {
             best = i;
         }
     }
@@ -46,34 +55,43 @@ fn index_of_min(values: &[u64]) -> usize {
 mod tests {
     use super::*;
 
+    /// Builds a set of valid ways with the given recency/fill stamps.
+    fn ways(last_use: &[u64], filled_at: &[u64]) -> Vec<Way> {
+        last_use.iter().zip(filled_at).map(|(lu, fa)| Way::stamped(*lu, *fa)).collect()
+    }
+
     #[test]
     fn lru_picks_least_recent() {
-        let last_use = [10, 3, 7, 9];
-        let filled_at = [0, 1, 2, 3];
-        assert_eq!(ReplacementPolicy::Lru.victim(&last_use, &filled_at, 0), 1);
+        let set = ways(&[10, 3, 7, 9], &[0, 1, 2, 3]);
+        assert_eq!(ReplacementPolicy::Lru.victim(&set, 0), 1);
     }
 
     #[test]
     fn fifo_picks_oldest_fill() {
-        let last_use = [10, 3, 7, 9];
-        let filled_at = [5, 6, 1, 3];
-        assert_eq!(ReplacementPolicy::Fifo.victim(&last_use, &filled_at, 0), 2);
+        let set = ways(&[10, 3, 7, 9], &[5, 6, 1, 3]);
+        assert_eq!(ReplacementPolicy::Fifo.victim(&set, 0), 2);
     }
 
     #[test]
     fn random_is_deterministic_and_in_range() {
-        let last_use = [0u64; 8];
-        let filled_at = [0u64; 8];
-        let a = ReplacementPolicy::Random.victim(&last_use, &filled_at, 42);
-        let b = ReplacementPolicy::Random.victim(&last_use, &filled_at, 42);
+        let set = ways(&[0; 8], &[0; 8]);
+        let a = ReplacementPolicy::Random.victim(&set, 42);
+        let b = ReplacementPolicy::Random.victim(&set, 42);
         assert_eq!(a, b);
         assert!(a < 8);
-        let c = ReplacementPolicy::Random.victim(&last_use, &filled_at, 43);
+        let c = ReplacementPolicy::Random.victim(&set, 43);
         assert!(c < 8);
     }
 
     #[test]
     fn min_index_prefers_first_on_tie() {
-        assert_eq!(index_of_min(&[2, 2, 2]), 0);
+        let set = ways(&[2, 2, 2], &[0, 0, 0]);
+        assert_eq!(ReplacementPolicy::Lru.victim(&set, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn empty_set_rejected() {
+        ReplacementPolicy::Lru.victim(&[], 0);
     }
 }

@@ -1,4 +1,9 @@
 //! A functional set-associative cache with configurable replacement.
+//!
+//! Storage is a single contiguous `Vec<Way>` indexed by `set * ways + way`
+//! (no per-set inner vectors), set/tag extraction uses shift/mask when the
+//! geometry is a power of two, and victim selection reads the way metadata in
+//! place — so a steady-state access performs **zero heap allocations**.
 
 use crate::config::CacheConfig;
 use crate::replacement::ReplacementPolicy;
@@ -45,13 +50,91 @@ impl AccessOutcome {
     }
 }
 
+/// Metadata of one way of a set: validity, dirtiness, the tag, and the
+/// recency/fill stamps the replacement policies read. Exposed so
+/// [`ReplacementPolicy::victim`] can select a victim directly from the set's
+/// slice without the cache copying stamps into temporaries.
 #[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    valid: bool,
-    dirty: bool,
-    tag: u64,
-    last_use: u64,
-    filled_at: u64,
+pub struct Way {
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
+    pub(crate) tag: u64,
+    pub(crate) last_use: u64,
+    pub(crate) filled_at: u64,
+}
+
+impl Way {
+    /// Whether the way holds a valid line.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Whether the line is dirty.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The line's tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Monotonic stamp of the last access (LRU input).
+    pub fn last_use(&self) -> u64 {
+        self.last_use
+    }
+
+    /// Monotonic stamp of the fill (FIFO input).
+    pub fn filled_at(&self) -> u64 {
+        self.filled_at
+    }
+
+    /// A valid way with the given recency/fill stamps (for policy tests).
+    #[cfg(test)]
+    pub(crate) fn stamped(last_use: u64, filled_at: u64) -> Self {
+        Way { valid: true, dirty: false, tag: 0, last_use, filled_at }
+    }
+}
+
+/// Allocates `n` default (all-invalid) ways from zeroed memory.
+///
+/// `vec![Way::default(); n]` writes every byte eagerly, faulting in the whole
+/// allocation; for a paper-scale machine that is ~12 MB of `Way` arrays per
+/// simulated machine, and sweeps build thousands of scratch machines (one per
+/// cell plus one per re-allocation predictor probe). Requesting *zeroed*
+/// memory instead lets the allocator hand back untouched copy-on-write zero
+/// pages, so sets that are never filled are never faulted in.
+fn zeroed_ways(n: usize) -> Vec<Way> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<Way>(n).expect("way array layout fits in memory");
+    // SAFETY: `Way` is a plain-old-data struct of bools and unsigned integers
+    // whose all-zero byte pattern is exactly `Way::default()` (`false` is 0,
+    // every counter starts at 0), so `n` zeroed `Way`s are fully initialised.
+    // The pointer comes from the global allocator with the same layout
+    // `Vec` expects for a `Vec<Way>` of capacity `n`, which makes
+    // `Vec::from_raw_parts` sound; the `Vec` takes ownership and frees it
+    // through the same allocator.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut Way;
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, n, n)
+    }
+}
+
+/// How set index and tag are carved out of an address. Power-of-two
+/// geometries (the only ones [`CacheConfig::new`] admits) use shift/mask; the
+/// div/mod fallback keeps directly-constructed odd geometries working.
+#[derive(Debug, Clone, Copy)]
+enum IndexScheme {
+    /// `line = addr >> line_shift`, `index = line & set_mask`,
+    /// `tag = line >> set_shift`.
+    Pow2 { line_shift: u32, set_mask: u64, set_shift: u32 },
+    /// General division/remainder form.
+    Generic { line_bytes: u64, sets: u64 },
 }
 
 /// A functional set-associative cache.
@@ -62,7 +145,10 @@ struct Way {
 pub struct SetAssocCache {
     config: CacheConfig,
     policy: ReplacementPolicy,
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets, contiguous: way `w` of set `s` lives at
+    /// `s * config.ways + w`.
+    ways: Vec<Way>,
+    scheme: IndexScheme,
     tick: u64,
     stats: CacheStats,
 }
@@ -75,8 +161,24 @@ impl SetAssocCache {
 
     /// Creates an empty cache with the given replacement policy.
     pub fn with_policy(config: CacheConfig, policy: ReplacementPolicy) -> Self {
-        let sets = vec![vec![Way::default(); config.ways]; config.sets()];
-        SetAssocCache { config, policy, sets, tick: 0, stats: CacheStats::new() }
+        let sets = config.sets();
+        let scheme = if config.line_bytes.is_power_of_two() && sets.is_power_of_two() {
+            IndexScheme::Pow2 {
+                line_shift: config.line_bytes.trailing_zeros(),
+                set_mask: sets as u64 - 1,
+                set_shift: sets.trailing_zeros(),
+            }
+        } else {
+            IndexScheme::Generic { line_bytes: config.line_bytes as u64, sets: sets as u64 }
+        };
+        SetAssocCache {
+            config,
+            policy,
+            ways: zeroed_ways(sets * config.ways),
+            scheme,
+            tick: 0,
+            stats: CacheStats::new(),
+        }
     }
 
     /// The cache geometry.
@@ -94,21 +196,41 @@ impl SetAssocCache {
         self.stats.reset();
     }
 
+    #[inline]
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let index = (line % self.config.sets() as u64) as usize;
-        let tag = line / self.config.sets() as u64;
-        (index, tag)
+        match self.scheme {
+            IndexScheme::Pow2 { line_shift, set_mask, set_shift } => {
+                let line = addr >> line_shift;
+                ((line & set_mask) as usize, line >> set_shift)
+            }
+            IndexScheme::Generic { line_bytes, sets } => {
+                let line = addr / line_bytes;
+                ((line % sets) as usize, line / sets)
+            }
+        }
     }
 
+    #[inline]
     fn line_addr(&self, index: usize, tag: u64) -> u64 {
-        (tag * self.config.sets() as u64 + index as u64) * self.config.line_bytes as u64
+        match self.scheme {
+            IndexScheme::Pow2 { line_shift, set_mask: _, set_shift } => {
+                ((tag << set_shift) | index as u64) << line_shift
+            }
+            IndexScheme::Generic { line_bytes, sets } => (tag * sets + index as u64) * line_bytes,
+        }
+    }
+
+    /// The ways of set `index` as a contiguous slice.
+    #[inline]
+    fn set(&self, index: usize) -> &[Way] {
+        let base = index * self.config.ways;
+        &self.ways[base..base + self.config.ways]
     }
 
     /// Looks up `addr` without modifying any state (no LRU update, no stats).
     pub fn probe(&self, addr: u64) -> bool {
         let (index, tag) = self.index_and_tag(addr);
-        self.sets[index].iter().any(|w| w.valid && w.tag == tag)
+        self.set(index).iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Performs a read (`write == false`) or write (`write == true`) access to
@@ -117,22 +239,23 @@ impl SetAssocCache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (index, tag) = self.index_and_tag(addr);
-        let set = &mut self.sets[index];
+        let assoc = self.config.ways;
+        let policy = self.policy;
+        let tick = self.tick;
+        let base = index * assoc;
+        let set = &mut self.ways[base..base + assoc];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.last_use = self.tick;
+            way.last_use = tick;
             way.dirty |= write;
             self.stats.hits += 1;
             return AccessOutcome::Hit;
         }
         self.stats.misses += 1;
-        // Fill: find an invalid way, otherwise evict a victim.
+        // Fill: find an invalid way, otherwise evict a victim chosen directly
+        // from the way metadata (no temporary stamp vectors).
         let victim_idx = match set.iter().position(|w| !w.valid) {
             Some(i) => i,
-            None => {
-                let last_use: Vec<u64> = set.iter().map(|w| w.last_use).collect();
-                let filled_at: Vec<u64> = set.iter().map(|w| w.filled_at).collect();
-                self.policy.victim(&last_use, &filled_at, self.tick)
-            }
+            None => policy.victim(set, tick),
         };
         let victim = set[victim_idx];
         let evicted = if victim.valid {
@@ -144,9 +267,8 @@ impl SetAssocCache {
         } else {
             None
         };
-        let set = &mut self.sets[index];
-        set[victim_idx] =
-            Way { valid: true, dirty: write, tag, last_use: self.tick, filled_at: self.tick };
+        self.ways[base + victim_idx] =
+            Way { valid: true, dirty: write, tag, last_use: tick, filled_at: tick };
         AccessOutcome::Miss { evicted }
     }
 
@@ -154,7 +276,8 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, addr: u64) -> Option<Evicted> {
         let (index, tag) = self.index_and_tag(addr);
         let line_addr = self.line_addr(index, tag);
-        let set = &mut self.sets[index];
+        let base = index * self.config.ways;
+        let set = &mut self.ways[base..base + self.config.ways];
         let way = set.iter_mut().find(|w| w.valid && w.tag == tag)?;
         let dirty = way.dirty;
         way.valid = false;
@@ -171,16 +294,14 @@ impl SetAssocCache {
     pub fn purge(&mut self) -> u64 {
         let mut dirty = 0;
         let mut valid = 0;
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                if way.valid {
-                    valid += 1;
-                    if way.dirty {
-                        dirty += 1;
-                    }
+        for way in &mut self.ways {
+            if way.valid {
+                valid += 1;
+                if way.dirty {
+                    dirty += 1;
                 }
-                *way = Way::default();
             }
+            *way = Way::default();
         }
         self.stats.purges += 1;
         self.stats.flushed_lines += valid;
@@ -190,12 +311,12 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 
     /// Number of valid dirty lines currently resident.
     pub fn dirty_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid && w.dirty).count()
+        self.ways.iter().filter(|w| w.valid && w.dirty).count()
     }
 }
 
@@ -288,12 +409,15 @@ mod tests {
         let mut c = small();
         c.access(0x000, false);
         c.access(0x100, false);
-        // Probing 0x000 must not refresh its recency.
+        let before = *c.stats();
+        // Probing 0x000 must not refresh its recency, count as an access, or
+        // change any other statistic.
         assert!(c.probe(0x000));
-        let before = c.stats().accesses;
-        assert_eq!(c.stats().accesses, before);
+        assert_eq!(c.stats().accesses, before.accesses);
+        assert_eq!(c.stats().hits, before.hits);
+        assert_eq!(c.stats().misses, before.misses);
         c.access(0x200, false);
-        // LRU victim should still be 0x000 (probed but not accessed).
+        // LRU victim must still be 0x000: the probe did not touch recency.
         assert!(!c.probe(0x000));
         assert!(c.probe(0x100));
     }
@@ -321,5 +445,21 @@ mod tests {
         c.access(0x000, false); // does not matter for FIFO
         let ev = c.access(0x200, false).evicted().unwrap();
         assert_eq!(ev.addr, 0x000, "FIFO evicts the first-filled way");
+    }
+
+    #[test]
+    fn generic_fallback_matches_pow2_indexing() {
+        // Construct a non-power-of-two set count directly (bypassing
+        // `CacheConfig::new`'s assertion) to exercise the div/mod fallback.
+        let odd = CacheConfig { size_bytes: 3 * 2 * 64, ways: 2, line_bytes: 64 };
+        assert_eq!(odd.sets(), 3);
+        let mut c = SetAssocCache::new(odd);
+        assert!(c.access(0x000, false).is_miss());
+        assert!(c.access(0x000, false).is_hit());
+        // Lines 0 and 3 share set 0 under mod-3 indexing.
+        c.access(3 * 64, true);
+        let ev = c.access(6 * 64, false).evicted().expect("2-way set 0 overflows");
+        assert_eq!(ev.addr, 0x000);
+        assert!(c.probe(3 * 64));
     }
 }

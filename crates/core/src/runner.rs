@@ -160,6 +160,20 @@ struct RunState {
     cluster: Option<ClusterManager>,
     compute_cycles: u64,
     overhead_cycles: u64,
+    /// Reusable per-lane memory-time accumulator; cleared by every work unit
+    /// so the interaction loop never re-allocates it.
+    lane_cycles: Vec<u64>,
+}
+
+/// Which of a run's two pinned processes issues a work unit. The helper
+/// methods select the matching cores/profile/pid from [`RunState`] internally
+/// so callers never have to clone those fields to satisfy borrows.
+#[derive(Debug, Clone, Copy)]
+enum Issuer {
+    /// The untrusted producer process.
+    Insecure,
+    /// The attested secure process.
+    Secure,
 }
 
 /// Runs interactive applications on simulated machines.
@@ -379,22 +393,20 @@ impl ExperimentRunner {
             cluster,
             compute_cycles: 0,
             overhead_cycles: 0,
+            lane_cycles: Vec::new(),
         })
     }
 
     fn run_interaction(&self, run: &mut RunState, arch: Architecture, interaction: &Interaction) {
         // 1. The insecure process produces the next input.
-        let cores = run.insecure_cores.clone();
-        let profile = run.insecure_profile.clone();
-        let t_produce =
-            self.exec_unit(run, run.insecure, &cores, &interaction.insecure, &profile, arch, true);
+        let t_produce = self.exec_unit(run, Issuer::Insecure, &interaction.insecure, arch);
 
         // 2. It publishes the input through the shared IPC buffer.
         let produce_refs = run.ipc.produce(interaction.ipc_bytes);
-        let ipc_core_ins = cores[0];
+        let insecure = run.insecure;
+        let ipc_core_ins = run.insecure_cores[0];
         run.machine.set_ipc_marker(true);
-        let t_ipc_write =
-            self.issue_refs(run, run.insecure, ipc_core_ins, &produce_refs, arch, true);
+        let t_ipc_write = self.issue_refs(run, insecure, ipc_core_ins, &produce_refs, arch, true);
         run.machine.set_ipc_marker(false);
 
         // 3. Enclave entry.
@@ -404,24 +416,13 @@ impl ExperimentRunner {
         //    buffer is insecure data, so the accesses are issued against the
         //    insecure process's address space from a secure-cluster core.
         let consume_refs = run.ipc.consume(interaction.ipc_bytes);
-        let sec_cores = run.secure_cores.clone();
-        let ipc_core_sec = sec_cores[0];
+        let ipc_core_sec = run.secure_cores[0];
         run.machine.set_ipc_marker(true);
-        let t_ipc_read =
-            self.issue_refs(run, run.insecure, ipc_core_sec, &consume_refs, arch, false);
+        let t_ipc_read = self.issue_refs(run, insecure, ipc_core_sec, &consume_refs, arch, false);
         run.machine.set_ipc_marker(false);
 
         // 5. The secure process consumes the input.
-        let sec_profile = run.secure_profile.clone();
-        let t_consume = self.exec_unit(
-            run,
-            run.secure,
-            &sec_cores,
-            &interaction.secure,
-            &sec_profile,
-            arch,
-            false,
-        );
+        let t_consume = self.exec_unit(run, Issuer::Secure, &interaction.secure, arch);
 
         // 6. Enclave exit.
         let t_exit = self.boundary_cost(run, arch);
@@ -456,17 +457,33 @@ impl ExperimentRunner {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_unit(
         &self,
         run: &mut RunState,
-        pid: ProcessId,
-        cores: &[NodeId],
+        issuer: Issuer,
         unit: &WorkUnit,
-        profile: &ProcessProfile,
         arch: Architecture,
-        issuer_is_insecure: bool,
     ) -> u64 {
+        // Borrow the run state field-by-field so the cores/profile of the
+        // issuing process can be read while the machine is driven mutably —
+        // no per-interaction clones.
+        let RunState {
+            machine,
+            spec,
+            insecure,
+            secure,
+            insecure_cores,
+            secure_cores,
+            insecure_profile,
+            secure_profile,
+            lane_cycles,
+            ..
+        } = run;
+        let (pid, cores, profile, issuer_is_insecure): (_, &[NodeId], &ProcessProfile, bool) =
+            match issuer {
+                Issuer::Insecure => (*insecure, insecure_cores, insecure_profile, true),
+                Issuer::Secure => (*secure, secure_cores, secure_profile, false),
+            };
         // The process picks its own thread count, as real applications do: it
         // never spawns more threads than profitable under its Amdahl +
         // synchronisation profile, and never more than the cores its cluster
@@ -480,20 +497,21 @@ impl ExperimentRunner {
         let active = &cores[..n_eff];
         // Memory-controller pressure scales with the concurrently issuing
         // cores divided over the controllers they can reach.
-        run.machine.set_load_hint((n_eff as u64 / self.config.controllers.max(1) as u64).max(1));
-        let mut per_core = vec![0u64; n_eff];
+        machine.set_load_hint((n_eff as u64 / self.config.controllers.max(1) as u64).max(1));
+        lane_cycles.clear();
+        lane_cycles.resize(n_eff, 0);
         if !unit.accesses.is_empty() {
             let chunk = unit.accesses.len().div_ceil(n_eff);
             for (i, block) in unit.accesses.chunks(chunk).enumerate() {
                 let lane = i % n_eff;
                 let core = active[lane];
                 for r in block {
-                    self.maybe_spec_check(run, pid, r, arch, issuer_is_insecure);
-                    per_core[lane] += run.machine.access(core, pid, r.vaddr, r.write);
+                    spec_check_if_needed(machine, spec, pid, r, arch, issuer_is_insecure);
+                    lane_cycles[lane] += machine.access(core, pid, r.vaddr, r.write);
                 }
             }
         }
-        let mem_time = per_core.iter().copied().max().unwrap_or(0);
+        let mem_time = lane_cycles.iter().copied().max().unwrap_or(0);
         let serial =
             (unit.compute_cycles as f64 * (1.0 - profile.parallel_fraction)).round() as u64;
         let parallel =
@@ -511,27 +529,30 @@ impl ExperimentRunner {
         arch: Architecture,
         issuer_is_insecure: bool,
     ) -> u64 {
+        let RunState { machine, spec, .. } = run;
         let mut cycles = 0;
         for r in refs {
-            self.maybe_spec_check(run, pid, r, arch, issuer_is_insecure);
-            cycles += run.machine.access(core, pid, r.vaddr, r.write);
+            spec_check_if_needed(machine, spec, pid, r, arch, issuer_is_insecure);
+            cycles += machine.access(core, pid, r.vaddr, r.write);
         }
         cycles
     }
+}
 
-    fn maybe_spec_check(
-        &self,
-        run: &mut RunState,
-        pid: ProcessId,
-        r: &MemRef,
-        arch: Architecture,
-        issuer_is_insecure: bool,
-    ) {
-        if arch.speculative_check() && issuer_is_insecure {
-            if let Some(paddr) = run.machine.peek_paddr(pid, r.vaddr) {
-                let regions = run.machine.regions().clone();
-                run.spec.check(&regions, SecurityClass::Insecure, paddr);
-            }
+/// Screens one reference through the hardware speculative-access check when
+/// the architecture requires it. Borrows the machine read-only (the region
+/// map is consulted in place, never cloned).
+fn spec_check_if_needed(
+    machine: &Machine,
+    spec: &mut SpeculativeAccessCheck,
+    pid: ProcessId,
+    r: &MemRef,
+    arch: Architecture,
+    issuer_is_insecure: bool,
+) {
+    if arch.speculative_check() && issuer_is_insecure {
+        if let Some(paddr) = machine.peek_paddr(pid, r.vaddr) {
+            spec.check(machine.regions(), SecurityClass::Insecure, paddr);
         }
     }
 }

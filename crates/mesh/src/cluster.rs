@@ -7,11 +7,10 @@
 //! tile-to-cluster assignment, selects a routing order that keeps each packet
 //! contained, and audits routes for violations.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::routing::{Route, RoutingAlgorithm};
-use crate::topology::{MeshTopology, NodeId};
+use crate::routing::{Route, RouteIter, RoutingAlgorithm};
+use crate::topology::{MeshTopology, NodeId, NodeSet};
 
 /// The two strongly isolated clusters formed by IRONHIDE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,18 +73,21 @@ impl std::error::Error for IsolationViolation {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterMap {
     topology: MeshTopology,
-    secure: BTreeSet<NodeId>,
+    /// Secure-cluster membership as a bitset: `cluster_of` sits on the
+    /// per-packet audit path, so the test must be O(1).
+    secure: NodeSet,
 }
 
 impl ClusterMap {
     /// Creates a cluster map with an explicit set of secure nodes; every other
     /// node belongs to the insecure cluster.
     pub fn new(topology: MeshTopology, secure: impl IntoIterator<Item = NodeId>) -> Self {
-        let secure: BTreeSet<NodeId> = secure.into_iter().collect();
-        for n in &secure {
+        let mut set = NodeSet::with_capacity(topology.nodes());
+        for n in secure {
             assert!(n.0 < topology.nodes(), "secure node {n} out of range");
+            set.insert(n);
         }
-        ClusterMap { topology, secure }
+        ClusterMap { topology, secure: set }
     }
 
     /// Creates the paper's row-major split: the first `secure_cores` tiles (in
@@ -111,8 +113,9 @@ impl ClusterMap {
     }
 
     /// The cluster a node belongs to.
+    #[inline]
     pub fn cluster_of(&self, node: NodeId) -> ClusterId {
-        if self.secure.contains(&node) {
+        if self.secure.contains(node) {
             ClusterId::Secure
         } else {
             ClusterId::Insecure
@@ -141,14 +144,16 @@ impl ClusterMap {
                 self.secure.insert(node);
             }
             ClusterId::Insecure => {
-                self.secure.remove(&node);
+                self.secure.remove(node);
             }
         }
         prev
     }
 
-    /// Checks a route for containment: a route owned by `cluster` must only
-    /// traverse nodes of that cluster.
+    /// Checks a materialised route for containment: a route owned by
+    /// `cluster` must only traverse nodes of that cluster. Test/debug
+    /// convenience; the hot path audits the iterator form via
+    /// [`ClusterMap::audit_route_iter`].
     pub fn audit_route(&self, route: &Route, cluster: ClusterId) -> Result<(), IsolationViolation> {
         for n in route.nodes() {
             if self.cluster_of(*n) != cluster {
@@ -163,9 +168,27 @@ impl ClusterMap {
         Ok(())
     }
 
+    /// Checks a lazily-stepped route for containment without materialising
+    /// it. `RouteIter` is `Copy`, so auditing consumes a throwaway copy and
+    /// the caller can still traverse the original.
+    pub fn audit_route_iter(
+        &self,
+        route: RouteIter,
+        cluster: ClusterId,
+    ) -> Result<(), IsolationViolation> {
+        let (src, dst) = (route.source(), route.destination());
+        for n in route {
+            if self.cluster_of(n) != cluster {
+                return Err(IsolationViolation { cluster, foreign_node: n, src, dst });
+            }
+        }
+        Ok(())
+    }
+
     /// Selects a routing order for an intra-cluster packet from `src` to
     /// `dst`, preferring X-Y and falling back to Y-X (bidirectional routing),
-    /// and returns the contained route.
+    /// and returns the contained route in lazily-stepped form (materialise it
+    /// with [`RouteIter::materialize`] when a node list is wanted).
     ///
     /// # Errors
     ///
@@ -177,13 +200,13 @@ impl ClusterMap {
         src: NodeId,
         dst: NodeId,
         cluster: ClusterId,
-    ) -> Result<Route, IsolationViolation> {
-        let xy = self.topology.route(src, dst, RoutingAlgorithm::XY);
-        match self.audit_route(&xy, cluster) {
+    ) -> Result<RouteIter, IsolationViolation> {
+        let xy = self.topology.route_iter(src, dst, RoutingAlgorithm::XY);
+        match self.audit_route_iter(xy, cluster) {
             Ok(()) => Ok(xy),
             Err(first) => {
-                let yx = self.topology.route(src, dst, RoutingAlgorithm::YX);
-                self.audit_route(&yx, cluster).map(|()| yx).map_err(|_| first)
+                let yx = self.topology.route_iter(src, dst, RoutingAlgorithm::YX);
+                self.audit_route_iter(yx, cluster).map(|()| yx).map_err(|_| first)
             }
         }
     }

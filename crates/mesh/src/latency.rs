@@ -7,10 +7,13 @@
 //! the per-access cost of the simulator low while preserving the first-order
 //! effects the paper relies on: longer routes cost more, and concentrating a
 //! cluster's traffic on fewer tiles raises its queueing delay.
+//!
+//! The model consumes lazily-stepped [`RouteIter`]s, so charging a packet
+//! allocates nothing; the link-load tracker hashes link keys with the
+//! deterministic [`fx`](crate::fx) hasher instead of std's keyed SipHash.
 
-use std::collections::HashMap;
-
-use crate::routing::Route;
+use crate::fx::FxHashMap;
+use crate::routing::RouteIter;
 use crate::topology::NodeId;
 
 /// Latency parameters of the mesh network.
@@ -46,7 +49,7 @@ impl Default for NocLatencyConfig {
 /// into a contention penalty.
 #[derive(Debug, Clone, Default)]
 pub struct LinkLoad {
-    load: HashMap<(NodeId, NodeId), f64>,
+    load: FxHashMap<(NodeId, NodeId), f64>,
 }
 
 impl LinkLoad {
@@ -58,8 +61,17 @@ impl LinkLoad {
     /// Records that `flits` flits crossed the link `(from, to)` and decays all
     /// other links slightly.
     pub fn record(&mut self, from: NodeId, to: NodeId, flits: usize, ema: f64) {
+        self.observe_and_record(from, to, flits, ema);
+    }
+
+    /// Returns the utilisation of `(from, to)` *before* this packet, then
+    /// records the packet's `flits` — one hash lookup instead of the separate
+    /// `utilization` + `record` pair on the hot path.
+    pub fn observe_and_record(&mut self, from: NodeId, to: NodeId, flits: usize, ema: f64) -> f64 {
         let entry = self.load.entry((from, to)).or_insert(0.0);
-        *entry = (1.0 - ema) * *entry + ema * flits as f64;
+        let before = *entry;
+        *entry = (1.0 - ema) * before + ema * flits as f64;
+        before
     }
 
     /// Current utilisation estimate of a link, in flits per recorded packet
@@ -106,35 +118,42 @@ impl LatencyModel {
         &self.load
     }
 
+    /// The contention-free cost of a route: per-hop router + link cycles plus
+    /// the serialisation term for multi-flit packets. Shared by
+    /// [`LatencyModel::traverse`] and [`LatencyModel::estimate`]; the two only
+    /// differ in load bookkeeping.
+    fn base_latency(&self, hops: usize, flits: usize) -> u64 {
+        let per_hop = self.config.router_cycles + self.config.link_cycles;
+        let serialization = self.config.serialization_cycles * flits.saturating_sub(1) as u64;
+        per_hop * hops as u64 + serialization
+    }
+
     /// Latency, in cycles, of sending a packet of `flits` flits along `route`,
     /// updating link load along the way.
-    pub fn traverse(&mut self, route: &Route, flits: usize) -> u64 {
-        if route.hops() == 0 {
+    pub fn traverse(&mut self, route: RouteIter, flits: usize) -> u64 {
+        let hops = route.hops();
+        if hops == 0 {
             return 0;
         }
-        let per_hop = self.config.router_cycles + self.config.link_cycles;
         let mut contention = 0.0;
         for (from, to) in route.links() {
-            let util = self.load.utilization(from, to);
+            let util = self.load.observe_and_record(from, to, flits, self.config.load_ema);
             // Saturating logistic-ish penalty: util is in flits/packet, a link
             // carrying full data packets every cycle approaches the max.
             let norm = (util / 5.0).min(1.0);
             contention += norm * self.config.max_contention_cycles as f64;
-            self.load.record(from, to, flits, self.config.load_ema);
         }
-        let serialization = self.config.serialization_cycles * flits.saturating_sub(1) as u64;
-        per_hop * route.hops() as u64 + serialization + contention.round() as u64
+        self.base_latency(hops, flits) + contention.round() as u64
     }
 
     /// Latency of a route with no load bookkeeping (used for what-if queries
     /// by the re-allocation predictor).
-    pub fn estimate(&self, route: &Route, flits: usize) -> u64 {
-        if route.hops() == 0 {
+    pub fn estimate(&self, route: RouteIter, flits: usize) -> u64 {
+        let hops = route.hops();
+        if hops == 0 {
             return 0;
         }
-        let per_hop = self.config.router_cycles + self.config.link_cycles;
-        let serialization = self.config.serialization_cycles * flits.saturating_sub(1) as u64;
-        per_hop * route.hops() as u64 + serialization
+        self.base_latency(hops, flits)
     }
 
     /// Clears the contention state (network purge / reconfiguration).
@@ -158,52 +177,62 @@ mod tests {
     #[test]
     fn zero_hop_route_is_free() {
         let m = MeshTopology::new(4, 4);
-        let r = m.route(NodeId(3), NodeId(3), RoutingAlgorithm::XY);
+        let r = m.route_iter(NodeId(3), NodeId(3), RoutingAlgorithm::XY);
         let mut model = LatencyModel::default();
-        assert_eq!(model.traverse(&r, 5), 0);
+        assert_eq!(model.traverse(r, 5), 0);
+        assert_eq!(model.estimate(r, 5), 0);
     }
 
     #[test]
     fn latency_scales_with_distance() {
         let m = MeshTopology::new(8, 8);
         let model = LatencyModel::default();
-        let near = m.route(NodeId(0), NodeId(1), RoutingAlgorithm::XY);
-        let far = m.route(NodeId(0), NodeId(63), RoutingAlgorithm::XY);
-        assert!(model.estimate(&far, 1) > model.estimate(&near, 1));
-        assert_eq!(model.estimate(&near, 1), 2);
-        assert_eq!(model.estimate(&far, 1), 28);
+        let near = m.route_iter(NodeId(0), NodeId(1), RoutingAlgorithm::XY);
+        let far = m.route_iter(NodeId(0), NodeId(63), RoutingAlgorithm::XY);
+        assert!(model.estimate(far, 1) > model.estimate(near, 1));
+        assert_eq!(model.estimate(near, 1), 2);
+        assert_eq!(model.estimate(far, 1), 28);
     }
 
     #[test]
     fn serialization_adds_for_data_packets() {
         let m = MeshTopology::new(8, 8);
         let model = LatencyModel::default();
-        let r = m.route(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
-        assert_eq!(model.estimate(&r, 5) - model.estimate(&r, 1), 4);
+        let r = m.route_iter(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
+        assert_eq!(model.estimate(r, 5) - model.estimate(r, 1), 4);
+    }
+
+    #[test]
+    fn estimate_matches_unloaded_traverse() {
+        let m = MeshTopology::new(8, 8);
+        let mut model = LatencyModel::default();
+        let r = m.route_iter(NodeId(2), NodeId(45), RoutingAlgorithm::YX);
+        // On a cold network the two paths share the same base cost.
+        assert_eq!(model.estimate(r, 5), model.traverse(r, 5));
     }
 
     #[test]
     fn contention_builds_up_under_load() {
         let m = MeshTopology::new(8, 8);
         let mut model = LatencyModel::default();
-        let r = m.route(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
-        let cold = model.traverse(&r, 5);
+        let r = m.route_iter(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
+        let cold = model.traverse(r, 5);
         for _ in 0..500 {
-            model.traverse(&r, 5);
+            model.traverse(r, 5);
         }
-        let hot = model.traverse(&r, 5);
+        let hot = model.traverse(r, 5);
         assert!(hot > cold, "repeated traffic on a link must raise latency ({hot} <= {cold})");
         model.reset_load();
-        assert_eq!(model.traverse(&r, 5), cold);
+        assert_eq!(model.traverse(r, 5), cold);
     }
 
     #[test]
     fn hottest_link_reported() {
         let m = MeshTopology::new(4, 4);
         let mut model = LatencyModel::default();
-        let r = m.route(NodeId(0), NodeId(3), RoutingAlgorithm::XY);
+        let r = m.route_iter(NodeId(0), NodeId(3), RoutingAlgorithm::XY);
         for _ in 0..10 {
-            model.traverse(&r, 5);
+            model.traverse(r, 5);
         }
         let ((from, to), util) = model.load().hottest().unwrap();
         // All links of the 0 -> 3 route carry the same load, so any of them

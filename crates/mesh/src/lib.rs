@@ -42,9 +42,13 @@ pub mod routing;
 pub mod stats;
 pub mod topology;
 
+/// The shared deterministic hasher, re-exported for downstream crates.
+pub use ironhide_fx as fx;
+
 pub use cluster::{ClusterId, ClusterMap, IsolationViolation};
+pub use ironhide_fx::{FxHashMap, FxHashSet, FxHasher};
 pub use latency::{LatencyModel, LinkLoad, NocLatencyConfig};
 pub use packet::{Packet, PacketKind};
-pub use routing::{Route, RoutingAlgorithm};
+pub use routing::{HopTable, Route, RouteIter, RouteLinks, RoutingAlgorithm};
 pub use stats::NocStats;
-pub use topology::{Coord, MeshEdge, MeshTopology, NodeId};
+pub use topology::{Coord, MeshEdge, MeshTopology, NodeId, NodeSet};

@@ -1,4 +1,10 @@
 //! Deterministic dimension-ordered routing (X-Y and Y-X).
+//!
+//! The hot path of the simulator never materialises routes: [`RouteIter`]
+//! computes the traversed nodes one step at a time from coordinates alone, so
+//! charging a packet's latency performs **zero heap allocations**. [`Route`]
+//! (an ordered `Vec` of nodes) is kept as a test/debug convenience and is
+//! itself built by collecting a [`RouteIter`].
 
 use crate::topology::{Coord, MeshTopology, NodeId};
 
@@ -26,8 +32,143 @@ impl RoutingAlgorithm {
     }
 }
 
+/// A lazily-stepped deterministic route: an iterator over the nodes a packet
+/// traverses (source first, destination last), computed on the fly from
+/// coordinates without allocating.
+///
+/// The struct is `Copy`; auditing a route and then traversing it costs two
+/// passes over the same value, never a collection. [`RouteIter::links`]
+/// adapts the node stream into the `(from, to)` link stream the latency
+/// model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteIter {
+    topology: MeshTopology,
+    src: Coord,
+    cur: Coord,
+    dst: Coord,
+    algorithm: RoutingAlgorithm,
+    started: bool,
+}
+
+impl RouteIter {
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.topology.node_at(self.src)
+    }
+
+    /// Destination node.
+    pub fn destination(&self) -> NodeId {
+        self.topology.node_at(self.dst)
+    }
+
+    /// The routing function stepping this route.
+    pub fn algorithm(&self) -> RoutingAlgorithm {
+        self.algorithm
+    }
+
+    /// Number of links left to traverse. For a freshly created iterator this
+    /// is the route's total hop count (the Manhattan distance; 0 for a route
+    /// from a node to itself).
+    pub fn hops(&self) -> usize {
+        self.cur.manhattan(self.dst)
+    }
+
+    /// Adapts the node stream into the `(from, to)` links of the route, in
+    /// traversal order.
+    pub fn links(self) -> RouteLinks {
+        RouteLinks { inner: self, prev: None }
+    }
+
+    /// Collects the route into a materialised [`Route`] (test/debug
+    /// convenience; the hot path iterates instead).
+    pub fn materialize(self) -> Route {
+        let algorithm = self.algorithm;
+        let mut nodes = Vec::with_capacity(self.len());
+        nodes.extend(self);
+        Route { nodes, algorithm }
+    }
+}
+
+impl Iterator for RouteIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if !self.started {
+            self.started = true;
+            return Some(self.topology.node_at(self.cur));
+        }
+        if self.cur == self.dst {
+            return None;
+        }
+        match self.algorithm {
+            RoutingAlgorithm::XY => {
+                if self.cur.x != self.dst.x {
+                    self.cur.x = step_toward(self.cur.x, self.dst.x);
+                } else {
+                    self.cur.y = step_toward(self.cur.y, self.dst.y);
+                }
+            }
+            RoutingAlgorithm::YX => {
+                if self.cur.y != self.dst.y {
+                    self.cur.y = step_toward(self.cur.y, self.dst.y);
+                } else {
+                    self.cur.x = step_toward(self.cur.x, self.dst.x);
+                }
+            }
+        }
+        Some(self.topology.node_at(self.cur))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.hops() + usize::from(!self.started);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
+
+fn step_toward(v: usize, target: usize) -> usize {
+    if v < target {
+        v + 1
+    } else {
+        v - 1
+    }
+}
+
+/// Iterator over the `(from, to)` links of a route, in traversal order.
+/// Produced by [`RouteIter::links`]; allocation-free like its parent.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteLinks {
+    inner: RouteIter,
+    prev: Option<NodeId>,
+}
+
+impl Iterator for RouteLinks {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        loop {
+            let node = self.inner.next()?;
+            match self.prev.replace(node) {
+                Some(prev) => return Some((prev, node)),
+                None => continue,
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inner.hops();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteLinks {}
+
 /// A fully materialised deterministic route: the ordered list of nodes a
 /// packet traverses, including the source and the destination.
+///
+/// Kept for tests, debugging and external tooling; the simulator's hot path
+/// uses [`RouteIter`] and never allocates one of these.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     nodes: Vec<NodeId>,
@@ -67,41 +208,72 @@ impl Route {
 }
 
 impl MeshTopology {
-    /// Computes the deterministic route from `src` to `dst` under `algorithm`.
+    /// Returns the lazily-stepped deterministic route from `src` to `dst`
+    /// under `algorithm`. This is the allocation-free form the simulator's
+    /// hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn route_iter(&self, src: NodeId, dst: NodeId, algorithm: RoutingAlgorithm) -> RouteIter {
+        let s = self.coord(src);
+        let d = self.coord(dst);
+        RouteIter { topology: *self, src: s, cur: s, dst: d, algorithm, started: false }
+    }
+
+    /// Computes the deterministic route from `src` to `dst` under
+    /// `algorithm`, materialised as a [`Route`] (test/debug convenience;
+    /// allocates).
     ///
     /// # Panics
     ///
     /// Panics if either node is out of range.
     pub fn route(&self, src: NodeId, dst: NodeId, algorithm: RoutingAlgorithm) -> Route {
-        let s = self.coord(src);
-        let d = self.coord(dst);
-        let mut nodes = Vec::with_capacity(s.manhattan(d) + 1);
-        nodes.push(src);
-        let mut cur = s;
-        let step = |cur: &mut Coord, nodes: &mut Vec<NodeId>, dim_x: bool, target: usize| loop {
-            let v = if dim_x { cur.x } else { cur.y };
-            if v == target {
-                break;
-            }
-            let next = if v < target { v + 1 } else { v - 1 };
-            if dim_x {
-                cur.x = next;
-            } else {
-                cur.y = next;
-            }
-            nodes.push(self.node_at(*cur));
-        };
-        match algorithm {
-            RoutingAlgorithm::XY => {
-                step(&mut cur, &mut nodes, true, d.x);
-                step(&mut cur, &mut nodes, false, d.y);
-            }
-            RoutingAlgorithm::YX => {
-                step(&mut cur, &mut nodes, false, d.y);
-                step(&mut cur, &mut nodes, true, d.x);
+        self.route_iter(src, dst, algorithm).materialize()
+    }
+}
+
+/// Precomputed hop counts for every `(src, dst)` pair of a topology.
+///
+/// Dimension-ordered routes traverse exactly Manhattan-distance many links
+/// under *either* routing order, so the `(src, dst, algorithm)` space
+/// collapses to `(src, dst)`: one table serves both X-Y and Y-X. The table
+/// lets the hot path charge and account a packet's hop count with a single
+/// indexed load instead of re-deriving coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopTable {
+    nodes: usize,
+    hops: Vec<u16>,
+}
+
+impl HopTable {
+    /// Builds the table for `topology` (`nodes²` entries, two bytes each —
+    /// 8 KiB for the paper's 64-tile mesh).
+    pub fn new(topology: &MeshTopology) -> Self {
+        let n = topology.nodes();
+        assert!(
+            topology.width() + topology.height() - 2 <= u16::MAX as usize,
+            "mesh diameter exceeds the hop table's u16 range"
+        );
+        let mut hops = Vec::with_capacity(n * n);
+        for a in 0..n {
+            let ca = topology.coord(NodeId(a));
+            for b in 0..n {
+                hops.push(ca.manhattan(topology.coord(NodeId(b))) as u16);
             }
         }
-        Route { nodes, algorithm }
+        HopTable { nodes: n, hops }
+    }
+
+    /// Hop count of the deterministic route from `src` to `dst` (identical
+    /// under X-Y and Y-X routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of hop-table range");
+        self.hops[src.0 * self.nodes + dst.0] as usize
     }
 }
 
@@ -131,6 +303,9 @@ mod tests {
         let r = m.route(NodeId(5), NodeId(5), RoutingAlgorithm::XY);
         assert_eq!(r.hops(), 0);
         assert_eq!(r.source(), r.destination());
+        let it = m.route_iter(NodeId(5), NodeId(5), RoutingAlgorithm::XY);
+        assert_eq!(it.hops(), 0);
+        assert_eq!(it.collect::<Vec<_>>(), vec![NodeId(5)]);
     }
 
     #[test]
@@ -169,5 +344,55 @@ mod tests {
         let xy = m.route(NodeId(8), NodeId(15), RoutingAlgorithm::XY);
         let yx = m.route(NodeId(8), NodeId(15), RoutingAlgorithm::YX);
         assert_eq!(xy.nodes(), yx.nodes());
+    }
+
+    #[test]
+    fn iter_matches_materialised_route() {
+        let m = MeshTopology::new(8, 8);
+        for (a, b) in [(0usize, 63usize), (63, 0), (7, 56), (12, 12), (5, 40)] {
+            for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+                let it = m.route_iter(NodeId(a), NodeId(b), alg);
+                let route = m.route(NodeId(a), NodeId(b), alg);
+                assert_eq!(it.hops(), route.hops());
+                assert_eq!(it.len(), route.nodes().len());
+                assert_eq!(it.source(), route.source());
+                assert_eq!(it.destination(), route.destination());
+                assert_eq!(it.algorithm(), route.algorithm());
+                assert_eq!(it.collect::<Vec<_>>(), route.nodes());
+                assert_eq!(it.links().collect::<Vec<_>>(), route.links().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_exact_size() {
+        let m = MeshTopology::new(6, 9);
+        let mut it = m.route_iter(NodeId(0), NodeId(53), RoutingAlgorithm::XY);
+        let total = it.len();
+        assert_eq!(total, m.distance(NodeId(0), NodeId(53)) + 1);
+        let mut seen = 0;
+        while it.next().is_some() {
+            seen += 1;
+            assert_eq!(it.len(), total - seen);
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn hop_table_matches_distances() {
+        let m = MeshTopology::new(8, 8);
+        let table = HopTable::new(&m);
+        for a in m.iter_nodes() {
+            for b in m.iter_nodes() {
+                assert_eq!(table.hops(a, b), m.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hop-table range")]
+    fn hop_table_rejects_out_of_range() {
+        let table = HopTable::new(&MeshTopology::new(2, 2));
+        table.hops(NodeId(0), NodeId(4));
     }
 }

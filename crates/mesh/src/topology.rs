@@ -218,6 +218,88 @@ impl Default for MeshTopology {
     }
 }
 
+/// A set of mesh nodes backed by a bitmask, for O(1) membership tests on the
+/// hot path (e.g. "is this node a memory-controller attachment point?",
+/// "does this tile belong to the secure cluster?") where a `Vec::contains`
+/// linear scan or an ordered-set lookup would be wasteful.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+}
+
+// Manual equality: two sets are equal iff they contain the same nodes, even
+// when their masks grew to different word counts (trailing zero words are
+// insignificant).
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) =
+            if self.bits.len() <= other.bits.len() { (self, other) } else { (other, self) };
+        short.bits.iter().zip(&long.bits).all(|(a, b)| a == b)
+            && long.bits[short.bits.len()..].iter().all(|w| *w == 0)
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl NodeSet {
+    /// Creates an empty set sized for a mesh of `nodes` tiles.
+    pub fn with_capacity(nodes: usize) -> Self {
+        NodeSet { bits: vec![0; nodes.div_ceil(64)] }
+    }
+
+    /// Inserts `node`, growing the mask if needed. Returns whether the node
+    /// was newly inserted.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.0 / 64, node.0 % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let newly = self.bits[word] & (1 << bit) == 0;
+        self.bits[word] |= 1 << bit;
+        newly
+    }
+
+    /// Removes `node`. Returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.0 / 64, node.0 % 64);
+        match self.bits.get_mut(word) {
+            Some(w) => {
+                let present = *w & (1 << bit) != 0;
+                *w &= !(1 << bit);
+                present
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `node` is in the set (false for nodes beyond the mask).
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = (node.0 / 64, node.0 % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::default();
+        for n in iter {
+            set.insert(n);
+        }
+        set
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +380,27 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dimension_panics() {
         MeshTopology::new(0, 4);
+    }
+
+    #[test]
+    fn node_set_membership() {
+        let mut set = NodeSet::with_capacity(64);
+        assert!(set.is_empty());
+        assert!(set.insert(NodeId(3)));
+        assert!(!set.insert(NodeId(3)), "re-insertion reports not-new");
+        set.insert(NodeId(63));
+        assert!(set.contains(NodeId(3)));
+        assert!(set.contains(NodeId(63)));
+        assert!(!set.contains(NodeId(4)));
+        assert!(!set.contains(NodeId(1000)), "out-of-range nodes are absent, not a panic");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn node_set_grows_and_collects() {
+        let set: NodeSet = [NodeId(0), NodeId(130), NodeId(7)].into_iter().collect();
+        assert!(set.contains(NodeId(130)));
+        assert_eq!(set.len(), 3);
     }
 }

@@ -17,8 +17,8 @@
 use ironhide_cache::{PageId, SetAssocCache, SliceId, Tlb};
 use ironhide_mem::{ControllerMask, MemoryController, RegionMap, RegionOwner};
 use ironhide_mesh::{
-    ClusterMap, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId, PacketKind,
-    RoutingAlgorithm,
+    ClusterMap, HopTable, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId, NodeSet,
+    PacketKind, RoutingAlgorithm,
 };
 
 use crate::config::MachineConfig;
@@ -46,6 +46,19 @@ pub enum AccessPath {
     },
 }
 
+/// Per-core cache of the most recent address translation. Interactive
+/// workloads re-touch the same page in bursts, so remembering one `(process,
+/// virtual page) -> physical page` pair per core short-circuits the page-table
+/// hash lookup on the hot path. Mappings are insert-only (a virtual page is
+/// never re-mapped once allocated), so entries never need invalidation.
+#[derive(Debug, Clone, Copy, Default)]
+struct XlateMru {
+    valid: bool,
+    pid: usize,
+    vpn: u64,
+    ppn: u64,
+}
+
 /// The simulated multicore machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -59,6 +72,11 @@ pub struct Machine {
     noc_stats: NocStats,
     controllers: Vec<MemoryController>,
     mc_nodes: Vec<NodeId>,
+    /// Bitset mirror of `mc_nodes` for O(1) membership tests per routed packet.
+    mc_node_set: NodeSet,
+    /// Precomputed hop counts for every (src, dst) pair of the mesh.
+    hop_table: HopTable,
+    xlate_mru: Vec<XlateMru>,
     regions: RegionMap,
     processes: Vec<ProcessState>,
     proc_stats: Vec<ProcessStats>,
@@ -83,11 +101,14 @@ impl Machine {
             (0..config.controllers).map(|i| MemoryController::new(i, config.dram)).collect();
         let mc_nodes =
             topology.place_controllers(config.controllers, &[MeshEdge::North, MeshEdge::South]);
+        let mc_node_set: NodeSet = mc_nodes.iter().copied().collect();
+        let hop_table = HopTable::new(&topology);
         let regions = RegionMap::paper_layout(config.controllers, config.dram_region_bytes);
         let clock = Clock::new(config.clock_ghz);
         Machine {
             noc: LatencyModel::new(config.noc),
             noc_stats: NocStats::new(),
+            xlate_mru: vec![XlateMru::default(); cores],
             config,
             topology,
             clock,
@@ -96,6 +117,8 @@ impl Machine {
             l2s,
             controllers,
             mc_nodes,
+            mc_node_set,
+            hop_table,
             regions,
             processes: Vec::new(),
             proc_stats: Vec::new(),
@@ -286,12 +309,28 @@ impl Machine {
 
     // ----- address translation --------------------------------------------
 
-    fn translate(&mut self, pid: ProcessId, vaddr: u64) -> u64 {
+    /// Translates `vaddr` for the thread of `pid` running on `core`,
+    /// consulting the core's last-translation cache before walking the
+    /// process page table (and allocating the page on first touch).
+    fn translate(&mut self, core: NodeId, pid: ProcessId, vaddr: u64) -> u64 {
         let page_bytes = self.page_bytes();
         let vpn = vaddr / page_bytes;
+        let offset = vaddr % page_bytes;
+        let mru = self.xlate_mru[core.0];
+        if mru.valid && mru.pid == pid.0 && mru.vpn == vpn {
+            return mru.ppn * page_bytes + offset;
+        }
+        let ppn = self.walk_page_table(pid, vpn, page_bytes);
+        self.xlate_mru[core.0] = XlateMru { valid: true, pid: pid.0, vpn, ppn };
+        ppn * page_bytes + offset
+    }
+
+    /// Looks `vpn` up in the process page table, allocating a fresh physical
+    /// page from the process's regions on first touch.
+    fn walk_page_table(&mut self, pid: ProcessId, vpn: u64, page_bytes: u64) -> u64 {
         let p = &mut self.processes[pid.0];
         if let Some(ppn) = p.page_table.get(&vpn) {
-            return ppn * page_bytes + (vaddr % page_bytes);
+            return *ppn;
         }
         // Allocate a new physical page from the process's regions,
         // round-robin across regions, wrapping within each region.
@@ -309,13 +348,19 @@ impl Machine {
         let ppn = region.base / page_bytes + index_in_region;
         p.page_table.insert(vpn, ppn);
         // Pin the page's home slice round-robin over the allowed slices.
-        let allowed = p.home.allowed_slices().to_vec();
-        if !allowed.is_empty() {
-            let slice = allowed[(p.allocated_pages as usize) % allowed.len()];
+        let slice = {
+            let allowed = p.home.allowed_slices();
+            if allowed.is_empty() {
+                None
+            } else {
+                Some(allowed[(p.allocated_pages as usize) % allowed.len()])
+            }
+        };
+        if let Some(slice) = slice {
             let _ = p.home.pin(PageId(ppn), slice);
         }
         p.allocated_pages += 1;
-        ppn * page_bytes + (vaddr % page_bytes)
+        ppn
     }
 
     /// Returns the physical address `vaddr` currently maps to for `pid`, or
@@ -332,7 +377,7 @@ impl Machine {
             .map(|ppn| ppn * page_bytes + (vaddr % page_bytes))
     }
 
-    fn route_latency(&mut self, src: NodeId, dst: NodeId, kind: PacketKind, pid: ProcessId) -> u64 {
+    fn route_latency(&mut self, src: NodeId, dst: NodeId, kind: PacketKind) -> u64 {
         let kind = if self.ipc_marker && !matches!(kind, PacketKind::WriteBack) {
             PacketKind::Ipc
         } else {
@@ -343,30 +388,29 @@ impl Machine {
         // attachment point is edge traffic: the controller is shared
         // infrastructure dedicated per cluster by the DRAM-region map, so it
         // is not counted against the cluster-boundary invariant.
-        let edge_traffic = self.mc_nodes.contains(&src) || self.mc_nodes.contains(&dst);
+        let edge_traffic = self.mc_node_set.contains(src) || self.mc_node_set.contains(dst);
         let (route, clusters) = match &self.cluster_map {
             Some(map) if !edge_traffic => {
                 let src_cluster = map.cluster_of(src);
                 let dst_cluster = map.cluster_of(dst);
                 if src_cluster == dst_cluster {
-                    let route = map
-                        .contained_route(src, dst, src_cluster)
-                        .unwrap_or_else(|_| self.topology.route(src, dst, RoutingAlgorithm::XY));
+                    let route = map.contained_route(src, dst, src_cluster).unwrap_or_else(|_| {
+                        self.topology.route_iter(src, dst, RoutingAlgorithm::XY)
+                    });
                     (route, Some((src_cluster, dst_cluster)))
                 } else {
                     // Only IPC-class traffic is expected to cross the boundary;
                     // the isolation auditor in ironhide-core flags anything else.
                     (
-                        self.topology.route(src, dst, RoutingAlgorithm::XY),
+                        self.topology.route_iter(src, dst, RoutingAlgorithm::XY),
                         Some((src_cluster, dst_cluster)),
                     )
                 }
             }
-            _ => (self.topology.route(src, dst, RoutingAlgorithm::XY), None),
+            _ => (self.topology.route_iter(src, dst, RoutingAlgorithm::XY), None),
         };
-        let latency = self.noc.traverse(&route, flits);
-        self.noc_stats.record(kind, flits, route.hops(), latency, clusters);
-        let _ = pid;
+        let latency = self.noc.traverse(route, flits);
+        self.noc_stats.record(kind, flits, self.hop_table.hops(src, dst), latency, clusters);
         latency
     }
 
@@ -391,7 +435,7 @@ impl Machine {
         }
 
         // 2. Translate (allocating on first touch).
-        let paddr = self.translate(pid, vaddr);
+        let paddr = self.translate(core, pid, vaddr);
 
         // 3. Private L1.
         let l1_outcome = self.l1s[core.0].access(paddr, write);
@@ -402,7 +446,7 @@ impl Machine {
             if let Some(ev) = l1_outcome.evicted() {
                 if ev.dirty {
                     let home = self.home_node_of(pid, ev.addr);
-                    self.route_latency(core, home, PacketKind::WriteBack, pid);
+                    self.route_latency(core, home, PacketKind::WriteBack);
                 }
             }
             // 4. Route to the home L2 slice.
@@ -410,7 +454,7 @@ impl Machine {
             let home_slice =
                 self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| s.0).unwrap_or(core.0);
             let home = NodeId(home_slice);
-            cycles += self.route_latency(core, home, PacketKind::Request, pid);
+            cycles += self.route_latency(core, home, PacketKind::Request);
             let l2_outcome = self.l2s[home.0].access(paddr, write);
             cycles += lat.l2_hit;
             if l2_outcome.is_miss() {
@@ -418,22 +462,22 @@ impl Machine {
                     if ev.dirty {
                         if let Ok(mc) = self.regions.controller_of(ev.addr) {
                             let mc_node = self.mc_nodes[mc];
-                            self.route_latency(home, mc_node, PacketKind::WriteBack, pid);
+                            self.route_latency(home, mc_node, PacketKind::WriteBack);
                         }
                     }
                 }
                 // 5. Off-chip access through the owning controller.
                 let mc = self.regions.controller_of(paddr).unwrap_or(0);
                 let mc_node = self.mc_nodes[mc];
-                cycles += self.route_latency(home, mc_node, PacketKind::Request, pid);
+                cycles += self.route_latency(home, mc_node, PacketKind::Request);
                 cycles += self.controllers[mc].access(paddr, write, self.load_hint);
-                cycles += self.route_latency(mc_node, home, PacketKind::Response, pid);
+                cycles += self.route_latency(mc_node, home, PacketKind::Response);
                 path = AccessPath::Dram { home, controller: mc };
                 self.proc_stats[pid.0].dram_accesses += 1;
             } else {
                 path = AccessPath::L2 { home };
             }
-            cycles += self.route_latency(home, core, PacketKind::Response, pid);
+            cycles += self.route_latency(home, core, PacketKind::Response);
         }
 
         // Attribute statistics to the process.

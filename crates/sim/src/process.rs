@@ -1,10 +1,10 @@
 //! Processes, security classes and per-process address-space state.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use ironhide_cache::{HomeMap, PageId, SliceId};
 use ironhide_mem::RegionId;
+use ironhide_mesh::FxHashMap;
 
 /// Identifier of a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -55,7 +55,10 @@ pub struct ProcessState {
     /// Security class.
     pub class: SecurityClass,
     /// Virtual-to-physical page mapping (page numbers, not byte addresses).
-    pub page_table: HashMap<u64, u64>,
+    /// Keyed with the deterministic Fx hasher: the page table is probed on
+    /// every TLB miss, and SipHash plus its per-map random state is both
+    /// slower and a source of cross-process iteration-order nondeterminism.
+    pub page_table: FxHashMap<u64, u64>,
     /// DRAM regions this process allocates physical pages from.
     pub regions: Vec<RegionId>,
     /// Allocation cursor: physical pages handed out so far.
@@ -72,7 +75,7 @@ impl ProcessState {
         ProcessState {
             name: name.into(),
             class,
-            page_table: HashMap::new(),
+            page_table: FxHashMap::default(),
             regions: Vec::new(),
             allocated_pages: 0,
             home: HomeMap::local(Vec::<SliceId>::new()),

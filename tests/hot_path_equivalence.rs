@@ -1,0 +1,363 @@
+//! Differential tests for the allocation-free hot path.
+//!
+//! PR 2 flattened `SetAssocCache` storage (nested per-set vectors → one
+//! contiguous way array with shift/mask indexing) and replaced materialised
+//! `Route`s with the lazily-stepped `RouteIter`. These properties drive the
+//! optimised implementations against naive reference models — a nested-vec
+//! cache and a step-loop route materialiser transcribed from the seed code —
+//! over random access/route sequences and require identical outcomes, stats,
+//! hops and link sequences.
+
+use proptest::prelude::*;
+
+use ironhide::ironhide_cache::{
+    AccessOutcome, CacheConfig, Evicted, ReplacementPolicy, SetAssocCache,
+};
+use ironhide::ironhide_mesh::{
+    ClusterId, ClusterMap, Coord, MeshTopology, NodeId, RoutingAlgorithm,
+};
+
+// ---------------------------------------------------------------------------
+// Reference cache: the seed's nested-vec implementation, div/mod indexing and
+// temporary stamp vectors for victim selection.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RefWay {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    last_use: u64,
+    filled_at: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RefStats {
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+    flushed_lines: u64,
+    purges: u64,
+}
+
+struct RefCache {
+    config: CacheConfig,
+    policy: ReplacementPolicy,
+    sets: Vec<Vec<RefWay>>,
+    tick: u64,
+    stats: RefStats,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig, policy: ReplacementPolicy) -> Self {
+        RefCache {
+            sets: vec![vec![RefWay::default(); config.ways]; config.sets()],
+            config,
+            policy,
+            tick: 0,
+            stats: RefStats::default(),
+        }
+    }
+
+    fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let index = (line % self.config.sets() as u64) as usize;
+        let tag = line / self.config.sets() as u64;
+        (index, tag)
+    }
+
+    fn line_addr(&self, index: usize, tag: u64) -> u64 {
+        (tag * self.config.sets() as u64 + index as u64) * self.config.line_bytes as u64
+    }
+
+    /// The seed's victim selection: copy the stamps into temporaries, then
+    /// pick by policy (first-minimum tie-break, same xorshift for Random).
+    fn ref_victim(&self, set: &[RefWay]) -> usize {
+        let index_of_min = |values: &[u64]| -> usize {
+            let mut best = 0;
+            for (i, v) in values.iter().enumerate() {
+                if *v < values[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let last_use: Vec<u64> = set.iter().map(|w| w.last_use).collect();
+        let filled_at: Vec<u64> = set.iter().map(|w| w.filled_at).collect();
+        match self.policy {
+            ReplacementPolicy::Lru => index_of_min(&last_use),
+            ReplacementPolicy::Fifo => index_of_min(&filled_at),
+            ReplacementPolicy::Random => {
+                let mut x = self.tick.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                x ^= x >> 29;
+                (x as usize) % last_use.len()
+            }
+        }
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (index, tag) = self.index_and_tag(addr);
+        let set = &mut self.sets[index];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = self.tick;
+            way.dirty |= write;
+            self.stats.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        let victim_idx = match set.iter().position(|w| !w.valid) {
+            Some(i) => i,
+            None => self.ref_victim(&self.sets[index]),
+        };
+        let victim = self.sets[index][victim_idx];
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted { addr: self.line_addr(index, victim.tag), dirty: victim.dirty })
+        } else {
+            None
+        };
+        self.sets[index][victim_idx] =
+            RefWay { valid: true, dirty: write, tag, last_use: self.tick, filled_at: self.tick };
+        AccessOutcome::Miss { evicted }
+    }
+
+    fn invalidate(&mut self, addr: u64) -> Option<Evicted> {
+        let (index, tag) = self.index_and_tag(addr);
+        let line_addr = self.line_addr(index, tag);
+        let way = self.sets[index].iter_mut().find(|w| w.valid && w.tag == tag)?;
+        let dirty = way.dirty;
+        way.valid = false;
+        way.dirty = false;
+        self.stats.flushed_lines += 1;
+        if dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(Evicted { addr: line_addr, dirty })
+    }
+
+    fn purge(&mut self) -> u64 {
+        let mut dirty = 0;
+        let mut valid = 0;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                if way.valid {
+                    valid += 1;
+                    if way.dirty {
+                        dirty += 1;
+                    }
+                }
+                *way = RefWay::default();
+            }
+        }
+        self.stats.purges += 1;
+        self.stats.flushed_lines += valid;
+        self.stats.writebacks += dirty;
+        dirty
+    }
+
+    fn probe(&self, addr: u64) -> bool {
+        let (index, tag) = self.index_and_tag(addr);
+        self.sets[index].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    fn dirty_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid && w.dirty).count()
+    }
+}
+
+fn geometry(idx: usize) -> CacheConfig {
+    match idx % 4 {
+        0 => CacheConfig::new(512, 2, 64),
+        1 => CacheConfig::new(2048, 4, 64),
+        2 => CacheConfig::new(1024, 1, 128), // direct-mapped, wide lines
+        _ => CacheConfig::new(4096, 8, 32),
+    }
+}
+
+fn policy(idx: usize) -> ReplacementPolicy {
+    match idx % 3 {
+        0 => ReplacementPolicy::Lru,
+        1 => ReplacementPolicy::Fifo,
+        _ => ReplacementPolicy::Random,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference route: the seed's step-loop materialiser.
+// ---------------------------------------------------------------------------
+
+fn ref_route(
+    m: &MeshTopology,
+    src: NodeId,
+    dst: NodeId,
+    algorithm: RoutingAlgorithm,
+) -> Vec<NodeId> {
+    let s = m.coord(src);
+    let d = m.coord(dst);
+    let mut nodes = vec![src];
+    let mut cur = s;
+    let step = |cur: &mut Coord, nodes: &mut Vec<NodeId>, dim_x: bool, target: usize| loop {
+        let v = if dim_x { cur.x } else { cur.y };
+        if v == target {
+            break;
+        }
+        let next = if v < target { v + 1 } else { v - 1 };
+        if dim_x {
+            cur.x = next;
+        } else {
+            cur.y = next;
+        }
+        nodes.push(m.node_at(*cur));
+    };
+    match algorithm {
+        RoutingAlgorithm::XY => {
+            step(&mut cur, &mut nodes, true, d.x);
+            step(&mut cur, &mut nodes, false, d.y);
+        }
+        RoutingAlgorithm::YX => {
+            step(&mut cur, &mut nodes, false, d.y);
+            step(&mut cur, &mut nodes, true, d.x);
+        }
+    }
+    nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flattened cache and the nested-vec reference agree on every
+    /// outcome, statistic and state query over random access sequences with
+    /// interleaved invalidates and purges, for every geometry and policy.
+    #[test]
+    fn flat_cache_matches_nested_reference(
+        geo in 0usize..4,
+        pol in 0usize..3,
+        addrs in prop::collection::vec(0u64..0x8000, 1..400),
+        writes in prop::collection::vec(any::<bool>(), 1..400),
+        ops in prop::collection::vec(0u8..32, 1..400),
+    ) {
+        let config = geometry(geo);
+        let mut flat = SetAssocCache::with_policy(config, policy(pol));
+        let mut reference = RefCache::new(config, policy(pol));
+        for (i, addr) in addrs.iter().enumerate() {
+            let write = writes[i % writes.len()];
+            match ops[i % ops.len()] {
+                // Rare maintenance operations, interleaved with accesses.
+                0 => prop_assert_eq!(flat.invalidate(*addr), reference.invalidate(*addr)),
+                1 if i % 97 == 0 => prop_assert_eq!(flat.purge(), reference.purge()),
+                _ => {
+                    let a = flat.access(*addr, write);
+                    let b = reference.access(*addr, write);
+                    prop_assert_eq!(a, b, "access #{} addr {:#x}", i, addr);
+                }
+            }
+            prop_assert_eq!(flat.probe(*addr), reference.probe(*addr));
+        }
+        let s = flat.stats();
+        prop_assert_eq!(s.accesses, reference.stats.accesses);
+        prop_assert_eq!(s.hits, reference.stats.hits);
+        prop_assert_eq!(s.misses, reference.stats.misses);
+        prop_assert_eq!(s.evictions, reference.stats.evictions);
+        prop_assert_eq!(s.writebacks, reference.stats.writebacks);
+        prop_assert_eq!(s.flushed_lines, reference.stats.flushed_lines);
+        prop_assert_eq!(s.purges, reference.stats.purges);
+        prop_assert_eq!(flat.resident_lines(), reference.resident_lines());
+        prop_assert_eq!(flat.dirty_lines(), reference.dirty_lines());
+    }
+
+    /// `RouteIter` yields exactly the node and link sequences of the seed's
+    /// materialising router, with matching hop counts, on random meshes.
+    #[test]
+    fn route_iter_matches_materialising_reference(
+        w in 1usize..12,
+        h in 1usize..12,
+        src_raw in 0usize..144,
+        dst_raw in 0usize..144,
+        yx in any::<bool>(),
+    ) {
+        let m = MeshTopology::new(w, h);
+        let src = NodeId(src_raw % m.nodes());
+        let dst = NodeId(dst_raw % m.nodes());
+        let alg = if yx { RoutingAlgorithm::YX } else { RoutingAlgorithm::XY };
+        let expected = ref_route(&m, src, dst, alg);
+
+        let iter = m.route_iter(src, dst, alg);
+        prop_assert_eq!(iter.hops(), expected.len() - 1);
+        prop_assert_eq!(iter.source(), src);
+        prop_assert_eq!(iter.destination(), dst);
+        prop_assert_eq!(iter.collect::<Vec<_>>(), expected.clone());
+        let expected_links: Vec<(NodeId, NodeId)> =
+            expected.windows(2).map(|p| (p[0], p[1])).collect();
+        prop_assert_eq!(iter.links().collect::<Vec<_>>(), expected_links);
+
+        // The materialised Route is itself built from the iterator; it must
+        // agree with the reference too.
+        let route = m.route(src, dst, alg);
+        prop_assert_eq!(route.nodes(), &expected[..]);
+        prop_assert_eq!(route.hops(), expected.len() - 1);
+    }
+
+    /// `contained_route` (now iterator-form) picks the same routing order the
+    /// reference audit would: X-Y when the X-Y path stays inside the cluster,
+    /// else Y-X when that one does, else an isolation error.
+    #[test]
+    fn contained_route_order_matches_reference_audit(
+        secure_cores in 0usize..65,
+        src_raw in 0usize..64,
+        dst_raw in 0usize..64,
+    ) {
+        let m = MeshTopology::new(8, 8);
+        let map = ClusterMap::row_major_split(m, secure_cores);
+        let src = NodeId(src_raw);
+        let dst = NodeId(dst_raw);
+        let cluster = map.cluster_of(src);
+        // Only intra-cluster pairs go through containment selection.
+        if map.cluster_of(dst) == cluster {
+            let contained = |alg| ref_route(&m, src, dst, alg)
+                .iter()
+                .all(|n| map.cluster_of(*n) == cluster);
+            match map.contained_route(src, dst, cluster) {
+                Ok(route) => {
+                    if contained(RoutingAlgorithm::XY) {
+                        prop_assert_eq!(route.algorithm(), RoutingAlgorithm::XY);
+                    } else {
+                        prop_assert!(contained(RoutingAlgorithm::YX));
+                        prop_assert_eq!(route.algorithm(), RoutingAlgorithm::YX);
+                    }
+                    let nodes = ref_route(&m, src, dst, route.algorithm());
+                    prop_assert_eq!(route.collect::<Vec<_>>(), nodes);
+                }
+                Err(violation) => {
+                    prop_assert!(!contained(RoutingAlgorithm::XY));
+                    prop_assert!(!contained(RoutingAlgorithm::YX));
+                    prop_assert_eq!(violation.cluster, cluster);
+                }
+            }
+        }
+    }
+}
+
+/// The audit path never sees a cluster value disagree between the iterator
+/// and materialised forms (plain test: a fixed interesting shape).
+#[test]
+fn split_row_cluster_still_rejected() {
+    let m = MeshTopology::new(8, 8);
+    let mut map = ClusterMap::row_major_split(m, 34);
+    map.reassign(NodeId(38), ClusterId::Secure);
+    // Same-row secure tiles separated by insecure tiles cannot be contained
+    // by either deterministic order (see the seed's cluster tests).
+    assert!(map.contained_route(NodeId(33), NodeId(38), ClusterId::Secure).is_err());
+}
