@@ -1,0 +1,545 @@
+//! Adversarial covert-channel execution.
+//!
+//! Everything else in this crate measures IRONHIDE's *performance*; this
+//! module measures its *security claim* from the attacker's point of view. A
+//! [`CovertChannel`] is a paired attacker/victim workload that tries to
+//! transmit bits through shared microarchitecture state: the victim (an
+//! attested secure process) modulates some shared structure — L2 slice
+//! occupancy, NoC link congestion, TLB residency, the shared IPC buffer's
+//! cache footprint — and the attacker (an ordinary insecure process) decodes
+//! the bits from the latencies of its own probe accesses.
+//!
+//! [`AttackRunner`] co-schedules such a pair on one simulated machine under
+//! any of the four execution architectures, reusing the exact machinery the
+//! performance experiments use: the [`SecureKernel`] attests the victim
+//! before it may run, the [`ClusterManager`] pins the pair to distrusting
+//! clusters under IRONHIDE, and MI6's enclave boundaries purge private state,
+//! controller queues and the network. Probe latencies are observed through
+//! the machine's [`LatencyTrace`](ironhide_sim::trace::LatencyTrace) hook —
+//! the attacker sees nothing a real attacker could not time.
+//!
+//! The decoding side (bit recovery, bit-error rate, channel capacity) lives
+//! in the `ironhide-attacks` crate's `LeakageOracle`; its result is the
+//! [`AttackOutcome`] serialised by the attack matrix in [`crate::sweep`].
+
+use std::fmt;
+
+use ironhide_cache::SliceId;
+use ironhide_mem::ControllerMask;
+use ironhide_mesh::{ClusterId, NodeId};
+use ironhide_sim::config::MachineConfig;
+use ironhide_sim::machine::Machine;
+use ironhide_sim::process::{ProcessId, SecurityClass};
+
+use crate::app::MemRef;
+use crate::arch::{ArchParams, Architecture};
+use crate::cluster::ClusterManager;
+use crate::isolation::{IsolationAuditor, IsolationSummary};
+use crate::kernel::{AppDomain, SecureKernel};
+use crate::runner::RunError;
+use crate::speccheck::SpeculativeAccessCheck;
+
+/// Signing key of the simulated attack-victim author (the kernel only needs
+/// signatures to be verifiable, not secret).
+const AUTHOR_KEY: u64 = 0x0A77_ACC0_5EC4_E701;
+
+/// How the attacker and victim are co-scheduled under the temporally shared
+/// architectures (Insecure, SGX, MI6). Under IRONHIDE placement is always
+/// dictated by the clusters, whatever the channel prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelPlacement {
+    /// Victim and attacker time-share one core — required by channels that
+    /// target per-core private state (TLB, L1).
+    SharedCore,
+    /// Victim and attacker run on different cores — channels that target the
+    /// shared fabric (L2 slices, NoC, DRAM) leak across cores.
+    DistinctCores,
+}
+
+/// A paired attacker/victim covert-channel workload.
+///
+/// The four reference streams are fixed per channel; every transmission slot
+/// replays them in the same order, so a run is fully deterministic:
+///
+/// 1. [`CovertChannel::prime`] — the attacker prepares the shared structure
+///    (fills the monitored cache sets / TLB entries / link state);
+/// 2. [`CovertChannel::victim_protocol`] — the *fixed* interaction the victim
+///    performs every slot regardless of the secret (reading the shared IPC
+///    buffer, issued against insecure memory and marked as IPC traffic);
+/// 3. [`CovertChannel::victim_secret`] — the secret-dependent burst the
+///    victim issues in its own address space **only when transmitting a 1**;
+/// 4. [`CovertChannel::probe`] — the accesses the attacker times to decode
+///    the slot.
+pub trait CovertChannel: fmt::Debug {
+    /// The channel's display name (also the attack-matrix axis label).
+    fn name(&self) -> &str;
+
+    /// Preferred co-scheduling under temporally shared architectures.
+    fn placement(&self) -> ChannelPlacement;
+
+    /// Attacker references issued (untimed) at the start of every slot.
+    fn prime(&self) -> &[MemRef];
+
+    /// Victim references issued every slot against the shared (insecure)
+    /// address space, modelling the legitimate interaction protocol.
+    fn victim_protocol(&self) -> &[MemRef];
+
+    /// Victim references issued in its own secure address space when the
+    /// transmitted bit is 1 (idle when 0).
+    fn victim_secret(&self) -> &[MemRef];
+
+    /// Attacker references whose latencies are the channel's observable.
+    fn probe(&self) -> &[MemRef];
+}
+
+/// The attacker-visible record of one attack run: per-slot probe latencies
+/// plus the isolation audit of the machine the attack ran on.
+#[derive(Debug, Clone)]
+pub struct AttackTrace {
+    /// Summed probe latency of each payload slot, in cycles (one entry per
+    /// transmitted bit, in transmission order).
+    pub probe_cycles: Vec<u64>,
+    /// Total cycles of all payload slots (prime + victim + boundary + probe),
+    /// for converting channel capacity to bits per second.
+    pub payload_cycles: u64,
+    /// Clock frequency of the machine, in GHz.
+    pub clock_ghz: f64,
+    /// Core the attacker issued from.
+    pub attacker_core: NodeId,
+    /// Core the victim issued from.
+    pub victim_core: NodeId,
+    /// Cores of the secure cluster (the machine size under temporal sharing).
+    pub secure_cores: usize,
+    /// Strong-isolation audit of the attacked machine.
+    pub isolation: IsolationSummary,
+}
+
+/// Verdict on one channel under one architecture, derived from the measured
+/// bit-error rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelVerdict {
+    /// The attacker decodes well above chance: the channel works.
+    Open,
+    /// The attacker decodes above chance but unreliably.
+    Degraded,
+    /// The attacker does no better than guessing: the channel is closed.
+    Closed,
+}
+
+impl ChannelVerdict {
+    /// Effective BER at or below which a channel is declared
+    /// [`ChannelVerdict::Open`].
+    pub const OPEN_BER: f64 = 0.25;
+    /// Half-width of the BER band around 0.5 declared
+    /// [`ChannelVerdict::Closed`] (guessing).
+    pub const CLOSED_BAND: f64 = 0.05;
+
+    /// Classifies a measured bit-error rate. Classification is
+    /// polarity-blind: a BER near 1.0 means the decoder's threshold polarity
+    /// was inverted, and a real attacker just flips it — such a channel is
+    /// as open as one near 0.0, so the *effective* BER `min(p, 1 − p)` is
+    /// what gets judged.
+    pub fn from_ber(ber: f64) -> Self {
+        let effective = ber.min(1.0 - ber);
+        if effective <= Self::OPEN_BER {
+            ChannelVerdict::Open
+        } else if (ber - 0.5).abs() <= Self::CLOSED_BAND {
+            ChannelVerdict::Closed
+        } else {
+            ChannelVerdict::Degraded
+        }
+    }
+}
+
+impl fmt::Display for ChannelVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelVerdict::Open => write!(f, "OPEN"),
+            ChannelVerdict::Degraded => write!(f, "DEGRADED"),
+            ChannelVerdict::Closed => write!(f, "CLOSED"),
+        }
+    }
+}
+
+/// The decoded result of one attack run, as produced by the leakage oracle
+/// and serialised into the attack matrix.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Channel name.
+    pub channel: String,
+    /// Architecture attacked.
+    pub arch: Architecture,
+    /// Number of payload bits transmitted.
+    pub payload_bits: u64,
+    /// Decoded bits that did not match the transmitted ones.
+    pub bit_errors: u64,
+    /// Bit-error rate (`bit_errors / payload_bits`; 0.5 ≈ guessing).
+    pub ber: f64,
+    /// The latency threshold the decoder separated 0s from 1s with.
+    pub threshold_cycles: f64,
+    /// Fastest per-slot probe observed, in cycles.
+    pub min_probe_cycles: u64,
+    /// Slowest per-slot probe observed, in cycles.
+    pub max_probe_cycles: u64,
+    /// Binary-symmetric-channel capacity, in bits per transmission slot.
+    pub capacity_bits_per_slot: f64,
+    /// Capacity scaled by the measured slot rate, in bits per second.
+    pub capacity_bits_per_second: f64,
+    /// Total simulated cycles of the payload slots.
+    pub payload_cycles: u64,
+    /// Cores of the secure cluster the victim ran in.
+    pub secure_cores: usize,
+    /// Per-channel verdict derived from the BER.
+    pub verdict: ChannelVerdict,
+    /// Strong-isolation audit of the attacked machine (the attack must not
+    /// have tripped any architectural invariant even when it leaks).
+    pub isolation: IsolationSummary,
+}
+
+impl AttackOutcome {
+    /// Whether the attacker demonstrably decoded the transmission.
+    pub fn is_open(&self) -> bool {
+        self.verdict == ChannelVerdict::Open
+    }
+
+    /// Whether the attacker did no better than guessing.
+    pub fn is_closed(&self) -> bool {
+        self.verdict == ChannelVerdict::Closed
+    }
+}
+
+/// Co-schedules a covert-channel pair on one machine under one architecture.
+#[derive(Debug, Clone)]
+pub struct AttackRunner {
+    config: MachineConfig,
+    params: ArchParams,
+    warmup_slots: usize,
+}
+
+impl AttackRunner {
+    /// Creates a runner attacking machines built from `config`, with four
+    /// warm-up slots (alternating both symbols) before measurement starts.
+    pub fn new(config: MachineConfig) -> Self {
+        AttackRunner { config, params: ArchParams::default(), warmup_slots: 4 }
+    }
+
+    /// Overrides the architecture parameters (SGX boundary cost).
+    pub fn with_params(mut self, params: ArchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the number of unmeasured warm-up slots.
+    pub fn with_warmup(mut self, slots: usize) -> Self {
+        self.warmup_slots = slots;
+        self
+    }
+
+    /// The machine configuration attacked by each run.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Transmits `bits` through `channel` under `arch` and returns the
+    /// attacker's observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation fails or the victim cannot
+    /// be attested.
+    pub fn run(
+        &self,
+        arch: Architecture,
+        channel: &dyn CovertChannel,
+        bits: &[bool],
+    ) -> Result<AttackTrace, RunError> {
+        let mut machine = Machine::new(self.config.clone());
+        let attacker = machine.create_process("attacker", SecurityClass::Insecure);
+        let victim = machine.create_process("victim", SecurityClass::Secure);
+
+        // The victim is a secure process: it must attest before the secure
+        // kernel lets it execute. The attacker is unattested insecure code in
+        // a foreign trust domain — by construction mutually distrusting.
+        let mut kernel = SecureKernel::new();
+        let image = format!("victim:{}", channel.name()).into_bytes();
+        let signature = SecureKernel::sign(&image, AUTHOR_KEY);
+        kernel.register(victim, &image, signature, AUTHOR_KEY, AppDomain(1))?;
+        kernel.admit(victim, &image)?;
+
+        let total = self.config.cores();
+        let mut secure_cores = total;
+        let (attacker_core, victim_core) = match arch {
+            Architecture::Insecure | Architecture::SgxLike => {
+                (NodeId(0), self.temporal_victim_core(channel))
+            }
+            Architecture::Mi6 => {
+                // MI6's static partition: the secure process homes its pages
+                // on the low half of the slices, the insecure one on the high
+                // half; cores remain time-shared.
+                let half = (total / 2).max(1);
+                machine.set_process_slices(victim, (0..half).map(SliceId).collect());
+                machine.set_process_slices(attacker, (half..total).map(SliceId).collect());
+                (NodeId(0), self.temporal_victim_core(channel))
+            }
+            Architecture::Ironhide => {
+                let half = (total / 2).max(1);
+                let (manager, _setup) = ClusterManager::form(&mut machine, victim, attacker, half)?;
+                secure_cores = half;
+                let vic = manager.cores_of(ClusterId::Secure)[0];
+                let att = manager.cores_of(ClusterId::Insecure)[0];
+                (att, vic)
+            }
+        };
+
+        machine.enable_latency_trace(channel.probe().len().max(1));
+        let mut spec = SpeculativeAccessCheck::new();
+        let mut state = SlotState { machine, spec: &mut spec, attacker, victim };
+
+        // Warm up with alternating symbols so caches, TLBs and the NoC's
+        // congestion estimators settle into the steady state for both.
+        for i in 0..self.warmup_slots {
+            self.slot(&mut state, arch, channel, attacker_core, victim_core, i % 2 == 0);
+        }
+
+        let mut probe_cycles = Vec::with_capacity(bits.len());
+        let mut payload_cycles = 0u64;
+        for &bit in bits {
+            let (probe, slot_total) =
+                self.slot(&mut state, arch, channel, attacker_core, victim_core, bit);
+            probe_cycles.push(probe);
+            payload_cycles += slot_total;
+        }
+
+        let isolation = IsolationAuditor::new().audit(&state.machine, arch, state.spec);
+        Ok(AttackTrace {
+            probe_cycles,
+            payload_cycles,
+            clock_ghz: self.config.clock_ghz,
+            attacker_core,
+            victim_core,
+            secure_cores,
+            isolation,
+        })
+    }
+
+    /// The victim's core under the temporally shared architectures, honouring
+    /// the channel's placement preference.
+    fn temporal_victim_core(&self, channel: &dyn CovertChannel) -> NodeId {
+        match channel.placement() {
+            ChannelPlacement::SharedCore => NodeId(0),
+            ChannelPlacement::DistinctCores => NodeId(self.config.cores() - 1),
+        }
+    }
+
+    /// Runs one transmission slot and returns `(probe_cycles, slot_cycles)`.
+    fn slot(
+        &self,
+        state: &mut SlotState<'_>,
+        arch: Architecture,
+        channel: &dyn CovertChannel,
+        attacker_core: NodeId,
+        victim_core: NodeId,
+        bit: bool,
+    ) -> (u64, u64) {
+        let mut total = 0u64;
+
+        // 1. The attacker primes the monitored structure.
+        total += state.issue(state.attacker, attacker_core, channel.prime(), arch, true);
+
+        // 2. The victim enters its secure phase. MI6 purges at the boundary;
+        //    the other architectures cross it for free or for a constant
+        //    crypto cost.
+        total += self.boundary(&mut state.machine, arch);
+
+        // 3. The fixed interaction protocol: the victim touches the shared
+        //    IPC region (insecure memory) identically every slot, so the
+        //    protocol itself carries no information.
+        state.machine.set_ipc_marker(true);
+        total += state.issue(state.attacker, victim_core, channel.victim_protocol(), arch, false);
+        state.machine.set_ipc_marker(false);
+
+        // 4. The secret-dependent burst in the victim's own address space.
+        if bit {
+            total += state.issue(state.victim, victim_core, channel.victim_secret(), arch, false);
+        }
+
+        // 5. The victim leaves its secure phase.
+        total += self.boundary(&mut state.machine, arch);
+
+        // 6. The attacker probes, observing only its own access latencies
+        //    through the machine's latency-trace hook.
+        if let Some(trace) = state.machine.latency_trace_mut() {
+            trace.clear();
+        }
+        let issued = state.issue(state.attacker, attacker_core, channel.probe(), arch, true);
+        let probe =
+            state.machine.latency_trace().map(|trace| trace.total_cycles()).unwrap_or(issued);
+        debug_assert_eq!(probe, issued, "latency trace must observe exactly the probe stream");
+        total += probe;
+        (probe, total)
+    }
+
+    /// The cost of one secure-phase boundary crossing under `arch`. MI6
+    /// purges every time-shared private structure, the memory-controller
+    /// queues and the in-flight network state, as at its enclave entries and
+    /// exits.
+    ///
+    /// Note one deliberate divergence from the performance model:
+    /// [`ExperimentRunner`](crate::runner::ExperimentRunner) charges MI6's
+    /// boundary *without* draining the NoC's link-congestion estimate
+    /// (`Machine::purge_network`), while this runner drains it — on the
+    /// prototype the fence only completes once every in-flight packet has
+    /// left the network, and without the drain the link-contention channel
+    /// would survive MI6's purge. The performance figures therefore model a
+    /// slightly *harsher* MI6 (residual congestion persists across its
+    /// boundaries); unifying the two behind one shared boundary helper means
+    /// regenerating the performance goldens and is tracked in ROADMAP.md.
+    fn boundary(&self, machine: &mut Machine, arch: Architecture) -> u64 {
+        let clock = machine.clock();
+        match arch {
+            Architecture::Insecure | Architecture::Ironhide => 0,
+            Architecture::SgxLike => clock.us_to_cycles(self.params.sgx_entry_exit_us),
+            Architecture::Mi6 => {
+                let cores: Vec<NodeId> = (0..self.config.cores()).map(NodeId).collect();
+                let purge = machine.purge_private(&cores);
+                let mc = machine.purge_controllers(ControllerMask::first(self.config.controllers));
+                let net = machine.purge_network();
+                clock.us_to_cycles(self.params.sgx_entry_exit_us) + purge + mc + net
+            }
+        }
+    }
+}
+
+/// Mutable per-run state bundled so the slot helper stays readable.
+#[derive(Debug)]
+struct SlotState<'a> {
+    machine: Machine,
+    spec: &'a mut SpeculativeAccessCheck,
+    attacker: ProcessId,
+    victim: ProcessId,
+}
+
+impl SlotState<'_> {
+    /// Issues one reference stream on `core` against `pid`'s address space,
+    /// screening insecure-issued references through the speculative-access
+    /// check when the architecture mandates it.
+    fn issue(
+        &mut self,
+        pid: ProcessId,
+        core: NodeId,
+        refs: &[MemRef],
+        arch: Architecture,
+        issuer_is_insecure: bool,
+    ) -> u64 {
+        let mut cycles = 0;
+        for r in refs {
+            if arch.speculative_check() && issuer_is_insecure {
+                if let Some(paddr) = self.machine.peek_paddr(pid, r.vaddr) {
+                    self.spec.check(self.machine.regions(), SecurityClass::Insecure, paddr);
+                }
+            }
+            cycles += self.machine.access(core, pid, r.vaddr, r.write);
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal channel: the victim's secret burst sweeps the attacker's
+    /// probe working set out of the shared L2.
+    #[derive(Debug)]
+    struct TinyChannel {
+        prime: Vec<MemRef>,
+        protocol: Vec<MemRef>,
+        secret: Vec<MemRef>,
+        probe: Vec<MemRef>,
+    }
+
+    impl TinyChannel {
+        fn new() -> Self {
+            let page = 4096u64;
+            let prime: Vec<MemRef> = (0..128).map(|i| MemRef::read(i * 64)).collect();
+            let secret: Vec<MemRef> =
+                (0..512u64).map(|i| MemRef::read(0x10_0000 + i * 64)).collect();
+            TinyChannel {
+                probe: prime.clone(),
+                prime,
+                protocol: vec![MemRef::read(0x4000_0000), MemRef::read(0x4000_0000 + page)],
+                secret,
+            }
+        }
+    }
+
+    impl CovertChannel for TinyChannel {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn placement(&self) -> ChannelPlacement {
+            ChannelPlacement::DistinctCores
+        }
+        fn prime(&self) -> &[MemRef] {
+            &self.prime
+        }
+        fn victim_protocol(&self) -> &[MemRef] {
+            &self.protocol
+        }
+        fn victim_secret(&self) -> &[MemRef] {
+            &self.secret
+        }
+        fn probe(&self) -> &[MemRef] {
+            &self.probe
+        }
+    }
+
+    #[test]
+    fn verdict_classification() {
+        assert_eq!(ChannelVerdict::from_ber(0.0), ChannelVerdict::Open);
+        assert_eq!(ChannelVerdict::from_ber(0.25), ChannelVerdict::Open);
+        assert_eq!(ChannelVerdict::from_ber(0.35), ChannelVerdict::Degraded);
+        assert_eq!(ChannelVerdict::from_ber(0.5), ChannelVerdict::Closed);
+        assert_eq!(ChannelVerdict::from_ber(0.46), ChannelVerdict::Closed);
+        assert_eq!(ChannelVerdict::from_ber(0.6), ChannelVerdict::Degraded);
+        // Polarity-blind: an anti-correlated decode is still a working
+        // channel (the attacker inverts the threshold).
+        assert_eq!(ChannelVerdict::from_ber(0.95), ChannelVerdict::Open);
+        assert_eq!(ChannelVerdict::from_ber(1.0), ChannelVerdict::Open);
+        assert_eq!(ChannelVerdict::Open.to_string(), "OPEN");
+    }
+
+    #[test]
+    fn insecure_run_separates_symbols_and_ironhide_does_not() {
+        let runner = AttackRunner::new(MachineConfig::attack_testbench());
+        let channel = TinyChannel::new();
+        let bits = [true, false, true, false, false, true];
+        let open = runner.run(Architecture::Insecure, &channel, &bits).unwrap();
+        assert_eq!(open.probe_cycles.len(), bits.len());
+        let ones: Vec<u64> =
+            bits.iter().zip(&open.probe_cycles).filter(|(b, _)| **b).map(|(_, c)| *c).collect();
+        let zeros: Vec<u64> =
+            bits.iter().zip(&open.probe_cycles).filter(|(b, _)| !**b).map(|(_, c)| *c).collect();
+        assert!(
+            ones.iter().min() > zeros.iter().max(),
+            "victim activity must slow the attacker's probes ({ones:?} vs {zeros:?})"
+        );
+
+        let closed = runner.run(Architecture::Ironhide, &channel, &bits).unwrap();
+        assert!(closed.isolation.is_clean(), "violations: {:?}", closed.isolation.violations);
+        let spread =
+            closed.probe_cycles.iter().max().unwrap() - closed.probe_cycles.iter().min().unwrap();
+        assert!(spread <= 2, "IRONHIDE probes must be bit-independent (spread {spread})");
+        assert_ne!(closed.attacker_core, closed.victim_core);
+    }
+
+    #[test]
+    fn mi6_boundary_purges_between_phases() {
+        let runner = AttackRunner::new(MachineConfig::attack_testbench()).with_warmup(1);
+        let channel = TinyChannel::new();
+        let trace = runner.run(Architecture::Mi6, &channel, &[true, false]).unwrap();
+        let spread =
+            trace.probe_cycles.iter().max().unwrap() - trace.probe_cycles.iter().min().unwrap();
+        assert!(spread <= 2, "MI6 purge must flatten the channel (spread {spread})");
+    }
+}

@@ -24,6 +24,11 @@
 //!   adopted from MI6).
 //! * [`isolation`] — the strong-isolation auditor used by tests and the
 //!   experiment harness to demonstrate that no run violated isolation.
+//! * [`attack`] — the adversarial side of the security claim: the
+//!   [`attack::CovertChannel`] contract for paired attacker/victim workloads
+//!   and the [`attack::AttackRunner`] that co-schedules them in mutually
+//!   distrusting domains (channels and the decoding `LeakageOracle` live in
+//!   `ironhide-attacks`).
 //! * [`app`] — the interactive-application abstraction the workloads crate
 //!   implements (two processes, a stream of interactions, per-process
 //!   parallelism profiles).
@@ -41,6 +46,7 @@
 
 pub mod app;
 pub mod arch;
+pub mod attack;
 pub mod cluster;
 pub mod ipc;
 pub mod isolation;
@@ -52,6 +58,9 @@ pub mod sweep;
 
 pub use app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
 pub use arch::{ArchParams, Architecture};
+pub use attack::{
+    AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
+};
 pub use cluster::{ClusterConfig, ClusterManager};
 pub use ipc::SharedIpcBuffer;
 pub use isolation::{IsolationAuditor, IsolationSummary};
@@ -60,6 +69,7 @@ pub use realloc::{ReallocDecision, ReallocPolicy};
 pub use runner::{CompletionReport, ExperimentRunner, RunError};
 pub use speccheck::{SpecCheckOutcome, SpeculativeAccessCheck};
 pub use sweep::{
-    AppSpec, CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepError, SweepGrid,
-    SweepMatrix, SweepRunner,
+    AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, AttackSweepError,
+    CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepError, SweepGrid, SweepMatrix,
+    SweepRunner,
 };

@@ -33,6 +33,7 @@ use ironhide_sim::config::MachineConfig;
 
 use crate::app::InteractiveApp;
 use crate::arch::{ArchParams, Architecture};
+use crate::attack::AttackOutcome;
 use crate::realloc::ReallocPolicy;
 use crate::runner::{CompletionReport, ExperimentRunner, RunError};
 
@@ -332,10 +333,15 @@ impl SweepRunner {
 /// Derives a cell's seed from the master seed and the cell key only — thread
 /// identity and execution order never enter the computation.
 fn derive_cell_seed(master_seed: u64, key: &CellKey) -> u64 {
-    // FNV-1a over the rendered key, then a SplitMix64 finalisation so related
-    // keys map to well-separated seeds.
+    derive_seed(master_seed, &key.to_string())
+}
+
+/// Seed derivation shared by the performance and attack grids: FNV-1a over
+/// the rendered key, then a SplitMix64 finalisation so related keys map to
+/// well-separated seeds.
+fn derive_seed(master_seed: u64, key: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in key.to_string().bytes() {
+    for byte in key.bytes() {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
@@ -343,6 +349,320 @@ fn derive_cell_seed(master_seed: u64, key: &CellKey) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Attack matrix
+// ---------------------------------------------------------------------------
+
+/// A thread-safe closure running one attack cell to completion: given the
+/// machine configuration, the architecture under attack, the scale point and
+/// the cell's derived seed, it instantiates the channel, co-schedules the
+/// attacker/victim pair and decodes the transmission. `ironhide-attacks`
+/// provides these via its `LeakageOracle`.
+pub type AttackFactory = Arc<
+    dyn Fn(&MachineConfig, Architecture, &ScalePoint, u64) -> Result<AttackOutcome, RunError>
+        + Send
+        + Sync,
+>;
+
+/// A point on the attack grid's channel axis: a display label plus the
+/// closure executing the full attack for one cell.
+#[derive(Clone)]
+pub struct AttackSpec {
+    label: String,
+    factory: AttackFactory,
+}
+
+impl AttackSpec {
+    /// Creates a channel spec from a label and an attack closure.
+    pub fn new<F>(label: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn(&MachineConfig, Architecture, &ScalePoint, u64) -> Result<AttackOutcome, RunError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        AttackSpec { label: label.into(), factory: Arc::new(factory) }
+    }
+
+    /// The channel's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Runs the attack for one cell.
+    pub fn execute(
+        &self,
+        config: &MachineConfig,
+        arch: Architecture,
+        scale: &ScalePoint,
+        seed: u64,
+    ) -> Result<AttackOutcome, RunError> {
+        (self.factory)(config, arch, scale, seed)
+    }
+}
+
+impl fmt::Debug for AttackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttackSpec").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
+/// The {channel × architecture × scale} grid the security suite executes.
+#[derive(Debug, Clone, Default)]
+pub struct AttackGrid {
+    /// Covert channels to attempt.
+    pub channels: Vec<AttackSpec>,
+    /// Execution architectures to attack.
+    pub architectures: Vec<Architecture>,
+    /// Input scales (payload length per the channel implementation).
+    pub scales: Vec<ScalePoint>,
+}
+
+impl AttackGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        AttackGrid::default()
+    }
+
+    /// Adds a channel.
+    pub fn with_channel(mut self, channel: AttackSpec) -> Self {
+        self.channels.push(channel);
+        self
+    }
+
+    /// Sets the architecture axis.
+    pub fn with_architectures(mut self, archs: &[Architecture]) -> Self {
+        self.architectures = archs.to_vec();
+        self
+    }
+
+    /// Adds a scale point.
+    pub fn with_scale(mut self, scale: ScalePoint) -> Self {
+        self.scales.push(scale);
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.channels.len() * self.architectures.len() * self.scales.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into cell keys, in the canonical (scale-major, then
+    /// channel, then architecture) order the matrix stores them in.
+    pub fn keys(&self) -> Vec<AttackCellKey> {
+        self.expanded().into_iter().map(|(key, _, _)| key).collect()
+    }
+
+    /// The single source of truth for attack-cell ordering (mirrors
+    /// [`SweepGrid::expanded`]).
+    fn expanded(&self) -> Vec<(AttackCellKey, &AttackSpec, &ScalePoint)> {
+        let mut cells = Vec::with_capacity(self.len());
+        for scale in &self.scales {
+            for channel in &self.channels {
+                for arch in &self.architectures {
+                    let key = AttackCellKey {
+                        channel: channel.label.clone(),
+                        arch: *arch,
+                        scale: scale.label().to_string(),
+                    };
+                    cells.push((key, channel, scale));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Identity of one attack cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCellKey {
+    /// Channel label.
+    pub channel: String,
+    /// Architecture under attack.
+    pub arch: Architecture,
+    /// Scale label.
+    pub scale: String,
+}
+
+impl fmt::Display for AttackCellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The "attack" prefix namespaces attack-cell seeds away from the
+        // performance grid's, so identical labels can never collide.
+        write!(f, "attack | {} | {} | {}", self.channel, self.arch, self.scale)
+    }
+}
+
+/// An attack-sweep failure: the failing cell plus the underlying run error.
+#[derive(Debug, Clone)]
+pub struct AttackSweepError {
+    /// The cell that failed.
+    pub cell: AttackCellKey,
+    /// Why it failed.
+    pub error: RunError,
+}
+
+impl fmt::Display for AttackSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attack cell [{}] failed: {}", self.cell, self.error)
+    }
+}
+
+impl std::error::Error for AttackSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One completed attack cell.
+#[derive(Debug, Clone)]
+pub struct AttackCell {
+    /// The cell's identity.
+    pub key: AttackCellKey,
+    /// The seed the cell ran with.
+    pub seed: u64,
+    /// The decoded attack outcome.
+    pub outcome: AttackOutcome,
+}
+
+/// The completed attack grid, in canonical order, with differential-security
+/// queries and a deterministic JSON rendering.
+#[derive(Debug, Clone)]
+pub struct AttackMatrix {
+    /// The master seed the sweep ran with.
+    pub master_seed: u64,
+    /// Completed cells in grid order (scale-major, then channel,
+    /// architecture).
+    pub cells: Vec<AttackCell>,
+}
+
+impl AttackMatrix {
+    /// BER below which a channel must decode on the insecure baseline for the
+    /// differential security claim to hold.
+    pub const BASELINE_MAX_BER: f64 = 0.10;
+
+    /// Looks up one cell.
+    pub fn get(&self, channel: &str, arch: Architecture, scale: &str) -> Option<&AttackCell> {
+        self.cells
+            .iter()
+            .find(|c| c.key.channel == channel && c.key.arch == arch && c.key.scale == scale)
+    }
+
+    /// All distinct (channel, scale) pairs, in grid order.
+    fn channel_scale_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for cell in &self.cells {
+            let pair = (cell.key.channel.clone(), cell.key.scale.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// Checks the differential security claim over every (channel, scale)
+    /// pair for which both the insecure baseline and IRONHIDE are present:
+    /// the channel must demonstrably *work* on the shared baseline (BER below
+    /// [`AttackMatrix::BASELINE_MAX_BER`], verdict open) and be
+    /// indistinguishable from guessing under IRONHIDE (verdict closed, with a
+    /// clean isolation audit). Returns a description of each violation
+    /// (empty = the claim holds).
+    pub fn differential_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (channel, scale) in self.channel_scale_pairs() {
+            let (Some(open), Some(closed)) = (
+                self.get(&channel, Architecture::Insecure, &scale),
+                self.get(&channel, Architecture::Ironhide, &scale),
+            ) else {
+                continue;
+            };
+            if !(open.outcome.is_open() && open.outcome.ber < Self::BASELINE_MAX_BER) {
+                violations.push(format!(
+                    "{channel} @{scale}: does not decode on the insecure baseline \
+                     (BER {:.3}, verdict {}) — the channel itself is broken",
+                    open.outcome.ber, open.outcome.verdict
+                ));
+            }
+            if !closed.outcome.is_closed() {
+                violations.push(format!(
+                    "{channel} @{scale}: IRONHIDE leaks (BER {:.3}, verdict {})",
+                    closed.outcome.ber, closed.outcome.verdict
+                ));
+            }
+            if !closed.outcome.isolation.is_clean() {
+                violations.push(format!(
+                    "{channel} @{scale}: attack tripped isolation invariants under IRONHIDE: {:?}",
+                    closed.outcome.isolation.violations
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Renders the matrix as deterministic JSON (same contract as
+    /// [`SweepMatrix::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048 + self.cells.len() * 512);
+        out.push_str("{\n  \"master_seed\": ");
+        out.push_str(&self.master_seed.to_string());
+        out.push_str(",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            attack_cell_json(&mut out, cell);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+impl SweepRunner {
+    /// The seed a given attack cell would run with.
+    pub fn attack_cell_seed(&self, key: &AttackCellKey) -> u64 {
+        derive_seed(self.master_seed, &key.to_string())
+    }
+
+    /// Runs every cell of the attack `grid` in parallel and collects the
+    /// outcomes in grid order, under the same determinism contract as
+    /// [`SweepRunner::run`]: the serialised [`AttackMatrix`] is byte-identical
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in grid order) [`AttackSweepError`] if any cell
+    /// fails; partial results are discarded.
+    pub fn run_attacks(&self, grid: &AttackGrid) -> Result<AttackMatrix, AttackSweepError> {
+        let cells = grid.expanded();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("attack thread pool builds");
+        let results: Vec<Result<AttackCell, AttackSweepError>> = pool.install(|| {
+            cells
+                .par_iter()
+                .map(|(key, channel, scale)| {
+                    let seed = self.attack_cell_seed(key);
+                    let outcome = channel
+                        .execute(&self.machine, key.arch, scale, seed)
+                        .map_err(|error| AttackSweepError { cell: key.clone(), error })?;
+                    Ok(AttackCell { key: key.clone(), seed, outcome })
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        Ok(AttackMatrix { master_seed: self.master_seed, cells: out })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -760,6 +1080,37 @@ fn cell_json(out: &mut String, cell: &SweepCell) {
     });
 }
 
+/// Renders one attack outcome as a JSON object (the attack matrix is
+/// snapshotted whole through [`AttackMatrix::to_json`]).
+fn attack_outcome_json(out: &mut String, o: &AttackOutcome) {
+    json_fields!(out, {
+        "channel": json_string(out, &o.channel),
+        "arch": json_string(out, &o.arch.to_string()),
+        "payload_bits": out.push_str(&o.payload_bits.to_string()),
+        "bit_errors": out.push_str(&o.bit_errors.to_string()),
+        "ber": json_f64(out, o.ber),
+        "threshold_cycles": json_f64(out, o.threshold_cycles),
+        "min_probe_cycles": out.push_str(&o.min_probe_cycles.to_string()),
+        "max_probe_cycles": out.push_str(&o.max_probe_cycles.to_string()),
+        "capacity_bits_per_slot": json_f64(out, o.capacity_bits_per_slot),
+        "capacity_bits_per_second": json_f64(out, o.capacity_bits_per_second),
+        "payload_cycles": out.push_str(&o.payload_cycles.to_string()),
+        "secure_cores": out.push_str(&o.secure_cores.to_string()),
+        "verdict": json_string(out, &o.verdict.to_string()),
+        "isolation": isolation_json(out, &o.isolation),
+    });
+}
+
+fn attack_cell_json(out: &mut String, cell: &AttackCell) {
+    json_fields!(out, {
+        "channel": json_string(out, &cell.key.channel),
+        "arch": json_string(out, &cell.key.arch.to_string()),
+        "scale": json_string(out, &cell.key.scale),
+        "seed": out.push_str(&cell.seed.to_string()),
+        "outcome": attack_outcome_json(out, &cell.outcome),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -903,6 +1254,92 @@ mod tests {
         let mut out = String::new();
         json_f64(&mut out, 1.25);
         assert_eq!(out, "1.25");
+    }
+
+    fn synthetic_attack_grid() -> AttackGrid {
+        // A fake channel whose "outcome" is derived purely from the cell
+        // seed, exercising grid ordering, seed plumbing and serialisation
+        // without simulating a machine.
+        let spec = AttackSpec::new("fake-channel", |config, arch, scale, seed| {
+            let bits = 16u64;
+            let errors = seed % (bits + 1);
+            let ber = errors as f64 / bits as f64;
+            Ok(crate::attack::AttackOutcome {
+                channel: format!("fake-channel@{}", scale.label()),
+                arch,
+                payload_bits: bits,
+                bit_errors: errors,
+                ber,
+                threshold_cycles: 10.0,
+                min_probe_cycles: seed % 100,
+                max_probe_cycles: seed % 100 + 50,
+                capacity_bits_per_slot: 1.0 - ber,
+                capacity_bits_per_second: (1.0 - ber) * config.clock_ghz,
+                payload_cycles: 1000,
+                secure_cores: config.cores() / 2,
+                verdict: crate::attack::ChannelVerdict::from_ber(ber),
+                isolation: crate::isolation::IsolationSummary::default(),
+            })
+        });
+        AttackGrid::new()
+            .with_channel(spec)
+            .with_architectures(&[Architecture::Insecure, Architecture::Ironhide])
+            .with_scale(ScalePoint::new("Smoke"))
+    }
+
+    #[test]
+    fn attack_grid_expansion_order_is_canonical() {
+        let grid = synthetic_attack_grid();
+        assert_eq!(grid.len(), 2);
+        assert!(!grid.is_empty());
+        assert!(AttackGrid::new().is_empty());
+        let keys = grid.keys();
+        assert_eq!(keys[0].arch, Architecture::Insecure);
+        assert_eq!(keys[1].arch, Architecture::Ironhide);
+        assert!(keys[0].to_string().starts_with("attack | "));
+    }
+
+    #[test]
+    fn attack_seeds_are_key_pure_and_namespaced() {
+        let runner = test_runner();
+        let keys = synthetic_attack_grid().keys();
+        assert_eq!(runner.attack_cell_seed(&keys[0]), runner.attack_cell_seed(&keys[0].clone()));
+        assert_ne!(runner.attack_cell_seed(&keys[0]), runner.attack_cell_seed(&keys[1]));
+        // The "attack" namespace keeps attack seeds away from an app cell
+        // that happens to render similarly.
+        let app_key = CellKey {
+            app: keys[0].channel.clone(),
+            arch: keys[0].arch,
+            policy: ReallocPolicy::Static,
+            scale: keys[0].scale.clone(),
+        };
+        assert_ne!(runner.attack_cell_seed(&keys[0]), runner.cell_seed(&app_key));
+    }
+
+    #[test]
+    fn attack_matrix_is_thread_count_independent() {
+        let grid = synthetic_attack_grid();
+        let baseline = test_runner().with_threads(1).run_attacks(&grid).unwrap().to_json();
+        for threads in [2, 4] {
+            let json = test_runner().with_threads(threads).run_attacks(&grid).unwrap().to_json();
+            assert_eq!(json, baseline, "thread count {threads} changed the attack matrix");
+        }
+        assert!(baseline.contains("\"verdict\""));
+        assert_eq!(baseline.matches('{').count(), baseline.matches('}').count());
+    }
+
+    #[test]
+    fn attack_matrix_queries_and_differential_check() {
+        let matrix = test_runner().run_attacks(&synthetic_attack_grid()).unwrap();
+        assert_eq!(matrix.cells.len(), 2);
+        assert!(matrix.get("fake-channel", Architecture::Insecure, "Smoke").is_some());
+        assert!(matrix.get("missing", Architecture::Insecure, "Smoke").is_none());
+        // The synthetic outcomes are seed-derived, so the differential claim
+        // will generally *not* hold — the checker must report something
+        // rather than crash, and must mention the channel by name.
+        for violation in matrix.differential_violations() {
+            assert!(violation.contains("fake-channel"));
+        }
     }
 
     #[test]

@@ -111,6 +111,28 @@ impl MachineConfig {
         }
     }
 
+    /// The covert-channel testbench: an 8-tile (4×2) mesh with the tiny cache
+    /// geometries of [`MachineConfig::small_test`]. Sized so that one 4 KB
+    /// page exactly fills one L2 slice (64 lines = 16 sets × 4 ways), which
+    /// makes page-granular occupancy attacks land deterministically, while
+    /// the 4-wide rows give the NoC contention channel multi-hop routes to
+    /// congest. Used by `ironhide-attacks` and the security regression suite.
+    pub fn attack_testbench() -> Self {
+        MachineConfig {
+            mesh_width: 4,
+            mesh_height: 2,
+            l1: CacheConfig::new(1024, 2, 64),
+            l2_slice: CacheConfig::new(4096, 4, 64),
+            tlb: TlbConfig::new(4, 4096),
+            dram: DramConfig::default(),
+            controllers: 2,
+            dram_region_bytes: 1 << 22,
+            clock_ghz: 1.0,
+            latency: LatencyConfig::default(),
+            noc: NocLatencyConfig::default(),
+        }
+    }
+
     /// Number of tiles (cores) in the machine.
     pub fn cores(&self) -> usize {
         self.mesh_width * self.mesh_height
@@ -154,6 +176,18 @@ mod tests {
         let c = MachineConfig::small_test();
         c.validate();
         assert_eq!(c.cores(), 4);
+    }
+
+    #[test]
+    fn attack_testbench_geometry() {
+        let c = MachineConfig::attack_testbench();
+        c.validate();
+        assert_eq!(c.cores(), 8);
+        assert_eq!(c.controllers, 2);
+        // One page fills one slice exactly: the occupancy-channel contract.
+        let lines_per_page = c.tlb.page_bytes as u64 / c.l2_slice.line_bytes as u64;
+        let lines_per_slice = (c.l2_slice.size_bytes / c.l2_slice.line_bytes) as u64;
+        assert_eq!(lines_per_page, lines_per_slice);
     }
 
     #[test]

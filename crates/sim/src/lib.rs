@@ -44,9 +44,11 @@ pub mod machine;
 pub mod process;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use config::{LatencyConfig, MachineConfig};
 pub use machine::{AccessPath, Machine};
 pub use process::{ProcessId, SecurityClass};
 pub use stats::{MachineStats, ProcessStats};
 pub use time::Clock;
+pub use trace::LatencyTrace;

@@ -25,6 +25,7 @@ use crate::config::MachineConfig;
 use crate::process::{ProcessId, ProcessState, SecurityClass};
 use crate::stats::{MachineStats, ProcessStats};
 use crate::time::Clock;
+use crate::trace::LatencyTrace;
 
 /// The levels of the hierarchy that serviced an access, returned for
 /// diagnostics and assertions in tests.
@@ -86,6 +87,7 @@ pub struct Machine {
     core_purges: u64,
     pages_rehomed: u64,
     last_path: Option<AccessPath>,
+    latency_trace: Option<LatencyTrace>,
 }
 
 impl Machine {
@@ -128,6 +130,7 @@ impl Machine {
             core_purges: 0,
             pages_rehomed: 0,
             last_path: None,
+            latency_trace: None,
         }
     }
 
@@ -164,6 +167,33 @@ impl Machine {
     /// The hierarchy level that serviced the most recent access.
     pub fn last_path(&self) -> Option<AccessPath> {
         self.last_path
+    }
+
+    // ----- latency observability -------------------------------------------
+
+    /// Attaches a [`LatencyTrace`] of `capacity` samples: every subsequent
+    /// [`Machine::access`] records its returned latency into the ring. The
+    /// buffer is allocated here, once; recording on the hot path is
+    /// allocation-free (see `tests/zero_alloc.rs`). Replaces any trace that
+    /// was already attached.
+    pub fn enable_latency_trace(&mut self, capacity: usize) {
+        self.latency_trace = Some(LatencyTrace::new(capacity));
+    }
+
+    /// Detaches and returns the latency trace, if one was attached.
+    pub fn disable_latency_trace(&mut self) -> Option<LatencyTrace> {
+        self.latency_trace.take()
+    }
+
+    /// The attached latency trace, if any.
+    pub fn latency_trace(&self) -> Option<&LatencyTrace> {
+        self.latency_trace.as_ref()
+    }
+
+    /// Mutable access to the attached latency trace (to clear it between
+    /// observation windows), if any.
+    pub fn latency_trace_mut(&mut self) -> Option<&mut LatencyTrace> {
+        self.latency_trace.as_mut()
     }
 
     /// Hints how many cores are concurrently issuing memory traffic; the
@@ -502,6 +532,9 @@ impl Machine {
         }
         stats.memory_cycles += cycles;
         self.last_path = Some(path);
+        if let Some(trace) = &mut self.latency_trace {
+            trace.record(cycles);
+        }
         cycles
     }
 
@@ -552,6 +585,16 @@ impl Machine {
             }
         }
         worst
+    }
+
+    /// Drains the NoC: clears the per-link congestion state the analytical
+    /// latency model accumulates. On the prototype the memory fence that ends
+    /// a purge (`tmc_mem_fence`) only completes once every in-flight packet
+    /// has drained, so no queue occupancy survives an enclave boundary; this
+    /// is the network half of that fence. Returns the fence cycles charged.
+    pub fn purge_network(&mut self) -> u64 {
+        self.noc.reset_load();
+        self.config.latency.purge_fence
     }
 
     /// Flushes every shared L2 slice in `slices` (used when a slice changes
@@ -766,6 +809,53 @@ mod tests {
             m.access(NodeId(0), pid, p * 4096 + 16, false);
         }
         assert_eq!(m.process_footprint_pages(pid), 5);
+    }
+
+    #[test]
+    fn latency_trace_observes_access_latencies() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        assert!(m.latency_trace().is_none());
+        m.enable_latency_trace(8);
+        let a = m.access(NodeId(0), pid, 0x1000, false);
+        let b = m.access(NodeId(0), pid, 0x1000, false);
+        let trace = m.latency_trace().expect("trace attached");
+        assert_eq!(trace.iter().collect::<Vec<_>>(), vec![a, b]);
+        m.latency_trace_mut().unwrap().clear();
+        let c = m.access(NodeId(0), pid, 0x2000, false);
+        assert_eq!(m.latency_trace().unwrap().iter().collect::<Vec<_>>(), vec![c]);
+        let detached = m.disable_latency_trace().expect("trace detached");
+        assert_eq!(detached.recorded(), 3, "lifetime count survives the window clear");
+        m.access(NodeId(0), pid, 0x2000, false);
+        assert!(m.latency_trace().is_none());
+    }
+
+    #[test]
+    fn purge_network_clears_link_congestion() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        // Congest the core-1 → slice-0 route: stream one slice-sized page
+        // (homed on slice 0) from core 1 until the link-load estimators
+        // saturate. Each measurement purges core 1's private state first so
+        // the reference access always takes the remote-L2 path.
+        let probe = |m: &mut Machine| {
+            m.purge_core(NodeId(1));
+            m.access(NodeId(1), pid, 0x40, false)
+        };
+        for _ in 0..16 {
+            for line in 0..64u64 {
+                m.access(NodeId(1), pid, line * 64, false);
+            }
+        }
+        let congested = probe(&mut m);
+        let fence = m.purge_network();
+        assert_eq!(fence, m.config().latency.purge_fence);
+        let drained = probe(&mut m);
+        assert!(
+            drained < congested,
+            "draining the network must drop the route back to its uncongested \
+             latency ({drained} >= {congested})"
+        );
     }
 
     #[test]

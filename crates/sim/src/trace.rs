@@ -1,0 +1,143 @@
+//! Per-access latency observability.
+//!
+//! A [`LatencyTrace`] is a fixed-capacity ring buffer of per-access latency
+//! samples that a [`Machine`](crate::machine::Machine) records into when one
+//! is attached. It exists for the *attacker's* point of view: a covert-channel
+//! receiver only ever sees the latencies of its own probe accesses, so the
+//! leakage oracle in `ironhide-attacks` decodes transmitted bits from exactly
+//! this stream rather than from any privileged simulator state.
+//!
+//! The buffer is allocated once, up front, at
+//! [`Machine::enable_latency_trace`](crate::machine::Machine::enable_latency_trace);
+//! recording a sample is a store plus an index wrap, so the zero-allocation
+//! invariant of the access hot path holds with the hook enabled (covered by
+//! `tests/zero_alloc.rs`).
+
+/// A fixed-capacity ring buffer of per-access latency samples, in cycles.
+///
+/// When full, new samples overwrite the oldest ones — an attacker timing its
+/// probe stream only ever needs the most recent window.
+#[derive(Debug, Clone)]
+pub struct LatencyTrace {
+    samples: Box<[u64]>,
+    /// Index the next sample is written to.
+    head: usize,
+    /// Number of live samples (≤ capacity).
+    len: usize,
+    /// Total samples ever recorded, including overwritten ones.
+    recorded: u64,
+}
+
+impl LatencyTrace {
+    /// Creates a trace holding up to `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "latency trace needs a non-zero capacity");
+        LatencyTrace { samples: vec![0; capacity].into_boxed_slice(), head: 0, len: 0, recorded: 0 }
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total samples ever recorded, counting ones the ring has overwritten.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one sample. Never allocates.
+    #[inline]
+    pub fn record(&mut self, cycles: u64) {
+        self.samples[self.head] = cycles;
+        self.head += 1;
+        if self.head == self.samples.len() {
+            self.head = 0;
+        }
+        if self.len < self.samples.len() {
+            self.len += 1;
+        }
+        self.recorded += 1;
+    }
+
+    /// Drops all retained samples (capacity is kept; nothing is freed). The
+    /// lifetime [`LatencyTrace::recorded`] counter is unaffected — it counts
+    /// every sample ever recorded, across observation windows.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// The retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let start = (self.head + self.samples.len() - self.len) % self.samples.len();
+        (0..self.len).map(move |i| self.samples[(start + i) % self.samples.len()])
+    }
+
+    /// Sum of the retained samples, in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = LatencyTrace::new(4);
+        assert!(t.is_empty());
+        for v in [5, 7, 9] {
+            t.record(v);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 3);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![5, 7, 9]);
+        assert_eq!(t.total_cycles(), 21);
+    }
+
+    #[test]
+    fn wraps_and_keeps_the_newest_window() {
+        let mut t = LatencyTrace::new(3);
+        for v in 1..=5u64 {
+            t.record(v);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_capacity_or_lifetime_count() {
+        let mut t = LatencyTrace::new(2);
+        t.record(1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 2);
+        t.record(8);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![8]);
+        // `recorded` is a lifetime counter: it survives window clears.
+        assert_eq!(t.recorded(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn zero_capacity_rejected() {
+        LatencyTrace::new(0);
+    }
+}

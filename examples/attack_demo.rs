@@ -1,0 +1,51 @@
+//! Attack demo: run the covert-channel suite against all four execution
+//! architectures and print the leakage oracle's verdicts.
+//!
+//! Four paired attacker/victim workloads each try to smuggle a 32-bit
+//! pseudo-random payload through shared microarchitecture state (L2 slice
+//! occupancy, NoC link contention, TLB occupancy, the shared IPC buffer's
+//! cache footprint). The oracle decodes the attacker's probe latencies and
+//! reports the bit-error rate: ~0% means the channel works, ~50% means the
+//! attacker is guessing.
+//!
+//! ```bash
+//! cargo run --release --example attack_demo
+//! ```
+
+use ironhide::prelude::*;
+
+fn main() {
+    // The covert-channel testbench: one page fills one L2 slice exactly, so
+    // occupancy attacks land deterministically.
+    let machine = MachineConfig::attack_testbench();
+    let grid = attack_grid(&Architecture::ALL, &[ScalePoint::new("Smoke")]);
+    let matrix = SweepRunner::new(machine).with_seed(0).run_attacks(&grid).expect("attacks run");
+
+    println!("Covert-channel suite on the attack testbench (32-bit balanced payloads)\n");
+    println!(
+        "{:<22} {:<10} {:>7} {:>10} {:>14} {:>10}",
+        "channel", "arch", "BER", "bits/slot", "leak (bit/s)", "verdict"
+    );
+    for cell in &matrix.cells {
+        let o = &cell.outcome;
+        println!(
+            "{:<22} {:<10} {:>6.1}% {:>10.3} {:>14.1} {:>10}",
+            o.channel,
+            o.arch.to_string(),
+            o.ber * 100.0,
+            o.capacity_bits_per_slot,
+            o.capacity_bits_per_second,
+            o.verdict.to_string(),
+        );
+    }
+
+    let violations = matrix.differential_violations();
+    assert!(violations.is_empty(), "differential security claim violated: {violations:#?}");
+    println!(
+        "\nDifferential result: every channel decodes its payload on the insecure shared\n\
+         baseline (the attacks demonstrably work), and the same attackers decode at ~50%\n\
+         BER — pure guessing — once IRONHIDE pins them into spatially isolated clusters,\n\
+         with the strong-isolation audit still clean. MI6 closes the channels too, but\n\
+         pays its purge cost on every enclave boundary; SGX-like enclaves leak."
+    );
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub use ironhide_attacks;
 pub use ironhide_cache;
 pub use ironhide_core;
 pub use ironhide_mem;
@@ -40,13 +41,17 @@ pub use ironhide_workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use ironhide_attacks::{attack_grid, attack_spec, ChannelKind, LeakageOracle};
     pub use ironhide_core::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
     pub use ironhide_core::arch::{ArchParams, Architecture};
+    pub use ironhide_core::attack::{
+        AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
+    };
     pub use ironhide_core::realloc::ReallocPolicy;
     pub use ironhide_core::runner::{CompletionReport, ExperimentRunner};
     pub use ironhide_core::sweep::{
-        AppSpec, CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix,
-        SweepRunner,
+        AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, CellKey, Fig6Row,
+        Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix, SweepRunner,
     };
     pub use ironhide_mesh::{ClusterId, MeshTopology, NodeId, RoutingAlgorithm};
     pub use ironhide_sim::config::MachineConfig;

@@ -56,6 +56,48 @@ proptest! {
         }
     }
 
+    /// Purging leaves zero attacker-observable residue: whatever two victim
+    /// workloads V1 and V2 did before the purge — different addresses,
+    /// different cores, different write mixes — an attacker probing after a
+    /// full purge (private state, shared slices, controllers, network)
+    /// observes byte-identical per-access latencies on both machines. This
+    /// is the property that makes purge-on-reassignment sound: no probe
+    /// sequence can distinguish which victim ran.
+    #[test]
+    fn purge_erases_all_attacker_observable_victim_residue(
+        v1 in prop::collection::vec(0u64..0x80_0000, 0..48),
+        v2 in prop::collection::vec(0u64..0x80_0000, 0..48),
+        probe in prop::collection::vec(0u64..0x80_0000, 1..48),
+    ) {
+        let observe = |victim_trace: &[u64]| -> Vec<u64> {
+            let mut m = Machine::new(MachineConfig::small_test());
+            let cores = m.config().cores();
+            let victim = m.create_process("victim", SecurityClass::Secure);
+            let attacker = m.create_process("attacker", SecurityClass::Insecure);
+            for (i, v) in victim_trace.iter().enumerate() {
+                // Vary core and write-ness with the trace so V1/V2 touch
+                // TLBs, L1s, slices, link loads and controller rows
+                // differently.
+                m.access(NodeId(i % cores), victim, *v, v % 3 == 0);
+            }
+            // The full purge a tile re-assignment performs.
+            let all: Vec<NodeId> = (0..cores).map(NodeId).collect();
+            m.purge_private(&all);
+            m.purge_slices(&(0..cores).map(ironhide::ironhide_cache::SliceId).collect::<Vec<_>>());
+            m.purge_controllers(ironhide::ironhide_mem::ControllerMask::first(
+                m.config().controllers,
+            ));
+            m.purge_network();
+            // The attacker's probe, observed through the latency trace.
+            m.enable_latency_trace(probe.len());
+            for (i, p) in probe.iter().enumerate() {
+                m.access(NodeId(i % cores), attacker, *p, p % 5 == 0);
+            }
+            m.latency_trace().expect("trace attached").iter().collect()
+        };
+        prop_assert_eq!(observe(&v1), observe(&v2));
+    }
+
     /// A report produced under IRONHIDE never contains non-IPC cross-cluster
     /// traffic, for any (valid) static secure-cluster size.
     #[test]

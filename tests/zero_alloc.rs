@@ -5,7 +5,9 @@
 //! that 10,000 further `Machine::access` calls — covering L1 hits, L1 misses
 //! serviced by a remote L2 slice, and L2 misses serviced by DRAM with dirty
 //! evictions, under an active cluster map — perform **zero** heap
-//! allocations.
+//! allocations. The same is then asserted with the per-access latency-trace
+//! hook attached (the observability the leakage oracle relies on): the ring
+//! buffer is allocated once at attach time, and recording into it is free.
 //!
 //! Runs with `harness = false` so nothing but this code touches the
 //! allocator between the two counter reads.
@@ -104,4 +106,32 @@ fn main() {
         after - before
     );
     println!("zero_alloc: OK — {measured} steady-state accesses, 0 heap allocations");
+
+    // Same invariant with the latency-trace hook attached: attaching
+    // allocates the ring once, recording into it never does — including
+    // wrap-around (the trace is far smaller than a replay) and the
+    // clear-between-windows pattern the attack runner uses.
+    machine.enable_latency_trace(4096);
+    replay(&mut machine, pid);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut measured = 0u64;
+    while measured < 10_000 {
+        machine.latency_trace_mut().expect("trace attached").clear();
+        measured += replay(&mut machine, pid);
+    }
+    let traced = machine.latency_trace().expect("trace attached").recorded();
+    let sampled = machine.latency_trace().expect("trace attached").total_cycles();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(traced > 0, "the hook must have observed the replay");
+    assert!(sampled > 0, "observed latencies must be non-trivial");
+    assert_eq!(
+        after - before,
+        0,
+        "hook-enabled Machine::access must not allocate \
+         ({} allocations over {measured} accesses)",
+        after - before
+    );
+    println!("zero_alloc: OK — {measured} hook-enabled accesses, 0 heap allocations");
 }
