@@ -18,7 +18,7 @@
 //! testbench is [`MachineConfig::attack_testbench`], whose one-page-fills-
 //! one-slice L2 geometry makes page-granular occupancy eviction exact.
 
-use ironhide_core::app::MemRef;
+use ironhide_core::app::{MemRef, RefRun, RefStream};
 use ironhide_core::attack::{ChannelPlacement, CovertChannel};
 use ironhide_core::ipc::SharedIpcBuffer;
 use ironhide_sim::config::MachineConfig;
@@ -82,15 +82,15 @@ impl ChannelKind {
     }
 }
 
-/// A covert channel described by four fixed reference streams.
+/// A covert channel described by four fixed, run-encoded reference streams.
 #[derive(Debug, Clone)]
 pub struct StreamChannel {
     name: &'static str,
     placement: ChannelPlacement,
-    prime: Vec<MemRef>,
-    protocol: Vec<MemRef>,
-    secret: Vec<MemRef>,
-    probe: Vec<MemRef>,
+    prime: RefStream,
+    protocol: RefStream,
+    secret: RefStream,
+    probe: RefStream,
 }
 
 impl CovertChannel for StreamChannel {
@@ -100,16 +100,16 @@ impl CovertChannel for StreamChannel {
     fn placement(&self) -> ChannelPlacement {
         self.placement
     }
-    fn prime(&self) -> &[MemRef] {
+    fn prime(&self) -> &RefStream {
         &self.prime
     }
-    fn victim_protocol(&self) -> &[MemRef] {
+    fn victim_protocol(&self) -> &RefStream {
         &self.protocol
     }
-    fn victim_secret(&self) -> &[MemRef] {
+    fn victim_secret(&self) -> &RefStream {
         &self.secret
     }
-    fn probe(&self) -> &[MemRef] {
+    fn probe(&self) -> &RefStream {
         &self.probe
     }
 }
@@ -144,17 +144,26 @@ impl Geometry {
         }
     }
 
-    /// `pages` pages of back-to-back line touches starting at `base`.
-    fn page_stream(&self, base: u64, pages: usize, write: bool) -> Vec<MemRef> {
-        let lines_per_page = (self.page / self.line) as usize;
-        (0..pages as u64 * lines_per_page as u64)
-            .map(|i| MemRef { vaddr: base + self.shift + i * self.line, write })
-            .collect()
+    /// `pages` pages of back-to-back line touches starting at `base` — one
+    /// line-stride run.
+    fn page_stream(&self, base: u64, pages: usize, write: bool) -> RefStream {
+        let lines_per_page = self.page / self.line;
+        let mut s = RefStream::new();
+        s.push_run(RefRun::new(
+            base + self.shift,
+            self.line,
+            (pages as u64 * lines_per_page) as u32,
+            write,
+        ));
+        s
     }
 
-    /// One line touched on each of `pages` consecutive pages at `base`.
-    fn page_heads(&self, base: u64, pages: usize) -> Vec<MemRef> {
-        (0..pages as u64).map(|i| MemRef::read(base + self.shift + i * self.page)).collect()
+    /// One line touched on each of `pages` consecutive pages at `base` — one
+    /// page-stride run.
+    fn page_heads(&self, base: u64, pages: usize) -> RefStream {
+        let mut s = RefStream::new();
+        s.push_run(RefRun::new(base + self.shift, self.page, pages as u32, false));
+        s
     }
 
     /// The fixed interaction: the victim streams a shared region of twice
@@ -169,10 +178,15 @@ impl Geometry {
     /// the "Shield Bash" effect of a defence's own interaction mechanism
     /// carrying the leak, which showed up as a one-slot-delayed echo in an
     /// earlier version of this suite.
-    fn oblivious_protocol(&self) -> Vec<MemRef> {
-        (0..2 * self.l1_lines as u64)
-            .map(|i| MemRef::read(SHARED_BASE + self.shift + i * self.line))
-            .collect()
+    fn oblivious_protocol(&self) -> RefStream {
+        let mut s = RefStream::new();
+        s.push_run(RefRun::new(
+            SHARED_BASE + self.shift,
+            self.line,
+            2 * self.l1_lines as u32,
+            false,
+        ));
+        s
     }
 
     /// Pages the oblivious protocol stream spans.
@@ -240,7 +254,7 @@ impl Geometry {
         let buffer_bytes = (self.cores as u64 / 2) * self.page;
         let mut buffer = SharedIpcBuffer::new(SHARED_BASE + self.shift, buffer_bytes, self.line);
         let prime = buffer.produce(buffer_bytes);
-        let probe: Vec<MemRef> = prime.iter().map(|r| MemRef::read(r.vaddr)).collect();
+        let probe = RefStream::from_refs(prime.iter().map(|r| MemRef::read(r.vaddr)));
         StreamChannel {
             name: ChannelKind::IpcBufferTiming.label(),
             placement: ChannelPlacement::DistinctCores,
@@ -290,7 +304,7 @@ mod tests {
         let mut distinct = std::collections::BTreeSet::new();
         for seed in 0..16u64 {
             let c = ChannelKind::L2SliceOccupancy.build(&testbench(), seed);
-            let base = c.prime[0].vaddr;
+            let base = c.prime.iter().next().unwrap().vaddr;
             assert_eq!(base % page, 0, "stream base must stay page aligned");
             distinct.insert(base);
         }
@@ -341,9 +355,10 @@ mod tests {
             // other). The IPC channel's attacker streams legitimately live
             // in the shared region instead.
             if kind == ChannelKind::IpcBufferTiming {
-                assert!(c.prime.iter().chain(&c.probe).all(|r| r.vaddr >= SHARED_BASE));
+                assert!(c.prime.iter().chain(c.probe.iter()).all(|r| r.vaddr >= SHARED_BASE));
             } else {
-                let attacker_max = c.prime.iter().chain(&c.probe).map(|r| r.vaddr).max().unwrap();
+                let attacker_max =
+                    c.prime.iter().chain(c.probe.iter()).map(|r| r.vaddr).max().unwrap();
                 assert!(attacker_max < secret_min, "{}", kind.label());
             }
             assert!(secret_max < SHARED_BASE, "{}", kind.label());

@@ -2,11 +2,17 @@
 //!
 //! Runs a fixed, fully deterministic Smoke-scale sweep (every interactive
 //! application under every execution architecture, heuristic re-allocation)
-//! on a single worker thread and reports how fast the *simulator itself*
-//! executed it: simulated memory accesses per wall-clock second, wall time,
-//! and peak RSS. The output JSON (`BENCH_<n>.json` in the repo root) is the
-//! recorded perf trajectory: every PR that touches the hot path re-runs this
-//! harness and commits the new figure next to the old ones.
+//! and reports how fast the *simulator itself* executed it: simulated memory
+//! accesses per wall-clock second, wall time, and peak RSS. The output JSON
+//! (`BENCH_<n>.json` in the repo root) is the recorded perf trajectory: every
+//! PR that touches the hot path re-runs this harness and commits the new
+//! figure next to the old ones.
+//!
+//! The headline `accesses_per_sec` is measured on **one** worker thread
+//! (sequential hot-path cost); a `scaling` section then re-runs the same
+//! grid at 1, 2 and 8 workers and checks that every configuration produces
+//! the same simulated-cycle checksum — the determinism the sweep runner
+//! guarantees — while recording how wall time scales.
 //!
 //! Usage:
 //!
@@ -16,15 +22,17 @@
 //! cargo run --release -p ironhide-bench --bin baseline -- --out path.json
 //! ```
 //!
-//! The access count is the number of [`Machine::access`] calls in the
+//! The access count is the number of simulated memory accesses in the
 //! *measured* phase of every cell (the aggregate L1 access counter: every
 //! access probes the L1 exactly once); warm-up and predictor probes add wall
 //! time but are not counted, so the reported rate is a conservative lower
 //! bound on raw hot-path throughput. The simulated results themselves are
 //! byte-deterministic, so `total_cycles` doubles as a semantics checksum:
-//! two builds of the same simulator must agree on it exactly.
-//!
-//! [`Machine::access`]: ironhide_sim::machine::Machine::access
+//! two builds of the same simulator must agree on it exactly. (The checksum
+//! moved 93304015 → 102277232 between BENCH_2 and BENCH_4 when the MI6
+//! boundary model was unified with the attack runner's — an intentional,
+//! documented model change; the batched access engine itself reproduced the
+//! old checksum bit for bit.)
 
 use std::time::Instant;
 
@@ -38,9 +46,20 @@ use ironhide_workloads::app::{sweep_grid, AppId, ScaleFactor};
 /// it would make the `total_cycles` checksum incomparable across PRs).
 const MASTER_SEED: u64 = 2;
 
+/// Thread counts of the scaling section.
+const SCALING_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One scaling-section measurement.
+struct ScalePoint {
+    threads: usize,
+    wall_s: f64,
+    rate: u64,
+    sim_cycles: u64,
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,22 +86,48 @@ fn main() {
         Architecture::ALL.to_vec()
     };
     let grid = sweep_grid(&apps, &archs, &[ReallocPolicy::Heuristic], &[ScaleFactor::Smoke]);
-
-    // One worker thread: this harness measures sequential hot-path cost, not
-    // sweep parallelism (which tests/sweep_determinism.rs covers separately).
-    let runner =
-        SweepRunner::new(MachineConfig::paper_default()).with_threads(1).with_seed(MASTER_SEED);
-
     let label = if smoke { "smoke" } else { "full" };
-    eprintln!("baseline: running {label} grid ({} cells, 1 thread)...", grid.len());
-    let start = Instant::now();
-    let matrix = runner.run(&grid).unwrap_or_else(|e| {
-        eprintln!("baseline sweep failed: {e}");
-        std::process::exit(1);
-    });
-    let wall = start.elapsed();
 
-    let report = render_report(&matrix, label, wall.as_secs_f64(), peak_rss_bytes());
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    let mut headline: Option<(SweepMatrix, f64)> = None;
+    for threads in SCALING_THREADS {
+        let runner = SweepRunner::new(MachineConfig::paper_default())
+            .with_threads(threads)
+            .with_seed(MASTER_SEED);
+        eprintln!(
+            "baseline: running {label} grid ({} cells, {threads} thread{})...",
+            grid.len(),
+            if threads == 1 { "" } else { "s" }
+        );
+        let start = Instant::now();
+        let matrix = runner.run(&grid).unwrap_or_else(|e| {
+            eprintln!("baseline sweep failed: {e}");
+            std::process::exit(1);
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let accesses: u64 = matrix.cells.iter().map(|c| c.report.machine.l1.accesses).sum();
+        let sim_cycles: u64 = matrix.cells.iter().map(|c| c.report.total_cycles).sum();
+        let rate = if wall > 0.0 { (accesses as f64 / wall).round() as u64 } else { 0 };
+        // Determinism gate: every thread count must agree on the checksum.
+        if let Some(first) = scaling.first() {
+            if sim_cycles != first.sim_cycles {
+                eprintln!(
+                    "baseline: NONDETERMINISM — {threads}-thread checksum {sim_cycles} != \
+                     1-thread checksum {}",
+                    first.sim_cycles
+                );
+                std::process::exit(1);
+            }
+        }
+        scaling.push(ScalePoint { threads, wall_s: wall, rate, sim_cycles });
+        if threads == 1 {
+            // The headline figures come from the sequential run.
+            headline = Some((matrix, wall));
+        }
+    }
+
+    let (matrix, wall) = headline.expect("the scaling set includes the 1-thread run");
+    let report = render_report(&matrix, label, wall, peak_rss_bytes(), &scaling);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -94,7 +139,13 @@ fn main() {
 
 /// Renders the measurement as deterministic-layout JSON (the values of the
 /// timing fields naturally vary run to run; the layout does not).
-fn render_report(matrix: &SweepMatrix, grid_label: &str, wall_s: f64, peak_rss: u64) -> String {
+fn render_report(
+    matrix: &SweepMatrix,
+    grid_label: &str,
+    wall_s: f64,
+    peak_rss: u64,
+    scaling: &[ScalePoint],
+) -> String {
     let accesses: u64 = matrix.cells.iter().map(|c| c.report.machine.l1.accesses).sum();
     let sim_cycles: u64 = matrix.cells.iter().map(|c| c.report.total_cycles).sum();
     let rate = if wall_s > 0.0 { accesses as f64 / wall_s } else { 0.0 };
@@ -108,7 +159,20 @@ fn render_report(matrix: &SweepMatrix, grid_label: &str, wall_s: f64, peak_rss: 
     out.push_str(&format!("  \"wall_seconds\": {wall_s:.3},\n"));
     out.push_str(&format!("  \"accesses_per_sec\": {},\n", rate.round() as u64));
     out.push_str(&format!("  \"simulated_cycles_total\": {sim_cycles},\n"));
-    out.push_str(&format!("  \"peak_rss_bytes\": {peak_rss}\n"));
+    out.push_str(&format!("  \"peak_rss_bytes\": {peak_rss},\n"));
+    out.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_seconds\": {:.3}, \"accesses_per_sec\": {}, \
+             \"simulated_cycles_total\": {}}}{}\n",
+            p.threads,
+            p.wall_s,
+            p.rate,
+            p.sim_cycles,
+            if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }

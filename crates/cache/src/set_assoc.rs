@@ -58,6 +58,12 @@ impl AccessOutcome {
 pub struct Way {
     pub(crate) valid: bool,
     pub(crate) dirty: bool,
+    /// Generation the way was filled in; a way is *live* only when its
+    /// generation matches the cache's. Bumping the cache generation
+    /// therefore invalidates every line in O(1) — the purge operation —
+    /// without touching the way array. Packs into the padding after the
+    /// flags, so `Way` stays 32 bytes.
+    pub(crate) generation: u32,
     pub(crate) tag: u64,
     pub(crate) last_use: u64,
     pub(crate) filled_at: u64,
@@ -92,7 +98,7 @@ impl Way {
     /// A valid way with the given recency/fill stamps (for policy tests).
     #[cfg(test)]
     pub(crate) fn stamped(last_use: u64, filled_at: u64) -> Self {
-        Way { valid: true, dirty: false, tag: 0, last_use, filled_at }
+        Way { valid: true, dirty: false, generation: 0, tag: 0, last_use, filled_at }
     }
 }
 
@@ -151,6 +157,14 @@ pub struct SetAssocCache {
     scheme: IndexScheme,
     tick: u64,
     stats: CacheStats,
+    /// Valid lines currently resident, maintained incrementally so purges and
+    /// occupancy queries never walk the way array.
+    valid_count: usize,
+    /// Valid dirty lines currently resident, maintained incrementally.
+    dirty_count: usize,
+    /// Current fill generation (see [`Way::generation`]). Ways from older
+    /// generations are dead whatever their `valid` flag says.
+    generation: u32,
 }
 
 impl SetAssocCache {
@@ -178,6 +192,9 @@ impl SetAssocCache {
             scheme,
             tick: 0,
             stats: CacheStats::new(),
+            valid_count: 0,
+            dirty_count: 0,
+            generation: 0,
         }
     }
 
@@ -227,10 +244,16 @@ impl SetAssocCache {
         &self.ways[base..base + self.config.ways]
     }
 
+    /// Whether `w` holds a line of the current generation.
+    #[inline]
+    fn live(&self, w: &Way) -> bool {
+        w.valid && w.generation == self.generation
+    }
+
     /// Looks up `addr` without modifying any state (no LRU update, no stats).
     pub fn probe(&self, addr: u64) -> bool {
         let (index, tag) = self.index_and_tag(addr);
-        self.set(index).iter().any(|w| w.valid && w.tag == tag)
+        self.set(index).iter().any(|w| self.live(w) && w.tag == tag)
     }
 
     /// Performs a read (`write == false`) or write (`write == true`) access to
@@ -239,49 +262,181 @@ impl SetAssocCache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (index, tag) = self.index_and_tag(addr);
+        let outcome = self.access_at(index, tag, write);
+        match outcome {
+            AccessOutcome::Hit => self.stats.hits += 1,
+            AccessOutcome::Miss { evicted } => {
+                self.stats.misses += 1;
+                if let Some(ev) = evicted {
+                    self.stats.evictions += 1;
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// The access algorithm shared by [`SetAssocCache::access`] and the bulk
+    /// run path: lookup/fill at a precomputed `(index, tag)`, updating way
+    /// metadata and the resident-line counters but **not** the access/hit/miss
+    /// statistics (callers batch those).
+    #[inline]
+    fn access_at(&mut self, index: usize, tag: u64, write: bool) -> AccessOutcome {
         let assoc = self.config.ways;
         let policy = self.policy;
         let tick = self.tick;
+        let generation = self.generation;
         let base = index * assoc;
         let set = &mut self.ways[base..base + assoc];
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(way) =
+            set.iter_mut().find(|w| w.valid && w.generation == generation && w.tag == tag)
+        {
             way.last_use = tick;
-            way.dirty |= write;
-            self.stats.hits += 1;
+            if write && !way.dirty {
+                way.dirty = true;
+                self.dirty_count += 1;
+            }
             return AccessOutcome::Hit;
         }
-        self.stats.misses += 1;
-        // Fill: find an invalid way, otherwise evict a victim chosen directly
+        // Fill: find a dead way, otherwise evict a victim chosen directly
         // from the way metadata (no temporary stamp vectors).
-        let victim_idx = match set.iter().position(|w| !w.valid) {
+        let victim_idx = match set.iter().position(|w| !(w.valid && w.generation == generation)) {
             Some(i) => i,
             None => policy.victim(set, tick),
         };
         let victim = set[victim_idx];
-        let evicted = if victim.valid {
-            self.stats.evictions += 1;
+        let evicted = if victim.valid && victim.generation == generation {
             if victim.dirty {
-                self.stats.writebacks += 1;
+                self.dirty_count -= 1;
             }
             Some(Evicted { addr: self.line_addr(index, victim.tag), dirty: victim.dirty })
         } else {
+            self.valid_count += 1;
             None
         };
+        if write {
+            self.dirty_count += 1;
+        }
         self.ways[base + victim_idx] =
-            Way { valid: true, dirty: write, tag, last_use: tick, filled_at: tick };
+            Way { valid: true, dirty: write, generation, tag, last_use: tick, filled_at: tick };
         AccessOutcome::Miss { evicted }
+    }
+
+    /// Performs `len` accesses to the lines `base, base + stride,
+    /// base + 2*stride, ...` (`stride` is interpreted with wrapping
+    /// arithmetic, so two's-complement negative strides walk downwards),
+    /// invoking `on_access(addr, outcome)` for each in order.
+    ///
+    /// Byte-identical to calling [`SetAssocCache::access`] once per address:
+    /// the line number is advanced arithmetically and the per-access
+    /// statistics are accumulated in registers and flushed once, but every
+    /// way-metadata update (recency stamps, fills, victim selection) happens
+    /// exactly as in the scalar path.
+    pub fn fill_run(
+        &mut self,
+        base: u64,
+        stride: u64,
+        len: u32,
+        write: bool,
+        mut on_access: impl FnMut(u64, AccessOutcome),
+    ) {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut evictions = 0u64;
+        let mut writebacks = 0u64;
+        let mut addr = base;
+        for _ in 0..len {
+            self.tick += 1;
+            let (index, tag) = self.index_and_tag(addr);
+            let outcome = self.access_at(index, tag, write);
+            match outcome {
+                AccessOutcome::Hit => hits += 1,
+                AccessOutcome::Miss { evicted } => {
+                    misses += 1;
+                    if let Some(ev) = evicted {
+                        evictions += 1;
+                        if ev.dirty {
+                            writebacks += 1;
+                        }
+                    }
+                }
+            }
+            on_access(addr, outcome);
+            addr = addr.wrapping_add(stride);
+        }
+        self.stats.accesses += len as u64;
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+        self.stats.evictions += evictions;
+        self.stats.writebacks += writebacks;
+    }
+
+    /// Performs `count` accesses to the single line containing `addr` — the
+    /// bulk form of a stride-0 (or sub-line-stride) run. The first access
+    /// runs the full lookup/fill; the remaining `count - 1` are guaranteed
+    /// hits on the same way, so they collapse into one recency/statistics
+    /// update. Byte-identical to `count` scalar [`SetAssocCache::access`]
+    /// calls to addresses within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn access_line_run(&mut self, addr: u64, count: u64, write: bool) -> AccessOutcome {
+        assert!(count > 0, "a line run must contain at least one access");
+        let first = self.access(addr, write);
+        if count > 1 {
+            let extra = count - 1;
+            self.tick += extra;
+            self.stats.accesses += extra;
+            self.stats.hits += extra;
+            // The line is resident after the first access; if `write`, the
+            // first access already marked it dirty, so only the recency stamp
+            // needs the final tick value.
+            let (index, tag) = self.index_and_tag(addr);
+            let base = index * self.config.ways;
+            let tick = self.tick;
+            let generation = self.generation;
+            let way = self.ways[base..base + self.config.ways]
+                .iter_mut()
+                .find(|w| w.valid && w.generation == generation && w.tag == tag)
+                .expect("line resident after the run's first access");
+            way.last_use = tick;
+        }
+        first
+    }
+
+    /// Counts how many of the `len` lines `base, base + stride, ...` are
+    /// resident, without modifying any state (the bulk form of
+    /// [`SetAssocCache::probe`]).
+    pub fn probe_run(&self, base: u64, stride: u64, len: u32) -> u32 {
+        let mut resident = 0;
+        let mut addr = base;
+        for _ in 0..len {
+            if self.probe(addr) {
+                resident += 1;
+            }
+            addr = addr.wrapping_add(stride);
+        }
+        resident
     }
 
     /// Invalidates the line containing `addr` if present, returning it.
     pub fn invalidate(&mut self, addr: u64) -> Option<Evicted> {
         let (index, tag) = self.index_and_tag(addr);
         let line_addr = self.line_addr(index, tag);
+        let generation = self.generation;
         let base = index * self.config.ways;
         let set = &mut self.ways[base..base + self.config.ways];
-        let way = set.iter_mut().find(|w| w.valid && w.tag == tag)?;
+        let way = set.iter_mut().find(|w| w.valid && w.generation == generation && w.tag == tag)?;
         let dirty = way.dirty;
         way.valid = false;
         way.dirty = false;
+        self.valid_count -= 1;
+        if dirty {
+            self.dirty_count -= 1;
+        }
         self.stats.flushed_lines += 1;
         if dirty {
             self.stats.writebacks += 1;
@@ -291,32 +446,57 @@ impl SetAssocCache {
 
     /// Flushes and invalidates the whole cache (the MI6 purge operation),
     /// returning the number of dirty lines that had to be written back.
+    ///
+    /// O(1): occupancy is tracked incrementally and invalidation is one
+    /// generation bump — the way array is not touched at all (MI6 purges at
+    /// every enclave boundary; walking tens of thousands of ways per purge
+    /// dominated its simulation cost).
     pub fn purge(&mut self) -> u64 {
-        let mut dirty = 0;
-        let mut valid = 0;
-        for way in &mut self.ways {
-            if way.valid {
-                valid += 1;
-                if way.dirty {
-                    dirty += 1;
-                }
-            }
-            *way = Way::default();
-        }
+        let valid = self.valid_count as u64;
+        let dirty = self.dirty_count as u64;
+        self.bump_generation();
+        self.valid_count = 0;
+        self.dirty_count = 0;
         self.stats.purges += 1;
         self.stats.flushed_lines += valid;
         self.stats.writebacks += dirty;
         dirty
     }
 
-    /// Number of valid lines currently resident.
-    pub fn resident_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+    /// Starts a new fill generation, falling back to a real clear on the
+    /// (practically unreachable) u32 wrap so stale generations can never
+    /// alias.
+    fn bump_generation(&mut self) {
+        if self.generation == u32::MAX {
+            self.ways.fill(Way::default());
+            self.generation = 0;
+        } else {
+            self.generation += 1;
+        }
     }
 
-    /// Number of valid dirty lines currently resident.
+    /// Resets the cache to its just-constructed state — empty, statistics
+    /// zeroed, recency clock at zero — in O(1), so scratch machines can be
+    /// recycled instead of re-allocating their ~160 KB way arrays. Behaves
+    /// identically to a freshly built cache in every observable way
+    /// (verified by the golden-stats and sweep byte-identity suites).
+    pub fn reset_pristine(&mut self) {
+        self.bump_generation();
+        self.valid_count = 0;
+        self.dirty_count = 0;
+        self.tick = 0;
+        self.stats.reset();
+    }
+
+    /// Number of valid lines currently resident (O(1): maintained
+    /// incrementally by the access/invalidate/purge paths).
+    pub fn resident_lines(&self) -> usize {
+        self.valid_count
+    }
+
+    /// Number of valid dirty lines currently resident (O(1)).
     pub fn dirty_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid && w.dirty).count()
+        self.dirty_count
     }
 }
 
@@ -445,6 +625,96 @@ mod tests {
         c.access(0x000, false); // does not matter for FIFO
         let ev = c.access(0x200, false).evicted().unwrap();
         assert_eq!(ev.addr, 0x000, "FIFO evicts the first-filled way");
+    }
+
+    /// Walks the way array to recount occupancy (honouring the liveness
+    /// generation), cross-checking the O(1) incremental counters.
+    fn recount(c: &SetAssocCache) -> (usize, usize) {
+        let valid = c.ways.iter().filter(|w| c.live(w)).count();
+        let dirty = c.ways.iter().filter(|w| c.live(w) && w.dirty).count();
+        (valid, dirty)
+    }
+
+    #[test]
+    fn occupancy_counters_track_the_way_array() {
+        let mut c = small();
+        for i in 0..12u64 {
+            c.access(i * 64, i % 2 == 0);
+            assert_eq!((c.resident_lines(), c.dirty_lines()), recount(&c), "after access {i}");
+        }
+        c.access(0x2c0, true); // redirty a resident line
+        c.invalidate(0x2c0);
+        assert_eq!((c.resident_lines(), c.dirty_lines()), recount(&c));
+        c.purge();
+        assert_eq!((c.resident_lines(), c.dirty_lines()), (0, 0));
+        assert_eq!(recount(&c), (0, 0));
+    }
+
+    #[test]
+    fn fill_run_matches_scalar_accesses() {
+        for (stride, len) in [(64u64, 40u32), (128, 24), (0u64.wrapping_sub(64), 16), (96, 20)] {
+            let mut bulk = small();
+            let mut scalar = small();
+            let base = 0x800u64;
+            let mut bulk_events = Vec::new();
+            bulk.fill_run(base, stride, len, true, |addr, out| bulk_events.push((addr, out)));
+            let mut scalar_events = Vec::new();
+            let mut addr = base;
+            for _ in 0..len {
+                scalar_events.push((addr, scalar.access(addr, true)));
+                addr = addr.wrapping_add(stride);
+            }
+            assert_eq!(bulk_events, scalar_events, "stride {stride:#x}");
+            assert_eq!(bulk.stats().accesses, scalar.stats().accesses);
+            assert_eq!(bulk.stats().hits, scalar.stats().hits);
+            assert_eq!(bulk.stats().misses, scalar.stats().misses);
+            assert_eq!(bulk.stats().evictions, scalar.stats().evictions);
+            assert_eq!(bulk.stats().writebacks, scalar.stats().writebacks);
+            assert_eq!(bulk.resident_lines(), scalar.resident_lines());
+            assert_eq!(bulk.dirty_lines(), scalar.dirty_lines());
+        }
+    }
+
+    #[test]
+    fn line_run_collapses_same_line_touches() {
+        let mut bulk = small();
+        let mut scalar = small();
+        bulk.access(0x100, false);
+        scalar.access(0x100, false);
+        let out = bulk.access_line_run(0x40, 5, true);
+        assert!(out.is_miss());
+        let mut last = scalar.access(0x40, true);
+        for i in 1..5u64 {
+            last = scalar.access(0x40 + i * 8, true);
+        }
+        assert!(last.is_hit());
+        assert_eq!(bulk.stats().accesses, scalar.stats().accesses);
+        assert_eq!(bulk.stats().hits, scalar.stats().hits);
+        assert_eq!(bulk.stats().misses, scalar.stats().misses);
+        assert_eq!(bulk.dirty_lines(), scalar.dirty_lines());
+        // Recency end-state identical: fill set 1 and check the same victim.
+        bulk.access(0x140, false);
+        scalar.access(0x140, false);
+        let ev_b = bulk.access(0x240, false).evicted().unwrap();
+        let ev_s = scalar.access(0x240, false).evicted().unwrap();
+        assert_eq!(ev_b, ev_s);
+    }
+
+    #[test]
+    fn probe_run_counts_without_disturbing() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.access(i * 64, false);
+        }
+        let before = *c.stats();
+        assert_eq!(c.probe_run(0, 64, 8), 4);
+        assert_eq!(c.stats().accesses, before.accesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn empty_line_run_rejected() {
+        small().access_line_run(0, 0, false);
     }
 
     #[test]

@@ -75,6 +75,37 @@ impl Tlb {
         false
     }
 
+    /// Performs `count` accesses to the page containing `vaddr` — the bulk
+    /// form the batched access engine uses for a page-run of references.
+    ///
+    /// The first access runs the full lookup/fill (and reports hit or miss);
+    /// the remaining `count - 1` are guaranteed hits on the same entry, so
+    /// they collapse into one tick/recency/statistics update. Byte-identical
+    /// to `count` scalar [`Tlb::access`] calls with addresses in the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn access_page_run(&mut self, vaddr: u64, count: u64) -> bool {
+        assert!(count > 0, "a page run must contain at least one access");
+        let first_hit = self.access(vaddr);
+        if count > 1 {
+            let extra = count - 1;
+            self.tick += extra;
+            self.stats.accesses += extra;
+            self.stats.hits += extra;
+            let vpn = self.page_of(vaddr);
+            let tick = self.tick;
+            let entry = self
+                .entries
+                .iter_mut()
+                .find(|(p, _)| *p == vpn)
+                .expect("entry resident after the run's first access");
+            entry.1 = tick;
+        }
+        first_hit
+    }
+
     /// Checks whether the page containing `vaddr` is currently mapped, without
     /// updating recency or statistics.
     pub fn probe(&self, vaddr: u64) -> bool {
@@ -95,6 +126,15 @@ impl Tlb {
     /// Number of currently resident translations.
     pub fn resident(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Resets the TLB to its just-constructed state (empty, statistics and
+    /// recency clock zeroed), keeping the entry allocation. Used when a
+    /// scratch machine is recycled.
+    pub fn reset_pristine(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.stats.reset();
     }
 }
 
@@ -139,6 +179,35 @@ mod tests {
         assert_eq!(t.resident(), 0);
         assert_eq!(t.stats().purges, 1);
         assert!(!t.access(0), "post-purge access must miss");
+    }
+
+    #[test]
+    fn page_run_matches_scalar_accesses() {
+        let mut bulk = tlb();
+        let mut scalar = tlb();
+        // Fill with some pages first so recency interactions are non-trivial.
+        for p in 0..3u64 {
+            bulk.access(p * 4096);
+            scalar.access(p * 4096);
+        }
+        let hit_bulk = bulk.access_page_run(5 * 4096 + 8, 6);
+        let hit_scalar = scalar.access(5 * 4096 + 8);
+        for _ in 0..5 {
+            assert!(scalar.access(5 * 4096 + 200), "same-page re-touches must hit");
+        }
+        assert!(!hit_bulk);
+        assert_eq!(hit_bulk, hit_scalar);
+        assert_eq!(bulk.stats().accesses, scalar.stats().accesses);
+        assert_eq!(bulk.stats().hits, scalar.stats().hits);
+        assert_eq!(bulk.stats().misses, scalar.stats().misses);
+        assert_eq!(bulk.stats().evictions, scalar.stats().evictions);
+        // Recency end-state identical: the same next access evicts the same
+        // victim in both.
+        bulk.access(9 * 4096);
+        scalar.access(9 * 4096);
+        for p in [0u64, 2, 3, 5, 9] {
+            assert_eq!(bulk.probe(p * 4096), scalar.probe(p * 4096), "page {p}");
+        }
     }
 
     #[test]

@@ -9,43 +9,28 @@
 
 use ironhide_sim::process::SecurityClass;
 
-/// One memory reference issued by a work unit (a virtual address within the
-/// owning process's address space plus a read/write flag).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MemRef {
-    /// Virtual address.
-    pub vaddr: u64,
-    /// `true` for a store, `false` for a load.
-    pub write: bool,
-}
+/// The memory-reference vocabulary shared with the simulator: one reference,
+/// one arithmetic run, and the run-length-encoded stream the machine's
+/// batched engine consumes. Defined in `ironhide-sim` (the machine is the
+/// consumer); re-exported here because applications are the producers.
+pub use ironhide_sim::stream::{MemRef, RefRun, RefStream};
 
-impl MemRef {
-    /// A load from `vaddr`.
-    pub fn read(vaddr: u64) -> Self {
-        MemRef { vaddr, write: false }
-    }
-
-    /// A store to `vaddr`.
-    pub fn write(vaddr: u64) -> Self {
-        MemRef { vaddr, write: true }
-    }
-}
-
-/// The work one process performs during one interaction: a stream of memory
-/// references (recorded from the real kernel implementations in the workloads
-/// crate) plus the non-memory compute cycles that accompany them.
+/// The work one process performs during one interaction: a run-encoded
+/// stream of memory references (recorded from the real kernel
+/// implementations in the workloads crate) plus the non-memory compute
+/// cycles that accompany them.
 #[derive(Debug, Clone, Default)]
 pub struct WorkUnit {
     /// Non-memory (ALU/control) cycles of the unit when executed on a single
     /// core.
     pub compute_cycles: u64,
-    /// Memory references issued by the unit.
-    pub accesses: Vec<MemRef>,
+    /// Memory references issued by the unit, run-length encoded.
+    pub accesses: RefStream,
 }
 
 impl WorkUnit {
     /// Creates a work unit.
-    pub fn new(compute_cycles: u64, accesses: Vec<MemRef>) -> Self {
+    pub fn new(compute_cycles: u64, accesses: RefStream) -> Self {
         WorkUnit { compute_cycles, accesses }
     }
 
@@ -140,13 +125,6 @@ pub trait InteractiveApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn memref_constructors() {
-        assert!(!MemRef::read(0x10).write);
-        assert!(MemRef::write(0x10).write);
-        assert_eq!(MemRef::read(0x10).vaddr, 0x10);
-    }
 
     #[test]
     fn workunit_empty() {

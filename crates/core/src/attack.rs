@@ -25,18 +25,18 @@
 use std::fmt;
 
 use ironhide_cache::SliceId;
-use ironhide_mem::ControllerMask;
 use ironhide_mesh::{ClusterId, NodeId};
 use ironhide_sim::config::MachineConfig;
 use ironhide_sim::machine::Machine;
 use ironhide_sim::process::{ProcessId, SecurityClass};
 
-use crate::app::MemRef;
+use crate::app::RefStream;
 use crate::arch::{ArchParams, Architecture};
+use crate::boundary::mi6_boundary_cost;
 use crate::cluster::ClusterManager;
 use crate::isolation::{IsolationAuditor, IsolationSummary};
 use crate::kernel::{AppDomain, SecureKernel};
-use crate::runner::RunError;
+use crate::runner::{issue_run, RunError};
 use crate::speccheck::SpeculativeAccessCheck;
 
 /// Signing key of the simulated attack-victim author (the kernel only needs
@@ -78,18 +78,18 @@ pub trait CovertChannel: fmt::Debug {
     fn placement(&self) -> ChannelPlacement;
 
     /// Attacker references issued (untimed) at the start of every slot.
-    fn prime(&self) -> &[MemRef];
+    fn prime(&self) -> &RefStream;
 
     /// Victim references issued every slot against the shared (insecure)
     /// address space, modelling the legitimate interaction protocol.
-    fn victim_protocol(&self) -> &[MemRef];
+    fn victim_protocol(&self) -> &RefStream;
 
     /// Victim references issued in its own secure address space when the
     /// transmitted bit is 1 (idle when 0).
-    fn victim_secret(&self) -> &[MemRef];
+    fn victim_secret(&self) -> &RefStream;
 
     /// Attacker references whose latencies are the channel's observable.
-    fn probe(&self) -> &[MemRef];
+    fn probe(&self) -> &RefStream;
 }
 
 /// The attacker-visible record of one attack run: per-slot probe latencies
@@ -380,32 +380,15 @@ impl AttackRunner {
     }
 
     /// The cost of one secure-phase boundary crossing under `arch`. MI6
-    /// purges every time-shared private structure, the memory-controller
-    /// queues and the in-flight network state, as at its enclave entries and
-    /// exits.
-    ///
-    /// Note one deliberate divergence from the performance model:
-    /// [`ExperimentRunner`](crate::runner::ExperimentRunner) charges MI6's
-    /// boundary *without* draining the NoC's link-congestion estimate
-    /// (`Machine::purge_network`), while this runner drains it — on the
-    /// prototype the fence only completes once every in-flight packet has
-    /// left the network, and without the drain the link-contention channel
-    /// would survive MI6's purge. The performance figures therefore model a
-    /// slightly *harsher* MI6 (residual congestion persists across its
-    /// boundaries); unifying the two behind one shared boundary helper means
-    /// regenerating the performance goldens and is tracked in ROADMAP.md.
+    /// charges the shared boundary model of [`crate::boundary`] — the same
+    /// purge-everything fence the performance runner charges, so the machine
+    /// the attacks run against is exactly the machine the figures price.
     fn boundary(&self, machine: &mut Machine, arch: Architecture) -> u64 {
         let clock = machine.clock();
         match arch {
             Architecture::Insecure | Architecture::Ironhide => 0,
             Architecture::SgxLike => clock.us_to_cycles(self.params.sgx_entry_exit_us),
-            Architecture::Mi6 => {
-                let cores: Vec<NodeId> = (0..self.config.cores()).map(NodeId).collect();
-                let purge = machine.purge_private(&cores);
-                let mc = machine.purge_controllers(ControllerMask::first(self.config.controllers));
-                let net = machine.purge_network();
-                clock.us_to_cycles(self.params.sgx_entry_exit_us) + purge + mc + net
-            }
+            Architecture::Mi6 => mi6_boundary_cost(machine, &self.params),
         }
     }
 }
@@ -420,25 +403,23 @@ struct SlotState<'a> {
 }
 
 impl SlotState<'_> {
-    /// Issues one reference stream on `core` against `pid`'s address space,
-    /// screening insecure-issued references through the speculative-access
-    /// check when the architecture mandates it.
+    /// Issues one reference stream on `core` against `pid`'s address space
+    /// through the batched access engine, screening insecure-issued
+    /// references through the speculative-access check when the architecture
+    /// mandates it (the same shared [`issue_run`] the performance runner
+    /// uses).
     fn issue(
         &mut self,
         pid: ProcessId,
         core: NodeId,
-        refs: &[MemRef],
+        refs: &RefStream,
         arch: Architecture,
         issuer_is_insecure: bool,
     ) -> u64 {
+        let screened = arch.speculative_check() && issuer_is_insecure;
         let mut cycles = 0;
-        for r in refs {
-            if arch.speculative_check() && issuer_is_insecure {
-                if let Some(paddr) = self.machine.peek_paddr(pid, r.vaddr) {
-                    self.spec.check(self.machine.regions(), SecurityClass::Insecure, paddr);
-                }
-            }
-            cycles += self.machine.access(core, pid, r.vaddr, r.write);
+        for r in refs.runs() {
+            cycles += issue_run(&mut self.machine, self.spec, pid, core, *r, screened);
         }
         cycles
     }
@@ -452,22 +433,26 @@ mod tests {
     /// probe working set out of the shared L2.
     #[derive(Debug)]
     struct TinyChannel {
-        prime: Vec<MemRef>,
-        protocol: Vec<MemRef>,
-        secret: Vec<MemRef>,
-        probe: Vec<MemRef>,
+        prime: RefStream,
+        protocol: RefStream,
+        secret: RefStream,
+        probe: RefStream,
     }
 
     impl TinyChannel {
         fn new() -> Self {
+            use crate::app::MemRef;
             let page = 4096u64;
-            let prime: Vec<MemRef> = (0..128).map(|i| MemRef::read(i * 64)).collect();
-            let secret: Vec<MemRef> =
-                (0..512u64).map(|i| MemRef::read(0x10_0000 + i * 64)).collect();
+            let prime = RefStream::from_refs((0..128).map(|i| MemRef::read(i * 64)));
+            let secret =
+                RefStream::from_refs((0..512u64).map(|i| MemRef::read(0x10_0000 + i * 64)));
             TinyChannel {
                 probe: prime.clone(),
                 prime,
-                protocol: vec![MemRef::read(0x4000_0000), MemRef::read(0x4000_0000 + page)],
+                protocol: RefStream::from_refs([
+                    MemRef::read(0x4000_0000),
+                    MemRef::read(0x4000_0000 + page),
+                ]),
                 secret,
             }
         }
@@ -480,16 +465,16 @@ mod tests {
         fn placement(&self) -> ChannelPlacement {
             ChannelPlacement::DistinctCores
         }
-        fn prime(&self) -> &[MemRef] {
+        fn prime(&self) -> &RefStream {
             &self.prime
         }
-        fn victim_protocol(&self) -> &[MemRef] {
+        fn victim_protocol(&self) -> &RefStream {
             &self.protocol
         }
-        fn victim_secret(&self) -> &[MemRef] {
+        fn victim_secret(&self) -> &RefStream {
             &self.secret
         }
-        fn probe(&self) -> &[MemRef] {
+        fn probe(&self) -> &RefStream {
             &self.probe
         }
     }

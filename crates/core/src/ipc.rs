@@ -12,7 +12,7 @@
 //! the experiment runner feeds to the machine so IPC traffic shows up in the
 //! caches, the NoC and (under IRONHIDE) the cross-cluster packet counters.
 
-use crate::app::MemRef;
+use crate::app::{MemRef, RefStream};
 
 /// A ring-buffer shaped shared IPC region inside the insecure process's
 /// address space.
@@ -76,7 +76,7 @@ impl SharedIpcBuffer {
 
     /// Returns the store stream the producer issues to publish a message of
     /// `bytes` bytes, advancing the ring cursor.
-    pub fn produce(&mut self, bytes: u64) -> Vec<MemRef> {
+    pub fn produce(&mut self, bytes: u64) -> RefStream {
         let refs = self.refs_for(bytes, true);
         self.cursor = (self.cursor + bytes.max(self.line_bytes)) % self.size_bytes;
         self.messages += 1;
@@ -86,7 +86,7 @@ impl SharedIpcBuffer {
 
     /// Returns the load stream the consumer issues to read the most recently
     /// produced message of `bytes` bytes.
-    pub fn consume(&self, bytes: u64) -> Vec<MemRef> {
+    pub fn consume(&self, bytes: u64) -> RefStream {
         // The consumer reads the region the producer just wrote: rewind the
         // cursor by the producer's advance.
         let advance = bytes.max(self.line_bytes);
@@ -94,18 +94,18 @@ impl SharedIpcBuffer {
         self.refs_from(start, bytes, false)
     }
 
-    fn refs_for(&self, bytes: u64, write: bool) -> Vec<MemRef> {
+    fn refs_for(&self, bytes: u64, write: bool) -> RefStream {
         self.refs_from(self.cursor, bytes, write)
     }
 
-    fn refs_from(&self, start: u64, bytes: u64, write: bool) -> Vec<MemRef> {
+    /// Run-encodes the line touches of one transfer: one line-stride run,
+    /// split where the ring wraps.
+    fn refs_from(&self, start: u64, bytes: u64, write: bool) -> RefStream {
         let lines = bytes.div_ceil(self.line_bytes).max(1);
-        (0..lines)
-            .map(|i| {
-                let offset = (start + i * self.line_bytes) % self.size_bytes;
-                MemRef { vaddr: self.base_vaddr + offset, write }
-            })
-            .collect()
+        RefStream::from_refs((0..lines).map(|i| {
+            let offset = (start + i * self.line_bytes) % self.size_bytes;
+            MemRef { vaddr: self.base_vaddr + offset, write }
+        }))
     }
 }
 
@@ -125,7 +125,8 @@ mod tests {
         let refs = buf.produce(200);
         assert_eq!(refs.len(), 4); // ceil(200/64)
         assert!(refs.iter().all(|r| r.write));
-        assert_eq!(refs[0].vaddr, 0x1000);
+        assert_eq!(refs.iter().next().unwrap().vaddr, 0x1000);
+        assert_eq!(refs.runs().len(), 1, "a line-contiguous transfer is one run");
         assert_eq!(buf.messages(), 1);
         assert_eq!(buf.bytes_transferred(), 200);
     }
@@ -148,7 +149,7 @@ mod tests {
         let mut buf = SharedIpcBuffer::new(0, 256, 64);
         for _ in 0..10 {
             let refs = buf.produce(128);
-            for r in refs {
+            for r in refs.iter() {
                 assert!(r.vaddr < 256, "refs must stay inside the buffer");
             }
         }

@@ -47,6 +47,7 @@
 pub mod app;
 pub mod arch;
 pub mod attack;
+pub mod boundary;
 pub mod cluster;
 pub mod ipc;
 pub mod isolation;
@@ -56,11 +57,12 @@ pub mod runner;
 pub mod speccheck;
 pub mod sweep;
 
-pub use app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
+pub use app::{Interaction, InteractiveApp, MemRef, ProcessProfile, RefRun, RefStream, WorkUnit};
 pub use arch::{ArchParams, Architecture};
 pub use attack::{
     AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
 };
+pub use boundary::mi6_boundary_cost;
 pub use cluster::{ClusterConfig, ClusterManager};
 pub use ipc::SharedIpcBuffer;
 pub use isolation::{IsolationAuditor, IsolationSummary};

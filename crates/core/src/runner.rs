@@ -10,14 +10,14 @@
 use std::fmt;
 
 use ironhide_cache::SliceId;
-use ironhide_mem::ControllerMask;
 use ironhide_mesh::{ClusterId, NodeId};
 use ironhide_sim::config::MachineConfig;
 use ironhide_sim::machine::Machine;
 use ironhide_sim::process::{ProcessId, SecurityClass};
 
-use crate::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
+use crate::app::{Interaction, InteractiveApp, ProcessProfile, RefRun, RefStream, WorkUnit};
 use crate::arch::{ArchParams, Architecture};
+use crate::boundary::mi6_boundary_cost;
 use crate::cluster::{ClusterError, ClusterManager};
 use crate::ipc::SharedIpcBuffer;
 use crate::isolation::{IsolationAuditor, IsolationSummary};
@@ -229,6 +229,26 @@ impl ExperimentRunner {
         arch: Architecture,
         app: &mut dyn InteractiveApp,
     ) -> Result<CompletionReport, RunError> {
+        self.run_recycled(arch, app, None).map(|(report, _)| report)
+    }
+
+    /// Like [`ExperimentRunner::run`], but recycles `machine` (from a prior
+    /// run on the **same configuration**) instead of allocating a fresh one,
+    /// and hands the run's machine back for the next caller. Results are
+    /// byte-identical to a fresh-machine run ([`Machine::reset_pristine`]);
+    /// the sweep runner threads its cells through a pool of these.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation fails or the secure
+    /// process cannot be attested (the recycled machine is lost in that
+    /// case).
+    pub fn run_recycled(
+        &self,
+        arch: Architecture,
+        app: &mut dyn InteractiveApp,
+        machine: Option<Machine>,
+    ) -> Result<(CompletionReport, Machine), RunError> {
         // Decide the secure-cluster size first (IRONHIDE only): the predictor
         // probes candidate allocations on scratch machines so the main run's
         // state is untouched.
@@ -238,15 +258,27 @@ impl ExperimentRunner {
             .clamp(1, total_cores - 1);
         let mut decision_secure = initial_secure;
         let mut charge_reconfig = true;
+        // One scratch machine is recycled through every predictor probe and
+        // then the measured run itself (Machine::reset_pristine), instead of
+        // paying ~0.5 ms of way-array allocation per probe.
+        let mut scratch: Option<Machine> = machine;
         if arch.spatial_clusters() {
-            let decision = self
-                .realloc
-                .decide(total_cores, initial_secure, |candidate| self.predict(app, candidate));
+            // Every candidate probe replays the same post-reset interaction
+            // prefix, so the sample is generated once and shared: the
+            // predictor's cost is the probe simulations, not re-running the
+            // workload kernels per candidate (the exhaustive Optimal policy
+            // previously regenerated the sample up to cores-1 times).
+            app.reset();
+            let sample_len = self.params.predictor_sample.min(app.interactions()).max(1);
+            let sample: Vec<Interaction> = (0..sample_len).map(|i| app.interaction(i)).collect();
+            let decision = self.realloc.decide(total_cores, initial_secure, |candidate| {
+                self.predict(&*app, &sample, &mut scratch, candidate)
+            });
             decision_secure = decision.secure_cores;
             charge_reconfig = decision.charge_overhead;
         }
         app.reset();
-        let mut run = self.prepare(arch, app, initial_secure)?;
+        let mut run = self.prepare(arch, app, initial_secure, scratch.take())?;
 
         // Warm up (not measured), as the paper does before timing each setup.
         let warmup = self.params.warmup_interactions.min(app.interactions());
@@ -292,7 +324,7 @@ impl ExperimentRunner {
         let l2_misses = sec_stats.l2.misses + ins_stats.l2.misses;
         let isolation = IsolationAuditor::new().audit(&run.machine, arch, &run.spec);
         let secure_cores = if arch.spatial_clusters() { decision_secure } else { total_cores };
-        Ok(CompletionReport {
+        let report = CompletionReport {
             app: app.name().to_string(),
             arch,
             total_cycles: run.compute_cycles + run.overhead_cycles + reconfig_cycles,
@@ -306,41 +338,54 @@ impl ExperimentRunner {
             isolation,
             clock_ghz: self.config.clock_ghz,
             machine: run.machine.stats(),
-        })
+        };
+        Ok((report, run.machine))
     }
 
-    /// Predicts the completion cycles of a short sample of `app` when the
-    /// secure cluster has `secure_cores` cores. Used by the re-allocation
-    /// policies; runs on a scratch machine and resets the application
-    /// afterwards.
-    fn predict(&self, app: &mut dyn InteractiveApp, secure_cores: usize) -> f64 {
-        app.reset();
-        let mut run = match self.prepare(Architecture::Ironhide, app, secure_cores) {
+    /// Predicts the completion cycles of a short pre-generated `sample` of
+    /// the application's interactions when the secure cluster has
+    /// `secure_cores` cores. Used by the re-allocation policies; runs on a
+    /// scratch machine.
+    fn predict(
+        &self,
+        app: &dyn InteractiveApp,
+        sample: &[Interaction],
+        scratch: &mut Option<Machine>,
+        secure_cores: usize,
+    ) -> f64 {
+        let mut run = match self.prepare(Architecture::Ironhide, app, secure_cores, scratch.take())
+        {
             Ok(run) => run,
             Err(_) => return f64::INFINITY,
         };
-        let sample = self.params.predictor_sample.min(app.interactions()).max(1);
-        for idx in 0..sample {
-            let interaction = app.interaction(idx);
-            self.run_interaction(&mut run, Architecture::Ironhide, &interaction);
+        for interaction in sample {
+            self.run_interaction(&mut run, Architecture::Ironhide, interaction);
         }
-        app.reset();
         // The secure kernel's objective is load balance: when two candidate
         // bindings predict (nearly) the same completion time, it prefers to
         // leave the spare cores with the insecure cluster rather than parking
         // them idle in the secure cluster. A 1 % bias encodes that tie-break
         // without overriding real performance gradients.
         let bias = 1.0 + 0.01 * secure_cores as f64 / self.config.cores() as f64;
-        (run.compute_cycles + run.overhead_cycles) as f64 * bias
+        let score = (run.compute_cycles + run.overhead_cycles) as f64 * bias;
+        *scratch = Some(run.machine);
+        score
     }
 
     fn prepare(
         &self,
         arch: Architecture,
-        app: &mut dyn InteractiveApp,
+        app: &dyn InteractiveApp,
         secure_cores: usize,
+        recycled: Option<Machine>,
     ) -> Result<RunState, RunError> {
-        let mut machine = Machine::new(self.config.clone());
+        let mut machine = match recycled {
+            Some(mut m) => {
+                m.reset_pristine();
+                m
+            }
+            None => Machine::new(self.config.clone()),
+        };
         let insecure_profile = app.insecure_profile().clone();
         let secure_profile = app.secure_profile().clone();
         let insecure =
@@ -442,15 +487,12 @@ impl ExperimentRunner {
             // enclave data crypto and integrity checks), modelled as the
             // paper does by a constant ~5 us.
             Architecture::SgxLike => clock.us_to_cycles(self.params.sgx_entry_exit_us),
-            // The SGX transition cost plus the strong-isolation purge of all
-            // time-shared private state and the memory-controller queues.
-            Architecture::Mi6 => {
-                let cores: Vec<NodeId> = (0..self.config.cores()).map(NodeId).collect();
-                let purge = run.machine.purge_private(&cores);
-                let mc =
-                    run.machine.purge_controllers(ControllerMask::first(self.config.controllers));
-                clock.us_to_cycles(self.params.sgx_entry_exit_us) + purge + mc
-            }
+            // The shared MI6 boundary: SGX transition cost plus the
+            // strong-isolation purge of all time-shared private state, the
+            // memory-controller queues and the in-flight network state —
+            // the same model the attack runner charges (see
+            // crate::boundary).
+            Architecture::Mi6 => mi6_boundary_cost(&mut run.machine, &self.params),
             // Pinned clusters interact through shared memory without enclave
             // transitions; the IPC traffic itself is already accounted for.
             Architecture::Ironhide => 0,
@@ -501,14 +543,24 @@ impl ExperimentRunner {
         lane_cycles.clear();
         lane_cycles.resize(n_eff, 0);
         if !unit.accesses.is_empty() {
-            let chunk = unit.accesses.len().div_ceil(n_eff);
-            for (i, block) in unit.accesses.chunks(chunk).enumerate() {
-                let lane = i % n_eff;
-                let core = active[lane];
-                for r in block {
-                    spec_check_if_needed(machine, spec, pid, r, arch, issuer_is_insecure);
-                    lane_cycles[lane] += machine.access(core, pid, r.vaddr, r.write);
+            // Carve the stream into per-lane chunks by reference index (the
+            // same chunking the materialised path used), then feed each
+            // chunk's sub-runs to the batched access engine.
+            let total = unit.accesses.len() as u64;
+            let chunk = total.div_ceil(n_eff as u64);
+            let screened = arch.speculative_check() && issuer_is_insecure;
+            let mut start = 0u64;
+            let mut lane = 0usize;
+            while start < total {
+                let end = (start + chunk).min(total);
+                let core = active[lane % n_eff];
+                let mut cycles = 0u64;
+                for run in unit.accesses.ref_range(start, end) {
+                    cycles += issue_run(machine, spec, pid, core, run, screened);
                 }
+                lane_cycles[lane % n_eff] += cycles;
+                lane += 1;
+                start = end;
             }
         }
         let mem_time = lane_cycles.iter().copied().max().unwrap_or(0);
@@ -525,36 +577,57 @@ impl ExperimentRunner {
         run: &mut RunState,
         pid: ProcessId,
         core: NodeId,
-        refs: &[MemRef],
+        refs: &RefStream,
         arch: Architecture,
         issuer_is_insecure: bool,
     ) -> u64 {
         let RunState { machine, spec, .. } = run;
+        let screened = arch.speculative_check() && issuer_is_insecure;
         let mut cycles = 0;
-        for r in refs {
-            spec_check_if_needed(machine, spec, pid, r, arch, issuer_is_insecure);
-            cycles += machine.access(core, pid, r.vaddr, r.write);
+        for r in refs.runs() {
+            cycles += issue_run(machine, spec, pid, core, *r, screened);
         }
         cycles
     }
 }
 
-/// Screens one reference through the hardware speculative-access check when
-/// the architecture requires it. Borrows the machine read-only (the region
-/// map is consulted in place, never cloned).
-fn spec_check_if_needed(
-    machine: &Machine,
+/// Issues one reference run on `core` against `pid`'s address space through
+/// the batched access engine, screening insecure-issued references through
+/// the hardware speculative-access check when `screened`.
+///
+/// The check consumes *physical* addresses, so it splits the run at page
+/// boundaries like the engine does: the first reference of a page segment is
+/// screened against the pre-access page table (an untouched page yields no
+/// physical address and therefore no check, as on the scalar path), and the
+/// remaining references — whose page the first access is guaranteed to have
+/// mapped, onto a single region — are screened as one bulk counter update.
+/// Shared by the performance and attack runners.
+pub(crate) fn issue_run(
+    machine: &mut Machine,
     spec: &mut SpeculativeAccessCheck,
     pid: ProcessId,
-    r: &MemRef,
-    arch: Architecture,
-    issuer_is_insecure: bool,
-) {
-    if arch.speculative_check() && issuer_is_insecure {
-        if let Some(paddr) = machine.peek_paddr(pid, r.vaddr) {
+    core: NodeId,
+    run: RefRun,
+    screened: bool,
+) -> u64 {
+    if !screened {
+        return machine.access_run(core, pid, run);
+    }
+    let page_bytes = machine.page_bytes();
+    let mut cycles = 0;
+    for seg in run.segments(page_bytes) {
+        if let Some(paddr) = machine.peek_paddr(pid, seg.base) {
             spec.check(machine.regions(), SecurityClass::Insecure, paddr);
         }
+        cycles += machine.access_run(core, pid, seg);
+        if seg.len > 1 {
+            let paddr = machine
+                .peek_paddr(pid, seg.addr(1))
+                .expect("page mapped by the segment's first access");
+            spec.check_run(machine.regions(), SecurityClass::Insecure, paddr, seg.len as u64 - 1);
+        }
     }
+    cycles
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -606,15 +679,12 @@ mod tests {
             400.0
         }
         fn interaction(&mut self, idx: usize) -> Interaction {
-            let mut insecure = Vec::new();
-            for i in 0..64u64 {
-                insecure.push(MemRef::write((idx as u64 * 64 + i) * 64));
-            }
-            let mut secure = Vec::new();
-            for i in 0..128u64 {
-                // A hot table re-read every interaction.
-                secure.push(MemRef::read(0x10_0000 + (i % 64) * 64));
-            }
+            use crate::app::MemRef;
+            let insecure =
+                RefStream::from_refs((0..64u64).map(|i| MemRef::write((idx as u64 * 64 + i) * 64)));
+            // A hot table re-read every interaction.
+            let secure =
+                RefStream::from_refs((0..128u64).map(|i| MemRef::read(0x10_0000 + (i % 64) * 64)));
             Interaction {
                 insecure: WorkUnit::new(2_000, insecure),
                 secure: WorkUnit::new(4_000, secure),

@@ -63,11 +63,27 @@ impl SpeculativeAccessCheck {
         issuer: SecurityClass,
         paddr: u64,
     ) -> SpecCheckOutcome {
-        self.checks += 1;
+        self.check_run(regions, issuer, paddr, 1)
+    }
+
+    /// Checks a run of `count` physical accesses that all fall in the DRAM
+    /// region containing `paddr` (DRAM regions are page-multiples, so every
+    /// reference of a page-run shares one region and one verdict). The
+    /// hardware performs the range check per access; this batches only the
+    /// counter updates, so `count` scalar [`SpeculativeAccessCheck::check`]
+    /// calls with addresses in the region produce identical counters.
+    pub fn check_run(
+        &mut self,
+        regions: &RegionMap,
+        issuer: SecurityClass,
+        paddr: u64,
+        count: u64,
+    ) -> SpecCheckOutcome {
+        self.checks += count;
         let owner = regions.owner_of(paddr).ok();
         let violation = issuer == SecurityClass::Insecure && owner == Some(RegionOwner::Secure);
         if violation {
-            self.blocked += 1;
+            self.blocked += count;
             SpecCheckOutcome::StalledAndDiscarded
         } else {
             SpecCheckOutcome::Allowed

@@ -24,12 +24,13 @@
 //! applications in without `ironhide-core` depending on them.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 use ironhide_sim::config::MachineConfig;
+use ironhide_sim::machine::Machine;
 
 use crate::app::InteractiveApp;
 use crate::arch::{ArchParams, Architecture};
@@ -304,8 +305,14 @@ impl SweepRunner {
             .num_threads(self.threads)
             .build()
             .expect("sweep thread pool builds");
-        let results: Vec<Result<SweepCell, SweepError>> =
-            pool.install(|| cells.par_iter().map(|cell| self.run_cell(cell)).collect());
+        // Cells recycle simulated machines through a shared pool (pop one,
+        // reset-pristine, run, push back): machine construction is ~0.5 ms of
+        // way-array allocation that would otherwise be paid per cell. The
+        // pool cannot affect results — a recycled machine is byte-identical
+        // to a fresh one — so determinism is unaffected by pop order.
+        let machine_pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
+        let results: Vec<Result<SweepCell, SweepError>> = pool
+            .install(|| cells.par_iter().map(|cell| self.run_cell(cell, &machine_pool)).collect());
 
         let mut out = Vec::with_capacity(results.len());
         for result in results {
@@ -317,15 +324,20 @@ impl SweepRunner {
     fn run_cell(
         &self,
         (key, app, scale): &(CellKey, &AppSpec, &ScalePoint),
+        machine_pool: &Mutex<Vec<Machine>>,
     ) -> Result<SweepCell, SweepError> {
         let seed = derive_cell_seed(self.master_seed, key);
         let mut instance = app.instantiate(scale, seed);
         let runner = ExperimentRunner::new(self.machine.clone())
             .with_params(self.params)
             .with_realloc(key.policy);
-        let report = runner
-            .run(key.arch, instance.as_mut())
+        let recycled = machine_pool.lock().ok().and_then(|mut p| p.pop());
+        let (report, machine) = runner
+            .run_recycled(key.arch, instance.as_mut(), recycled)
             .map_err(|error| SweepError { cell: key.clone(), error })?;
+        if let Ok(mut p) = machine_pool.lock() {
+            p.push(machine);
+        }
         Ok(SweepCell { key: key.clone(), seed, report })
     }
 }
@@ -1114,7 +1126,7 @@ fn attack_cell_json(out: &mut String, cell: &AttackCell) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::{Interaction, MemRef, ProcessProfile, WorkUnit};
+    use crate::app::{Interaction, MemRef, ProcessProfile, RefStream, WorkUnit};
     use ironhide_sim::process::SecurityClass;
 
     /// A deterministic synthetic app whose trace is derived from the cell
@@ -1154,8 +1166,8 @@ mod tests {
         }
         fn interaction(&mut self, idx: usize) -> Interaction {
             let base = (self.seed % 64) * 64;
-            let mut insecure = Vec::new();
-            let mut secure = Vec::new();
+            let mut insecure = RefStream::new();
+            let mut secure = RefStream::new();
             for i in 0..32u64 {
                 insecure.push(MemRef::write(base + (idx as u64 * 32 + i) * 64));
                 secure.push(MemRef::read(0x20_0000 + base + (i % 16) * 64));

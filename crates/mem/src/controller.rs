@@ -130,6 +130,17 @@ impl MemoryController {
         total
     }
 
+    /// Resets the controller to its just-constructed state (closed rows,
+    /// empty queue estimate, statistics zeroed). Used when a scratch machine
+    /// is recycled.
+    pub fn reset_pristine(&mut self) {
+        for r in &mut self.open_rows {
+            *r = None;
+        }
+        self.queue_occupancy = 0.0;
+        self.stats.reset();
+    }
+
     /// Purges the controller's queues and open-row state
     /// (`tmc_mem_fence_node` on the prototype): all buffered state that could
     /// leak across an enclave boundary is drained. Returns the cycles charged

@@ -146,6 +146,28 @@ impl LatencyModel {
         self.base_latency(hops, flits) + contention.round() as u64
     }
 
+    /// Latency of a packet of `flits` flits over a route whose links were
+    /// materialised up front, updating link load along the way.
+    ///
+    /// Byte-identical to [`LatencyModel::traverse`] over the route that
+    /// produced `links`: the per-link load observations happen in the same
+    /// order with the same floating-point operations. Used by the batched
+    /// access engine, which resolves a route once per run of same-route
+    /// packets and then charges each packet against the cached link list —
+    /// skipping the per-packet route stepping and containment re-selection.
+    pub fn traverse_links(&mut self, links: &[(NodeId, NodeId)], flits: usize) -> u64 {
+        if links.is_empty() {
+            return 0;
+        }
+        let mut contention = 0.0;
+        for (from, to) in links {
+            let util = self.load.observe_and_record(*from, *to, flits, self.config.load_ema);
+            let norm = (util / 5.0).min(1.0);
+            contention += norm * self.config.max_contention_cycles as f64;
+        }
+        self.base_latency(links.len(), flits) + contention.round() as u64
+    }
+
     /// Latency of a route with no load bookkeeping (used for what-if queries
     /// by the re-allocation predictor).
     pub fn estimate(&self, route: RouteIter, flits: usize) -> u64 {
@@ -209,6 +231,22 @@ mod tests {
         let r = m.route_iter(NodeId(2), NodeId(45), RoutingAlgorithm::YX);
         // On a cold network the two paths share the same base cost.
         assert_eq!(model.estimate(r, 5), model.traverse(r, 5));
+    }
+
+    #[test]
+    fn traverse_links_matches_traverse() {
+        let m = MeshTopology::new(8, 8);
+        let mut a = LatencyModel::default();
+        let mut b = LatencyModel::default();
+        let r = m.route_iter(NodeId(2), NodeId(45), RoutingAlgorithm::XY);
+        let links: Vec<(NodeId, NodeId)> = r.links().collect();
+        // Repeated traffic builds identical load state through both entry
+        // points, packet by packet.
+        for i in 0..200 {
+            let flits = if i % 3 == 0 { 5 } else { 1 };
+            assert_eq!(a.traverse(r, flits), b.traverse_links(&links, flits), "packet {i}");
+        }
+        assert_eq!(a.traverse_links(&[], 5), 0);
     }
 
     #[test]

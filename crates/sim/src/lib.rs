@@ -43,6 +43,7 @@ pub mod config;
 pub mod machine;
 pub mod process;
 pub mod stats;
+pub mod stream;
 pub mod time;
 pub mod trace;
 
@@ -50,5 +51,6 @@ pub use config::{LatencyConfig, MachineConfig};
 pub use machine::{AccessPath, Machine};
 pub use process::{ProcessId, SecurityClass};
 pub use stats::{MachineStats, ProcessStats};
+pub use stream::{MemRef, RefRun, RefStream};
 pub use time::Clock;
 pub use trace::LatencyTrace;

@@ -14,16 +14,17 @@
 //!   allocation changes (IRONHIDE's dynamic hardware isolation);
 //! * [`Machine::set_cluster_map`] — activate network-level cluster isolation.
 
-use ironhide_cache::{PageId, SetAssocCache, SliceId, Tlb};
+use ironhide_cache::{Evicted, PageId, SetAssocCache, SliceId, Tlb};
 use ironhide_mem::{ControllerMask, MemoryController, RegionMap, RegionOwner};
 use ironhide_mesh::{
-    ClusterMap, HopTable, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId, NodeSet,
-    PacketKind, RoutingAlgorithm,
+    ClusterId, ClusterMap, HopTable, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId,
+    NodeSet, PacketKind, RoutingAlgorithm,
 };
 
-use crate::config::MachineConfig;
+use crate::config::{LatencyConfig, MachineConfig};
 use crate::process::{ProcessId, ProcessState, SecurityClass};
 use crate::stats::{MachineStats, ProcessStats};
+use crate::stream::{RefRun, RefStream};
 use crate::time::Clock;
 use crate::trace::LatencyTrace;
 
@@ -60,6 +61,314 @@ struct XlateMru {
     ppn: u64,
 }
 
+/// One resolved packet route, cached for the duration of a burst of
+/// same-`(src, dst, kind)` packets by the batched access engine. The link
+/// list is materialised once; each packet of the burst then only performs
+/// the per-link load observations and the statistics update — exactly the
+/// state effects [`Machine::route_latency`] has, in the same order.
+#[derive(Debug, Default)]
+struct CachedRoute {
+    resolved: bool,
+    links: Vec<(NodeId, NodeId)>,
+    kind: Option<PacketKind>,
+    flits: usize,
+    /// Hop count recorded into [`NocStats`] (always the minimal hop count
+    /// from the hop table, as the scalar path records).
+    stat_hops: usize,
+    clusters: Option<(ClusterId, ClusterId)>,
+}
+
+impl CachedRoute {
+    /// Charges one packet over the cached route: per-link load observations,
+    /// the latency computation and the NoC statistics update.
+    #[inline]
+    fn charge(&self, noc: &mut LatencyModel, stats: &mut NocStats) -> u64 {
+        let kind = self.kind.expect("cached route must be resolved before charging");
+        let latency = noc.traverse_links(&self.links, self.flits);
+        stats.record(kind, self.flits, self.stat_hops, latency, self.clusters);
+        latency
+    }
+}
+
+/// Reusable route caches of the batched access engine (and the scalar
+/// path's one-off scratch). Allocated lazily, grown once, reused forever —
+/// steady-state accesses stay allocation-free.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// The `(route_epoch, core, pid, ppn)` the cached state below belongs
+    /// to. Workload streams re-touch the same page across many short runs,
+    /// so the memo survives *across* `access_run` calls until the machine
+    /// performs a route-affecting mutation (which bumps the epoch) or the
+    /// stream moves to another page/core/process.
+    key: Option<(u64, usize, usize, u64)>,
+    /// Home slice of the memoised page, resolved on first L1 miss.
+    home: Option<NodeId>,
+    /// Owning memory controller of the memoised page, resolved on first L2
+    /// miss.
+    mc: Option<usize>,
+    /// Request route core → home slice of the current page-run.
+    request: CachedRoute,
+    /// Response route home slice → core.
+    response: CachedRoute,
+    /// Request route home slice → memory controller.
+    mem_request: CachedRoute,
+    /// Response route memory controller → home slice.
+    mem_response: CachedRoute,
+    /// Scratch for one-off packets (write-backs, scalar accesses).
+    oneoff: CachedRoute,
+}
+
+impl BatchScratch {
+    /// Rebinds the memo to `key`, invalidating the per-page caches if it
+    /// changed (capacities are kept either way).
+    fn rebind(&mut self, key: (u64, usize, usize, u64)) {
+        if self.key == Some(key) {
+            return;
+        }
+        self.key = Some(key);
+        self.home = None;
+        self.mc = None;
+        self.request.resolved = false;
+        self.response.resolved = false;
+        self.mem_request.resolved = false;
+        self.mem_response.resolved = false;
+    }
+}
+
+/// The IPC-marker packet reclassification shared by the scalar and batched
+/// paths: IPC-marked traffic travels as IPC-class packets, except
+/// write-backs (evictions are not part of the logical IPC transfer).
+#[inline]
+fn effective_kind(kind: PacketKind, ipc_marker: bool) -> PacketKind {
+    if ipc_marker && !matches!(kind, PacketKind::WriteBack) {
+        PacketKind::Ipc
+    } else {
+        kind
+    }
+}
+
+/// Resolves the route and packet classification for `(src, dst, kind)` into
+/// `out`, replicating the selection the scalar path performs per packet:
+/// memory-controller edge traffic bypasses cluster containment, intra-cluster
+/// traffic uses the cluster-contained route, and everything else routes X-Y.
+#[allow(clippy::too_many_arguments)]
+fn resolve_route(
+    out: &mut CachedRoute,
+    src: NodeId,
+    dst: NodeId,
+    kind: PacketKind,
+    ipc_marker: bool,
+    topology: &MeshTopology,
+    cluster_map: Option<&ClusterMap>,
+    mc_node_set: &NodeSet,
+    hop_table: &HopTable,
+) {
+    let kind = effective_kind(kind, ipc_marker);
+    // Traffic entering or leaving the mesh at a memory-controller
+    // attachment point is edge traffic: the controller is shared
+    // infrastructure dedicated per cluster by the DRAM-region map, so it
+    // is not counted against the cluster-boundary invariant.
+    let edge_traffic = mc_node_set.contains(src) || mc_node_set.contains(dst);
+    let (route, clusters) = match cluster_map {
+        Some(map) if !edge_traffic => {
+            let src_cluster = map.cluster_of(src);
+            let dst_cluster = map.cluster_of(dst);
+            let route = if src_cluster == dst_cluster {
+                map.contained_route(src, dst, src_cluster)
+                    .unwrap_or_else(|_| topology.route_iter(src, dst, RoutingAlgorithm::XY))
+            } else {
+                // Only IPC-class traffic is expected to cross the boundary;
+                // the isolation auditor in ironhide-core flags anything else.
+                topology.route_iter(src, dst, RoutingAlgorithm::XY)
+            };
+            (route, Some((src_cluster, dst_cluster)))
+        }
+        _ => (topology.route_iter(src, dst, RoutingAlgorithm::XY), None),
+    };
+    out.links.clear();
+    out.links.extend(route.links());
+    out.kind = Some(kind);
+    out.flits = kind.flits();
+    out.stat_hops = hop_table.hops(src, dst);
+    out.clusters = clusters;
+    out.resolved = true;
+}
+
+/// The state one page segment of a batched run executes against: the split
+/// borrows of the machine the L1 miss path needs (everything except the
+/// issuing core's own L1, which the run loop holds), plus the lazily
+/// resolved page-run invariants (home slice, owning controller) and the
+/// statistics accumulators flushed once per segment.
+struct SegCtx<'a> {
+    lat: LatencyConfig,
+    core: NodeId,
+    pid: ProcessId,
+    /// Physical page number every reference of the segment falls in.
+    ppn: u64,
+    page_bytes: u64,
+    l2s: &'a mut [SetAssocCache],
+    noc: &'a mut LatencyModel,
+    noc_stats: &'a mut NocStats,
+    controllers: &'a mut [MemoryController],
+    mc_nodes: &'a [NodeId],
+    mc_node_set: &'a NodeSet,
+    hop_table: &'a HopTable,
+    topology: &'a MeshTopology,
+    cluster_map: Option<&'a ClusterMap>,
+    processes: &'a [ProcessState],
+    regions: &'a RegionMap,
+    batch: &'a mut BatchScratch,
+    ipc_marker: bool,
+    load_hint: u64,
+    l2_accesses: u64,
+    l2_hits: u64,
+    dram_accesses: u64,
+}
+
+impl SegCtx<'_> {
+    /// The home slice of the segment's page (the scalar path resolves this
+    /// per miss; it is a page-level invariant, so it is memoised until the
+    /// page memo rebinds or an epoch bump invalidates it).
+    fn home(&mut self) -> NodeId {
+        if let Some(h) = self.batch.home {
+            return h;
+        }
+        let h = self.processes[self.pid.0]
+            .home
+            .home_of(PageId(self.ppn))
+            .map(|s| NodeId(s.0))
+            .unwrap_or(self.core);
+        self.batch.home = Some(h);
+        h
+    }
+
+    /// Charges one one-off packet (write-backs, whose victim addresses are
+    /// not page-run invariants) through the full route-selection path.
+    fn route_oneoff(&mut self, src: NodeId, dst: NodeId, kind: PacketKind) -> u64 {
+        resolve_route(
+            &mut self.batch.oneoff,
+            src,
+            dst,
+            kind,
+            self.ipc_marker,
+            self.topology,
+            self.cluster_map,
+            self.mc_node_set,
+            self.hop_table,
+        );
+        self.batch.oneoff.charge(self.noc, self.noc_stats)
+    }
+}
+
+/// The L1-miss path of one batched reference: write-back of the victim,
+/// request to the home slice, the L2 access, the DRAM round trip on an L2
+/// miss and the response — mirroring [`Machine::access`] step for step, but
+/// charging the burst-cached routes. Returns the added cycles and the level
+/// that serviced the access.
+fn run_miss_path(
+    ctx: &mut SegCtx<'_>,
+    paddr: u64,
+    evicted: Option<Evicted>,
+    write: bool,
+) -> (u64, AccessPath) {
+    let mut cycles = 0u64;
+    // Write back the victim off the critical path but account for it.
+    if let Some(ev) = evicted {
+        if ev.dirty {
+            let ev_ppn = ev.addr / ctx.page_bytes;
+            let ev_home = ctx.processes[ctx.pid.0]
+                .home
+                .home_of(PageId(ev_ppn))
+                .map(|s| NodeId(s.0))
+                .unwrap_or(NodeId(0));
+            ctx.route_oneoff(ctx.core, ev_home, PacketKind::WriteBack);
+        }
+    }
+    let home = ctx.home();
+    if !ctx.batch.request.resolved {
+        resolve_route(
+            &mut ctx.batch.request,
+            ctx.core,
+            home,
+            PacketKind::Request,
+            ctx.ipc_marker,
+            ctx.topology,
+            ctx.cluster_map,
+            ctx.mc_node_set,
+            ctx.hop_table,
+        );
+        resolve_route(
+            &mut ctx.batch.response,
+            home,
+            ctx.core,
+            PacketKind::Response,
+            ctx.ipc_marker,
+            ctx.topology,
+            ctx.cluster_map,
+            ctx.mc_node_set,
+            ctx.hop_table,
+        );
+    }
+    cycles += ctx.batch.request.charge(ctx.noc, ctx.noc_stats);
+    let l2_outcome = ctx.l2s[home.0].access(paddr, write);
+    cycles += ctx.lat.l2_hit;
+    ctx.l2_accesses += 1;
+    let path = if l2_outcome.is_miss() {
+        if let Some(ev) = l2_outcome.evicted() {
+            if ev.dirty {
+                if let Ok(mc_ev) = ctx.regions.controller_of(ev.addr) {
+                    let mc_ev_node = ctx.mc_nodes[mc_ev];
+                    ctx.route_oneoff(home, mc_ev_node, PacketKind::WriteBack);
+                }
+            }
+        }
+        // Off-chip access through the page's owning controller.
+        let mc = match ctx.batch.mc {
+            Some(mc) => mc,
+            None => {
+                let mc = ctx.regions.controller_of(paddr).unwrap_or(0);
+                ctx.batch.mc = Some(mc);
+                mc
+            }
+        };
+        let mc_node = ctx.mc_nodes[mc];
+        if !ctx.batch.mem_request.resolved {
+            resolve_route(
+                &mut ctx.batch.mem_request,
+                home,
+                mc_node,
+                PacketKind::Request,
+                ctx.ipc_marker,
+                ctx.topology,
+                ctx.cluster_map,
+                ctx.mc_node_set,
+                ctx.hop_table,
+            );
+            resolve_route(
+                &mut ctx.batch.mem_response,
+                mc_node,
+                home,
+                PacketKind::Response,
+                ctx.ipc_marker,
+                ctx.topology,
+                ctx.cluster_map,
+                ctx.mc_node_set,
+                ctx.hop_table,
+            );
+        }
+        cycles += ctx.batch.mem_request.charge(ctx.noc, ctx.noc_stats);
+        cycles += ctx.controllers[mc].access(paddr, write, ctx.load_hint);
+        cycles += ctx.batch.mem_response.charge(ctx.noc, ctx.noc_stats);
+        ctx.dram_accesses += 1;
+        AccessPath::Dram { home, controller: mc }
+    } else {
+        ctx.l2_hits += 1;
+        AccessPath::L2 { home }
+    };
+    cycles += ctx.batch.response.charge(ctx.noc, ctx.noc_stats);
+    (cycles, path)
+}
+
 /// The simulated multicore machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -88,6 +397,11 @@ pub struct Machine {
     pages_rehomed: u64,
     last_path: Option<AccessPath>,
     latency_trace: Option<LatencyTrace>,
+    batch: BatchScratch,
+    /// Bumped by every mutation that can change route selection or page
+    /// homing (cluster-map changes, slice restrictions, the IPC marker,
+    /// pristine resets); invalidates the batched engine's page-route memo.
+    route_epoch: u64,
 }
 
 impl Machine {
@@ -131,12 +445,54 @@ impl Machine {
             pages_rehomed: 0,
             last_path: None,
             latency_trace: None,
+            batch: BatchScratch::default(),
+            route_epoch: 0,
         }
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Resets the machine to the state [`Machine::new`] would produce for the
+    /// same configuration — no processes, empty caches/TLBs, quiet NoC and
+    /// controllers, zeroed statistics — while keeping every allocation (the
+    /// ~11 MB of way arrays per paper-scale machine chiefly). The
+    /// re-allocation predictor recycles one scratch machine through all of
+    /// its candidate probes instead of paying construction and teardown per
+    /// probe; behavioural identity with a fresh machine is covered by the
+    /// golden-stats and sweep byte-identity suites plus the recycling test
+    /// below.
+    pub fn reset_pristine(&mut self) {
+        for c in &mut self.l1s {
+            c.reset_pristine();
+        }
+        for c in &mut self.l2s {
+            c.reset_pristine();
+        }
+        for t in &mut self.tlbs {
+            t.reset_pristine();
+        }
+        for mc in &mut self.controllers {
+            mc.reset_pristine();
+        }
+        for mru in &mut self.xlate_mru {
+            *mru = XlateMru::default();
+        }
+        self.noc.reset_load();
+        self.noc_stats.reset();
+        self.processes.clear();
+        self.proc_stats.clear();
+        self.cluster_map = None;
+        self.load_hint = 0;
+        self.ipc_marker = false;
+        self.core_purges = 0;
+        self.pages_rehomed = 0;
+        self.last_path = None;
+        self.latency_trace = None;
+        self.batch.key = None;
+        self.route_epoch += 1;
     }
 
     /// The mesh topology.
@@ -208,6 +564,7 @@ impl Machine {
     /// boundary-crossing packet is IPC-class).
     pub fn set_ipc_marker(&mut self, ipc: bool) {
         self.ipc_marker = ipc;
+        self.route_epoch += 1;
     }
 
     /// Activates (or clears) network-level cluster isolation.
@@ -221,6 +578,7 @@ impl Machine {
         }
         self.cluster_map = map;
         self.noc.reset_load();
+        self.route_epoch += 1;
     }
 
     /// The active cluster map, if any.
@@ -281,6 +639,7 @@ impl Machine {
     /// that now live outside the allowed set. Returns `(pages_moved, cycles)`
     /// where `cycles` is the cost of the unmap/set-home/remap sequence.
     pub fn set_process_slices(&mut self, pid: ProcessId, slices: Vec<SliceId>) -> (u64, u64) {
+        self.route_epoch += 1;
         let p = &mut self.processes[pid.0];
         p.home.set_allowed(slices);
         let moved = p.home.rehome_all().unwrap_or(0);
@@ -339,20 +698,48 @@ impl Machine {
 
     // ----- address translation --------------------------------------------
 
-    /// Translates `vaddr` for the thread of `pid` running on `core`,
-    /// consulting the core's last-translation cache before walking the
-    /// process page table (and allocating the page on first touch).
-    fn translate(&mut self, core: NodeId, pid: ProcessId, vaddr: u64) -> u64 {
+    /// Translates a run of `count` accesses to the page containing `vaddr`
+    /// issued by the thread of `pid` on `core`, returning `(paddr, tlb_hit)`
+    /// for the run's first reference. This is the **single source of truth**
+    /// for the TLB/translation timing model: the scalar path calls it with
+    /// `count == 1`, the batched engine with the page-run length, and both
+    /// charge `page_walk` exactly when `tlb_hit` is `false`.
+    ///
+    /// Two deliberately distinct structures cooperate here, with a seam that
+    /// looks like double bookkeeping but is intended:
+    ///
+    /// * the [`Tlb`] is an **architectural timing model** — its hit/miss
+    ///   outcome alone decides whether the page-walk latency is charged;
+    /// * the per-core [`XlateMru`] is a **simulator-internal memoisation** of
+    ///   the functional `virtual page → physical page` mapping, which exists
+    ///   only to skip the page-table hash lookup on the hot path.
+    ///
+    /// A TLB miss therefore charges `page_walk` *even when the MRU cache
+    /// short-circuits the functional walk* (e.g. re-touching a page right
+    /// after a purge: the purge empties the TLB, so the access pays the walk
+    /// latency, while the MRU — pure memoisation of an insert-only mapping —
+    /// still remembers the translation). The MRU must never influence
+    /// timing, or simulated latencies would depend on an implementation
+    /// cache the modelled hardware does not have. Covered by
+    /// `purged_tlb_charges_walk_even_when_mru_remembers` below.
+    fn translate_page_run(
+        &mut self,
+        core: NodeId,
+        pid: ProcessId,
+        vaddr: u64,
+        count: u64,
+    ) -> (u64, bool) {
+        let tlb_hit = self.tlbs[core.0].access_page_run(vaddr, count);
         let page_bytes = self.page_bytes();
         let vpn = vaddr / page_bytes;
         let offset = vaddr % page_bytes;
         let mru = self.xlate_mru[core.0];
         if mru.valid && mru.pid == pid.0 && mru.vpn == vpn {
-            return mru.ppn * page_bytes + offset;
+            return (mru.ppn * page_bytes + offset, tlb_hit);
         }
         let ppn = self.walk_page_table(pid, vpn, page_bytes);
         self.xlate_mru[core.0] = XlateMru { valid: true, pid: pid.0, vpn, ppn };
-        ppn * page_bytes + offset
+        (ppn * page_bytes + offset, tlb_hit)
     }
 
     /// Looks `vpn` up in the process page table, allocating a fresh physical
@@ -388,6 +775,18 @@ impl Machine {
         };
         if let Some(slice) = slice {
             let _ = p.home.pin(PageId(ppn), slice);
+            // A first touch normally pins a *fresh* physical page, but after
+            // a reconfiguration shrinks the process's region list the
+            // round-robin allocator can hand a second virtual page an
+            // already-used ppn — and this pin then *moves* that ppn's home.
+            // If the batched engine's page-route memo is bound to exactly
+            // that (pid, ppn), drop it so the next miss re-reads the home
+            // map like the scalar path does.
+            if let Some((_, _, kpid, kppn)) = self.batch.key {
+                if kpid == pid.0 && kppn == ppn {
+                    self.batch.key = None;
+                }
+            }
         }
         p.allocated_pages += 1;
         ppn
@@ -408,40 +807,29 @@ impl Machine {
     }
 
     fn route_latency(&mut self, src: NodeId, dst: NodeId, kind: PacketKind) -> u64 {
-        let kind = if self.ipc_marker && !matches!(kind, PacketKind::WriteBack) {
-            PacketKind::Ipc
-        } else {
-            kind
-        };
-        let flits = kind.flits();
-        // Traffic entering or leaving the mesh at a memory-controller
-        // attachment point is edge traffic: the controller is shared
-        // infrastructure dedicated per cluster by the DRAM-region map, so it
-        // is not counted against the cluster-boundary invariant.
-        let edge_traffic = self.mc_node_set.contains(src) || self.mc_node_set.contains(dst);
-        let (route, clusters) = match &self.cluster_map {
-            Some(map) if !edge_traffic => {
-                let src_cluster = map.cluster_of(src);
-                let dst_cluster = map.cluster_of(dst);
-                if src_cluster == dst_cluster {
-                    let route = map.contained_route(src, dst, src_cluster).unwrap_or_else(|_| {
-                        self.topology.route_iter(src, dst, RoutingAlgorithm::XY)
-                    });
-                    (route, Some((src_cluster, dst_cluster)))
-                } else {
-                    // Only IPC-class traffic is expected to cross the boundary;
-                    // the isolation auditor in ironhide-core flags anything else.
-                    (
-                        self.topology.route_iter(src, dst, RoutingAlgorithm::XY),
-                        Some((src_cluster, dst_cluster)),
-                    )
-                }
-            }
-            _ => (self.topology.route_iter(src, dst, RoutingAlgorithm::XY), None),
-        };
-        let latency = self.noc.traverse(route, flits);
-        self.noc_stats.record(kind, flits, self.hop_table.hops(src, dst), latency, clusters);
-        latency
+        let Machine {
+            batch,
+            noc,
+            noc_stats,
+            topology,
+            cluster_map,
+            mc_node_set,
+            hop_table,
+            ipc_marker,
+            ..
+        } = self;
+        resolve_route(
+            &mut batch.oneoff,
+            src,
+            dst,
+            kind,
+            *ipc_marker,
+            topology,
+            cluster_map.as_ref(),
+            mc_node_set,
+            hop_table,
+        );
+        batch.oneoff.charge(noc, noc_stats)
     }
 
     // ----- the access path -------------------------------------------------
@@ -458,14 +846,11 @@ impl Machine {
         let lat = self.config.latency;
         let mut cycles = 0u64;
 
-        // 1. TLB.
-        let tlb_hit = self.tlbs[core.0].access(vaddr);
+        // 1+2. TLB, then translation (allocating on first touch).
+        let (paddr, tlb_hit) = self.translate_page_run(core, pid, vaddr, 1);
         if !tlb_hit {
             cycles += lat.page_walk;
         }
-
-        // 2. Translate (allocating on first touch).
-        let paddr = self.translate(core, pid, vaddr);
 
         // 3. Private L1.
         let l1_outcome = self.l1s[core.0].access(paddr, write);
@@ -543,6 +928,212 @@ impl Machine {
         self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| NodeId(s.0)).unwrap_or(NodeId(0))
     }
 
+    // ----- the batched access engine ----------------------------------------
+
+    /// Performs every access of a run-length-encoded reference stream, in
+    /// stream order, returning the summed latency in cycles. Equivalent to
+    /// decoding the stream and calling [`Machine::access`] per reference —
+    /// byte-identically so, in every observable effect (per-access latencies,
+    /// cache/TLB/NoC/DRAM state and statistics, the latency trace) — but
+    /// exploits the run structure to do per-page and per-route work once per
+    /// run instead of once per reference. `tests/hot_path_equivalence.rs`
+    /// drives the two paths differentially.
+    pub fn access_stream(&mut self, core: NodeId, pid: ProcessId, stream: &RefStream) -> u64 {
+        let mut total = 0;
+        for run in stream.runs() {
+            total += self.access_run(core, pid, *run);
+        }
+        total
+    }
+
+    /// Performs every access of one reference run (see
+    /// [`Machine::access_stream`]), returning the summed latency in cycles.
+    ///
+    /// The run is split at page boundaries; each page segment then pays one
+    /// bounds assertion, one batched TLB update, one translation and at most
+    /// one route resolution per packet class, instead of each per reference:
+    ///
+    /// * references in the same page share the TLB outcome of the first (a
+    ///   page-run can only miss on its first reference) and its translation;
+    /// * references in the same L1 line beyond the first are guaranteed hits
+    ///   and collapse into one bulk recency/statistics update;
+    /// * all L1 misses of a page segment route to the same home slice and —
+    ///   if they reach DRAM — the same controller, so the four packet routes
+    ///   (request/response, core↔home and home↔controller) are resolved once
+    ///   and each packet only performs its per-link load observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `pid` is out of range (like [`Machine::access`]).
+    pub fn access_run(&mut self, core: NodeId, pid: ProcessId, run: RefRun) -> u64 {
+        if run.len == 0 {
+            return 0;
+        }
+        assert!(core.0 < self.config.cores(), "core {core} out of range");
+        assert!(pid.0 < self.processes.len(), "unknown process {pid}");
+        if run.len == 1 {
+            // Irregular reference: still worth the segment path — the
+            // page-route memo usually still holds this page's routes.
+            return self.access_page_segment(core, pid, run);
+        }
+        let page_bytes = self.page_bytes();
+        let mut total = 0u64;
+        for seg in run.segments(page_bytes) {
+            total += self.access_page_segment(core, pid, seg);
+        }
+        total
+    }
+
+    /// Executes one page segment of a run (every reference in one page).
+    fn access_page_segment(&mut self, core: NodeId, pid: ProcessId, seg: RefRun) -> u64 {
+        let lat = self.config.latency;
+        let line_bytes = self.config.l1.line_bytes as u64;
+        let page_bytes = self.page_bytes();
+        let write = seg.write;
+        let (paddr0, tlb_hit) = self.translate_page_run(core, pid, seg.base, seg.len as u64);
+        let walk = if tlb_hit { 0 } else { lat.page_walk };
+
+        let ppn = paddr0 / page_bytes;
+        self.batch.rebind((self.route_epoch, core.0, pid.0, ppn));
+        let Machine {
+            l1s,
+            l2s,
+            noc,
+            noc_stats,
+            controllers,
+            mc_nodes,
+            mc_node_set,
+            hop_table,
+            topology,
+            cluster_map,
+            processes,
+            proc_stats,
+            regions,
+            latency_trace,
+            last_path,
+            batch,
+            load_hint,
+            ipc_marker,
+            ..
+        } = self;
+        let mut ctx = SegCtx {
+            lat,
+            core,
+            pid,
+            ppn,
+            page_bytes,
+            l2s,
+            noc,
+            noc_stats,
+            controllers,
+            mc_nodes,
+            mc_node_set,
+            hop_table,
+            topology,
+            cluster_map: cluster_map.as_ref(),
+            processes,
+            regions,
+            batch,
+            ipc_marker: *ipc_marker,
+            load_hint: *load_hint,
+            l2_accesses: 0,
+            l2_hits: 0,
+            dram_accesses: 0,
+        };
+        let l1 = &mut l1s[core.0];
+        let mut trace = latency_trace.as_mut();
+        let mut total = 0u64;
+        let mut l1_hits = 0u64;
+        let mut l1_misses = 0u64;
+        let mut seg_last_path = AccessPath::L1;
+        let mut first_ref = true;
+
+        if seg.stride == 0 || (seg.stride as i64).unsigned_abs() < line_bytes {
+            // Sub-line strides: consecutive references share L1 lines. Within
+            // each line group only the first reference can miss; the rest
+            // collapse into one bulk hit update.
+            for lseg in seg.segments(line_bytes) {
+                let paddr = paddr0.wrapping_add(lseg.base.wrapping_sub(seg.base));
+                let outcome = l1.access_line_run(paddr, lseg.len as u64, write);
+                let mut cycles = lat.l1_hit;
+                if first_ref {
+                    cycles += walk;
+                    first_ref = false;
+                }
+                if outcome.is_miss() {
+                    l1_misses += 1;
+                    let (extra, path) = run_miss_path(&mut ctx, paddr, outcome.evicted(), write);
+                    cycles += extra;
+                    seg_last_path = path;
+                } else {
+                    l1_hits += 1;
+                    seg_last_path = AccessPath::L1;
+                }
+                total += cycles;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(cycles);
+                }
+                if lseg.len > 1 {
+                    let extra_refs = (lseg.len - 1) as u64;
+                    l1_hits += extra_refs;
+                    total += extra_refs * lat.l1_hit;
+                    if let Some(t) = trace.as_deref_mut() {
+                        for _ in 0..extra_refs {
+                            t.record(lat.l1_hit);
+                        }
+                    }
+                    seg_last_path = AccessPath::L1;
+                }
+            }
+        } else {
+            // Line-or-larger strides: every reference touches a distinct
+            // line; the L1 advances the line number arithmetically and
+            // reports each outcome for routing.
+            l1.fill_run(paddr0, seg.stride, seg.len, write, |paddr, outcome| {
+                let mut cycles = lat.l1_hit;
+                if first_ref {
+                    cycles += walk;
+                    first_ref = false;
+                }
+                if outcome.is_miss() {
+                    l1_misses += 1;
+                    let (extra, path) = run_miss_path(&mut ctx, paddr, outcome.evicted(), write);
+                    cycles += extra;
+                    seg_last_path = path;
+                } else {
+                    l1_hits += 1;
+                    seg_last_path = AccessPath::L1;
+                }
+                total += cycles;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(cycles);
+                }
+            });
+        }
+
+        // Flush the per-segment statistics (identical totals to the scalar
+        // path's per-reference updates).
+        let stats = &mut proc_stats[pid.0];
+        let len = seg.len as u64;
+        stats.tlb.accesses += len;
+        if tlb_hit {
+            stats.tlb.hits += len;
+        } else {
+            stats.tlb.hits += len - 1;
+            stats.tlb.misses += 1;
+        }
+        stats.l1.accesses += len;
+        stats.l1.hits += l1_hits;
+        stats.l1.misses += l1_misses;
+        stats.l2.accesses += ctx.l2_accesses;
+        stats.l2.hits += ctx.l2_hits;
+        stats.l2.misses += ctx.dram_accesses;
+        stats.dram_accesses += ctx.dram_accesses;
+        stats.memory_cycles += total;
+        *last_path = Some(seg_last_path);
+        total
+    }
+
     // ----- purges and reconfiguration --------------------------------------
 
     /// Flushes-and-invalidates the private L1 and TLB of one core, returning
@@ -573,6 +1164,18 @@ impl Machine {
         } else {
             worst + self.config.latency.purge_fence
         }
+    }
+
+    /// Purges the private state of **every** core in parallel followed by the
+    /// machine-wide fence — the all-cores form of [`Machine::purge_private`]
+    /// an MI6 enclave boundary performs, without the caller materialising a
+    /// core list.
+    pub fn purge_all_private(&mut self) -> u64 {
+        let mut worst = 0;
+        for c in 0..self.config.cores() {
+            worst = worst.max(self.purge_core(NodeId(c)));
+        }
+        worst + self.config.latency.purge_fence
     }
 
     /// Purges the queues and open-row state of the controllers selected by
@@ -864,5 +1467,114 @@ mod tests {
         let mut m = machine();
         let pid = m.create_process("p", SecurityClass::Insecure);
         m.access(NodeId(99), pid, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_rejected_by_batched_path() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access_run(NodeId(99), pid, crate::stream::RefRun::new(0, 64, 8, false));
+    }
+
+    /// The TLB/translation seam: a TLB miss charges the page-walk latency
+    /// even when the simulator's per-core MRU translation memo still holds
+    /// the mapping (here: right after a purge, which empties the TLB but not
+    /// the MRU — the MRU memoises an insert-only functional mapping and must
+    /// never influence timing). See `Machine::translate_page_run`.
+    #[test]
+    fn purged_tlb_charges_walk_even_when_mru_remembers() {
+        let mut m = machine();
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        m.access(NodeId(0), pid, 0x1000, false);
+        let warm = m.access(NodeId(0), pid, 0x1000, false);
+        assert_eq!(warm, m.config().latency.l1_hit);
+        m.purge_core(NodeId(0));
+        // Post-purge, the TLB is cold (the MRU is not) and the L1 is cold:
+        // the access must pay the architectural walk on top of its miss path.
+        let after = m.access(NodeId(0), pid, 0x1000, false);
+        assert_eq!(m.process_stats(pid).tlb.misses, 2, "purge must cost a real TLB miss");
+        assert!(
+            after >= m.config().latency.page_walk,
+            "TLB miss must charge the walk even on an MRU hit ({after})"
+        );
+    }
+
+    /// A recycled machine replays a workload byte-identically to a fresh one.
+    #[test]
+    fn reset_pristine_machine_replays_identically() {
+        let drive = |m: &mut Machine| -> (Vec<u64>, String) {
+            let pid = m.create_process("p", SecurityClass::Secure);
+            let mut lat = Vec::new();
+            for i in 0..600u64 {
+                lat.push(m.access(NodeId(i as usize % 4), pid, (i % 96) * 64, i % 5 == 0));
+            }
+            m.purge_core(NodeId(0));
+            for i in 0..64u64 {
+                lat.push(m.access(NodeId(0), pid, i * 4096, false));
+            }
+            (lat, format!("{:?}|{:?}", m.stats(), m.process_stats(pid)))
+        };
+        let mut fresh = machine();
+        let (lat_fresh, stats_fresh) = drive(&mut fresh);
+        // Dirty a machine thoroughly, then recycle it.
+        let mut recycled = machine();
+        let pid = recycled.create_process("dirt", SecurityClass::Insecure);
+        for i in 0..2000u64 {
+            recycled.access(NodeId(i as usize % 4), pid, i * 64, true);
+        }
+        recycled.enable_latency_trace(16);
+        recycled.set_load_hint(9);
+        recycled.reset_pristine();
+        let (lat_rec, stats_rec) = drive(&mut recycled);
+        assert_eq!(lat_fresh, lat_rec);
+        assert_eq!(stats_fresh, stats_rec);
+    }
+
+    /// Quick in-crate differential: the batched engine and the scalar path
+    /// agree on latencies, stats and state for a mixed stream (the full
+    /// property-based differential lives in tests/hot_path_equivalence.rs).
+    #[test]
+    fn access_stream_matches_scalar_path() {
+        use crate::stream::{MemRef, RefStream};
+        let mut batched = machine();
+        let mut scalar = machine();
+        let pid_b = batched.create_process("p", SecurityClass::Insecure);
+        let pid_s = scalar.create_process("p", SecurityClass::Insecure);
+
+        let mut stream = RefStream::new();
+        // Page-straddling line sweep, a stride-0 hot spot, a sub-line walk,
+        // a descending sweep and a page-stride sprint.
+        for i in 0..96u64 {
+            stream.push(MemRef::write(0xf00 + i * 64));
+        }
+        for _ in 0..10 {
+            stream.push(MemRef::read(0x2040));
+        }
+        for i in 0..48u64 {
+            stream.push(MemRef::read(0x3000 + i * 24));
+        }
+        for i in 0..32u64 {
+            stream.push(MemRef::read(0x9000 - i * 64));
+        }
+        for i in 0..8u64 {
+            stream.push(MemRef::read(0x20_000 + i * 4096));
+        }
+
+        batched.enable_latency_trace(512);
+        scalar.enable_latency_trace(512);
+        let total_b = batched.access_stream(NodeId(1), pid_b, &stream);
+        let total_s: u64 =
+            stream.iter().map(|r| scalar.access(NodeId(1), pid_s, r.vaddr, r.write)).sum();
+        assert_eq!(total_b, total_s);
+        assert_eq!(batched.last_path(), scalar.last_path());
+        let tb = batched.latency_trace().unwrap();
+        let ts = scalar.latency_trace().unwrap();
+        assert_eq!(tb.iter().collect::<Vec<_>>(), ts.iter().collect::<Vec<_>>());
+        assert_eq!(format!("{:?}", batched.stats()), format!("{:?}", scalar.stats()));
+        assert_eq!(
+            format!("{:?}", batched.process_stats(pid_b)),
+            format!("{:?}", scalar.process_stats(pid_s))
+        );
     }
 }

@@ -3,12 +3,14 @@
 //! The workload kernels operate on ordinary Rust data structures. To drive
 //! the timing simulator they declare each important data structure as a
 //! [`Region`] of the process's virtual address space and report element
-//! touches to an [`AccessRecorder`], which converts them into [`MemRef`]s.
-//! Because real kernels can touch millions of elements per input, the
-//! recorder *samples* touches (keeping every `1/sample_rate`-th reference)
-//! so each interaction contributes a bounded, representative trace.
+//! touches to an [`AccessRecorder`], which run-length encodes them into a
+//! [`RefStream`] (kernels sweep arrays, so even sampled traces compress into
+//! a handful of arithmetic runs). Because real kernels can touch millions of
+//! elements per input, the recorder *samples* touches (keeping every
+//! `1/sample_rate`-th reference) so each interaction contributes a bounded,
+//! representative trace.
 
-use ironhide_core::app::MemRef;
+use ironhide_core::app::{MemRef, RefStream};
 
 /// A named span of the owning process's virtual address space backing one
 /// data structure (an array, a hash table, an image plane, ...).
@@ -64,12 +66,16 @@ impl Region {
     }
 }
 
-/// Collects sampled memory references for one work unit.
+/// Collects sampled memory references for one work unit, run-length encoded
+/// as they arrive.
 #[derive(Debug, Clone)]
 pub struct AccessRecorder {
-    refs: Vec<MemRef>,
+    refs: RefStream,
     sample_rate: u64,
-    counter: u64,
+    /// Touches left until the next kept sample — a countdown instead of a
+    /// `counter % sample_rate` test, because `touch` runs once per element
+    /// touch of every kernel and the division showed up in profiles.
+    until_sample: u64,
     total_touches: u64,
     cap: usize,
 }
@@ -83,7 +89,13 @@ impl AccessRecorder {
     /// Panics if `sample_rate` is zero.
     pub fn new(sample_rate: u64, cap: usize) -> Self {
         assert!(sample_rate > 0, "sample rate must be at least 1");
-        AccessRecorder { refs: Vec::new(), sample_rate, counter: 0, total_touches: 0, cap }
+        AccessRecorder {
+            refs: RefStream::new(),
+            sample_rate,
+            until_sample: sample_rate,
+            total_touches: 0,
+            cap,
+        }
     }
 
     /// A recorder that keeps everything (used in unit tests).
@@ -111,20 +123,56 @@ impl AccessRecorder {
         self.touch(region, index, true);
     }
 
+    /// Records `reps` passes over the cyclic read pattern `indices` (the
+    /// shape of a stationary weight working set re-swept per output
+    /// element): `reps * indices.len()` touches of
+    /// `indices[0], indices[1], ..., indices[0], ...` in order.
+    ///
+    /// Byte-identical to the equivalent [`AccessRecorder::read`] loop — the
+    /// same touches are counted and the same ones are kept — but the
+    /// sampling arithmetic advances in bulk, visiting only the kept touches
+    /// (and none at all once the per-unit cap is full), so recording cost no
+    /// longer scales with a kernel's arithmetic intensity.
+    pub fn read_cycle(&mut self, region: &Region, indices: &[u64], reps: u64) {
+        if indices.is_empty() || reps == 0 {
+            return;
+        }
+        let cycle = indices.len() as u64;
+        let n = cycle * reps;
+        // 1-based offset within this block of the next kept touch.
+        let mut offset = self.until_sample;
+        while offset <= n && self.refs.len() < self.cap {
+            let index = indices[((offset - 1) % cycle) as usize];
+            self.refs.push(MemRef { vaddr: region.addr_of(index), write: false });
+            offset += self.sample_rate;
+        }
+        self.total_touches += n;
+        self.until_sample = if n < self.until_sample {
+            self.until_sample - n
+        } else {
+            let past = n - self.until_sample;
+            self.sample_rate - (past % self.sample_rate)
+        };
+    }
+
     fn touch(&mut self, region: &Region, index: u64, write: bool) {
         self.total_touches += 1;
-        self.counter += 1;
-        if !self.counter.is_multiple_of(self.sample_rate) || self.refs.len() >= self.cap {
+        self.until_sample -= 1;
+        if self.until_sample > 0 {
+            return;
+        }
+        self.until_sample = self.sample_rate;
+        if self.refs.len() >= self.cap {
             return;
         }
         self.refs.push(MemRef { vaddr: region.addr_of(index), write });
     }
 
-    /// Finishes the work unit, returning the sampled references and resetting
-    /// the recorder for the next unit.
-    pub fn take(&mut self) -> Vec<MemRef> {
+    /// Finishes the work unit, returning the sampled, run-encoded references
+    /// and resetting the recorder for the next unit.
+    pub fn take(&mut self) -> RefStream {
         self.total_touches = 0;
-        self.counter = 0;
+        self.until_sample = self.sample_rate;
         std::mem::take(&mut self.refs)
     }
 }
@@ -156,7 +204,7 @@ mod tests {
         assert_eq!(rec.total_touches(), 11);
         let refs = rec.take();
         assert_eq!(refs.len(), 11);
-        assert!(refs[10].write);
+        assert!(refs.iter().nth(10).unwrap().write);
         assert_eq!(rec.recorded(), 0);
     }
 
@@ -169,6 +217,43 @@ mod tests {
         }
         assert_eq!(rec.total_touches(), 1000);
         assert_eq!(rec.recorded(), 100);
+    }
+
+    #[test]
+    fn read_cycle_matches_scalar_reads() {
+        let region = Region::new(0x7000, 4, 512);
+        let indices = [3u64, 99, 7, 200, 41];
+        for (rate, cap, reps, pre) in [
+            (1u64, usize::MAX, 40u64, 0u64),
+            (3, usize::MAX, 41, 2),
+            (2, 30, 100, 1),
+            (7, 5, 13, 6),
+        ] {
+            let mut bulk = AccessRecorder::new(rate, cap);
+            let mut scalar = AccessRecorder::new(rate, cap);
+            // Desynchronise the sampling phase with a few ordinary touches.
+            for i in 0..pre {
+                bulk.read(&region, i);
+                scalar.read(&region, i);
+            }
+            bulk.read_cycle(&region, &indices, reps);
+            for _ in 0..reps {
+                for idx in indices {
+                    scalar.read(&region, idx);
+                }
+            }
+            // And a few trailing touches to prove the phase survived.
+            for i in 0..5 {
+                bulk.read(&region, 300 + i);
+                scalar.read(&region, 300 + i);
+            }
+            assert_eq!(bulk.total_touches(), scalar.total_touches(), "rate {rate} cap {cap}");
+            assert_eq!(
+                bulk.take().iter().collect::<Vec<_>>(),
+                scalar.take().iter().collect::<Vec<_>>(),
+                "rate {rate} cap {cap} reps {reps}"
+            );
+        }
     }
 
     #[test]

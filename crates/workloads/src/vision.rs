@@ -261,24 +261,48 @@ impl Cnn {
         }
         // Layer 2: grouped 3×3 convolution over the pooled map (a stand-in for
         // the middle convolutional / fire stack), global average per kernel.
+        //
+        // The convolution is separable here: every kernel sweeps the same
+        // ReLU'd pooled map, so the nine per-tap window sums are computed
+        // once and each kernel reduces to a 9-element dot product — the
+        // naive form re-walked the whole map per kernel and dominated the
+        // entire interaction-generation cost of the AlexNet-class network.
+        // The memory-touch stream is the simulation contract and is emitted
+        // unchanged (same touches counted, same sampled references kept, in
+        // the same order, via the recorder's bulk cyclic form); only the
+        // floating-point association of the discarded class scores differs.
         let kernels2 = (self.conv2.len() / 9).max(1);
-        let mut features = vec![0f32; kernels2];
-        for (k, feature) in features.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for y in 0..pooled_side.saturating_sub(2) {
-                for x in 0..pooled_side.saturating_sub(2) {
-                    for ky in 0..3 {
-                        for kx in 0..3 {
-                            let w = self.conv2[(k * 9 + ky * 3 + kx) % self.conv2.len()];
-                            rec.read(
-                                &self.weights_region,
-                                (self.conv1.len() + (k * 9 + ky * 3 + kx) % self.conv2.len())
-                                    as u64,
-                            );
-                            acc += w * pooled[(y + ky) * pooled_side + (x + kx)].max(0.0);
-                        }
+        let len2 = self.conv2.len();
+        let weights_base = self.conv1.len() as u64;
+        let span = pooled_side.saturating_sub(2);
+        let positions = (span * span) as u64;
+        let mut window_sums = [0f32; 9];
+        for ky in 0..3 {
+            for kx in 0..3 {
+                let mut acc = 0.0;
+                for y in 0..span {
+                    for x in 0..span {
+                        acc += pooled[(y + ky) * pooled_side + (x + kx)].max(0.0);
                     }
                 }
+                window_sums[ky * 3 + kx] = acc;
+            }
+        }
+        let mut features = vec![0f32; kernels2];
+        for (k, feature) in features.iter_mut().enumerate() {
+            // The nine wrapped weight indices `(k*9 + tap) % len`, invariant
+            // across the spatial sweep.
+            let base = (k * 9) % len2;
+            let mut taps = [0u64; 9];
+            let mut acc = 0.0;
+            for (j, slot) in taps.iter_mut().enumerate() {
+                let idx = base + j;
+                let wi = if idx >= len2 { idx - len2 } else { idx };
+                *slot = weights_base + wi as u64;
+                acc += self.conv2[wi] * window_sums[j];
+            }
+            if positions > 0 {
+                rec.read_cycle(&self.weights_region, &taps, positions);
             }
             *feature = acc / (pooled_side * pooled_side) as f32;
             rec.write(&self.activations_region, (pooled.len() + k) as u64);

@@ -47,10 +47,10 @@ impl InteractiveApp for AnomalyDetector {
         1_000.0
     }
     fn interaction(&mut self, idx: usize) -> Interaction {
-        let samples: Vec<MemRef> =
-            (0..96).map(|i| MemRef::write((idx as u64 * 96 + i) * 64)).collect();
-        let model_scan: Vec<MemRef> =
-            (0..192).map(|i| MemRef::read(0x200_0000 + (i % 96) * 64)).collect();
+        let samples =
+            RefStream::from_refs((0..96).map(|i| MemRef::write((idx as u64 * 96 + i) * 64)));
+        let model_scan =
+            RefStream::from_refs((0..192).map(|i| MemRef::read(0x200_0000 + (i % 96) * 64)));
         Interaction {
             insecure: WorkUnit::new(30_000, samples),
             secure: WorkUnit::new(55_000, model_scan),

@@ -42,7 +42,9 @@ pub use ironhide_workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use ironhide_attacks::{attack_grid, attack_spec, ChannelKind, LeakageOracle};
-    pub use ironhide_core::app::{Interaction, InteractiveApp, MemRef, ProcessProfile, WorkUnit};
+    pub use ironhide_core::app::{
+        Interaction, InteractiveApp, MemRef, ProcessProfile, RefRun, RefStream, WorkUnit,
+    };
     pub use ironhide_core::arch::{ArchParams, Architecture};
     pub use ironhide_core::attack::{
         AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,

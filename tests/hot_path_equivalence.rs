@@ -11,11 +11,15 @@
 use proptest::prelude::*;
 
 use ironhide::ironhide_cache::{
-    AccessOutcome, CacheConfig, Evicted, ReplacementPolicy, SetAssocCache,
+    AccessOutcome, CacheConfig, Evicted, ReplacementPolicy, SetAssocCache, SliceId,
 };
 use ironhide::ironhide_mesh::{
     ClusterId, ClusterMap, Coord, MeshTopology, NodeId, RoutingAlgorithm,
 };
+use ironhide::ironhide_sim::config::MachineConfig;
+use ironhide::ironhide_sim::machine::Machine;
+use ironhide::ironhide_sim::process::SecurityClass;
+use ironhide::ironhide_sim::stream::{RefRun, RefStream};
 
 // ---------------------------------------------------------------------------
 // Reference cache: the seed's nested-vec implementation, div/mod indexing and
@@ -347,6 +351,154 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched access engine vs the scalar reference path.
+// ---------------------------------------------------------------------------
+
+/// One step of the differential driver: either a run-encoded reference
+/// burst on some core, or a maintenance operation interleaved between
+/// bursts (the operations the execution architectures perform mid-stream).
+#[derive(Debug, Clone)]
+enum MachineOp {
+    Run { core: usize, base: u64, stride: u64, len: u32, write: bool },
+    PurgeCore(usize),
+    PurgeSlices(usize),
+    PurgeNetwork,
+    IpcMarker(bool),
+    RestrictSlices(usize),
+}
+
+/// Decodes one sampled word into a driver step (the vendored proptest shim
+/// has no tuple/oneof combinators, so structure is derived from plain
+/// `u64`s). Strides exercise every engine path: the same line (0, sub-line
+/// 8/24), line sweeps (64), line-skipping (96/160), page-boundary straddles,
+/// whole pages (4096), larger-than-page jumps, and descending
+/// (wrapping-negative) sweeps.
+fn decode_op(word: u64) -> MachineOp {
+    const STRIDES: [u64; 11] =
+        [0, 8, 24, 64, 96, 160, 2048, 4096, 12288, 0u64.wrapping_sub(64), 0u64.wrapping_sub(4096)];
+    // Low bits pick the op class; runs are ~8x as likely as each
+    // maintenance op.
+    match word % 13 {
+        0 => MachineOp::PurgeCore((word >> 8) as usize % 4),
+        1 => MachineOp::PurgeSlices((word >> 8) as usize % 4),
+        2 => MachineOp::PurgeNetwork,
+        3 => MachineOp::IpcMarker((word >> 8).is_multiple_of(2)),
+        4 => {
+            let s = (word >> 8) as usize % 4;
+            MachineOp::RestrictSlices(s)
+        }
+        _ => MachineOp::Run {
+            core: (word >> 4) as usize % 4,
+            // Park descending runs high enough that they never wrap below
+            // address zero.
+            base: 0x20_0000 + ((word >> 8) % 0x8000),
+            stride: STRIDES[(word >> 24) as usize % STRIDES.len()],
+            len: 1 + ((word >> 32) % 96) as u32,
+            write: (word >> 40).is_multiple_of(2),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Machine::access_run` is byte-identical to issuing the decoded
+    /// references through scalar `Machine::access`: per-run latency sums,
+    /// per-access latency-trace samples, every machine counter and every
+    /// per-process counter, across random run-encoded streams with
+    /// purge/invalidate interleavings (incl. page straddles, stride 0 and
+    /// descending runs).
+    #[test]
+    fn batched_engine_matches_scalar_reference(words in prop::collection::vec(any::<u64>(), 1..60)) {
+        let ops: Vec<MachineOp> = words.iter().map(|w| decode_op(*w)).collect();
+        let mut batched = Machine::new(MachineConfig::small_test());
+        let mut scalar = Machine::new(MachineConfig::small_test());
+        let pid_b = batched.create_process("p", SecurityClass::Secure);
+        let pid_s = scalar.create_process("p", SecurityClass::Secure);
+        batched.enable_latency_trace(4096);
+        scalar.enable_latency_trace(4096);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                MachineOp::Run { core, base, stride, len, write } => {
+                    let run = RefRun::new(*base, *stride, *len, *write);
+                    let got = batched.access_run(NodeId(*core), pid_b, run);
+                    let mut want = 0u64;
+                    for r in run.iter() {
+                        want += scalar.access(NodeId(*core), pid_s, r.vaddr, r.write);
+                    }
+                    prop_assert_eq!(got, want, "op #{i}: {:?}", op);
+                    prop_assert_eq!(batched.last_path(), scalar.last_path(), "op #{i}");
+                }
+                MachineOp::PurgeCore(c) => {
+                    prop_assert_eq!(batched.purge_core(NodeId(*c)), scalar.purge_core(NodeId(*c)));
+                }
+                MachineOp::PurgeSlices(s) => {
+                    prop_assert_eq!(
+                        batched.purge_slices(&[SliceId(*s)]),
+                        scalar.purge_slices(&[SliceId(*s)])
+                    );
+                }
+                MachineOp::PurgeNetwork => {
+                    prop_assert_eq!(batched.purge_network(), scalar.purge_network());
+                }
+                MachineOp::IpcMarker(on) => {
+                    batched.set_ipc_marker(*on);
+                    scalar.set_ipc_marker(*on);
+                }
+                MachineOp::RestrictSlices(s) => {
+                    prop_assert_eq!(
+                        batched.set_process_slices(pid_b, vec![SliceId(*s), SliceId(3 - *s)]),
+                        scalar.set_process_slices(pid_s, vec![SliceId(*s), SliceId(3 - *s)])
+                    );
+                }
+            }
+        }
+        let trace_b: Vec<u64> = batched.latency_trace().unwrap().iter().collect();
+        let trace_s: Vec<u64> = scalar.latency_trace().unwrap().iter().collect();
+        prop_assert_eq!(trace_b, trace_s);
+        prop_assert_eq!(
+            format!("{:?}", batched.stats()),
+            format!("{:?}", scalar.stats())
+        );
+        prop_assert_eq!(
+            format!("{:?}", batched.process_stats(pid_b)),
+            format!("{:?}", scalar.process_stats(pid_s))
+        );
+    }
+
+    /// A `RefStream` round-trips: greedy RLE encoding of an arbitrary
+    /// reference sequence decodes back to exactly that sequence, and
+    /// `ref_range` slices agree with slicing the decoded sequence.
+    #[test]
+    fn ref_stream_roundtrip_and_slicing(
+        words in prop::collection::vec(any::<u64>(), 1..200),
+        cut in 0usize..210,
+    ) {
+        let refs: Vec<ironhide::ironhide_sim::stream::MemRef> = words
+            .iter()
+            .map(|w| ironhide::ironhide_sim::stream::MemRef {
+                vaddr: (w % 0x4000) * 8,
+                write: (w >> 20) % 2 == 0,
+            })
+            .collect();
+        let stream = RefStream::from_refs(refs.iter().copied());
+        prop_assert_eq!(stream.len(), refs.len());
+        prop_assert_eq!(stream.iter().collect::<Vec<_>>(), refs.clone());
+        let cut = cut.min(refs.len());
+        let front: Vec<_> = stream
+            .ref_range(0, cut as u64)
+            .flat_map(|r| r.iter().collect::<Vec<_>>())
+            .collect();
+        let back: Vec<_> = stream
+            .ref_range(cut as u64, refs.len() as u64)
+            .flat_map(|r| r.iter().collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(&front[..], &refs[..cut]);
+        prop_assert_eq!(&back[..], &refs[cut..]);
     }
 }
 

@@ -20,6 +20,7 @@ use ironhide::ironhide_mesh::{ClusterMap, MeshTopology, NodeId};
 use ironhide::ironhide_sim::config::MachineConfig;
 use ironhide::ironhide_sim::machine::Machine;
 use ironhide::ironhide_sim::process::SecurityClass;
+use ironhide::ironhide_sim::stream::{MemRef, RefStream};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -134,4 +135,49 @@ fn main() {
         after - before
     );
     println!("zero_alloc: OK — {measured} hook-enabled accesses, 0 heap allocations");
+
+    // The batched engine: the same invariant over `Machine::access_stream`
+    // with a run-encoded replay (line sweeps straddling pages, a stride-0 hot
+    // line, sub-line walks, page-stride sprints and descending runs), with
+    // the latency trace still attached. The stream itself is encoded once up
+    // front; issuing it in steady state — including the engine's cached-route
+    // and page-memo scratch, which grows once during warm-up — must not
+    // allocate.
+    let mut stream = RefStream::new();
+    for i in 0..4096u64 {
+        stream.push(MemRef { vaddr: 0xf00 + i * 64, write: i % 3 == 0 });
+    }
+    for _ in 0..512 {
+        stream.push(MemRef::read(0x100_0000));
+    }
+    for i in 0..512u64 {
+        stream.push(MemRef::read(0x200_0000 + i * 24));
+    }
+    for i in 0..256u64 {
+        stream.push(MemRef::read(0x300_0000 + i * 4096));
+    }
+    for i in 0..512u64 {
+        stream.push(MemRef::read(0x400_0000 - i * 64));
+    }
+    // Warm up: allocate the pages, grow the engine scratch, touch the links.
+    machine.access_stream(NodeId(0), pid, &stream);
+    machine.access_stream(NodeId(1), pid, &stream);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut measured = 0u64;
+    while measured < 10_000 {
+        machine.latency_trace_mut().expect("trace attached").clear();
+        machine.access_stream(NodeId(0), pid, &stream);
+        machine.access_stream(NodeId(1), pid, &stream);
+        measured += 2 * stream.len() as u64;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Machine::access_stream must not allocate \
+         ({} allocations over {measured} batched accesses)",
+        after - before
+    );
+    println!("zero_alloc: OK — {measured} batched accesses, 0 heap allocations");
 }
