@@ -48,15 +48,27 @@ pub enum ChannelKind {
     /// burst (private-data processing) evicts the buffer's lines from the
     /// shared L2 only when L2 slices are shared.
     IpcBufferTiming,
+    /// Coherence-state channel through directory conflicts ("attack
+    /// directories, not caches"): the attacker primes a small working set
+    /// that *fits its own L1* — so an undisturbed probe is pure L1 hits —
+    /// and whose directory entries live at one home slice. The victim's
+    /// secret burst writes a sweep wide enough to claim that slice's
+    /// bounded directory with Modified entries; the displaced entries'
+    /// copies are **back-invalidated** out of the attacker's L1, and the
+    /// attacker reads the bit from the invalidation-induced misses of its
+    /// re-probe. No cache the attacker owns was ever evicted — only the
+    /// coherence metadata moved.
+    CoherenceState,
 }
 
 impl ChannelKind {
     /// All channels, in presentation order.
-    pub const ALL: [ChannelKind; 4] = [
+    pub const ALL: [ChannelKind; 5] = [
         ChannelKind::L2SliceOccupancy,
         ChannelKind::NocLinkContention,
         ChannelKind::TlbOccupancy,
         ChannelKind::IpcBufferTiming,
+        ChannelKind::CoherenceState,
     ];
 
     /// The channel's display label (also its attack-matrix axis label).
@@ -66,6 +78,7 @@ impl ChannelKind {
             ChannelKind::NocLinkContention => "noc-link-contention",
             ChannelKind::TlbOccupancy => "tlb-occupancy",
             ChannelKind::IpcBufferTiming => "ipc-buffer-timing",
+            ChannelKind::CoherenceState => "coherence-state",
         }
     }
 
@@ -78,6 +91,7 @@ impl ChannelKind {
             ChannelKind::NocLinkContention => g.noc_link_contention(),
             ChannelKind::TlbOccupancy => g.tlb_occupancy(),
             ChannelKind::IpcBufferTiming => g.ipc_buffer_timing(),
+            ChannelKind::CoherenceState => g.coherence_state(),
         }
     }
 }
@@ -121,6 +135,8 @@ struct Geometry {
     cores: usize,
     tlb_entries: usize,
     l1_lines: usize,
+    /// Entries one home slice's coherence directory can hold.
+    dir_entries: usize,
     /// Seed-derived page-aligned shift applied to every stream base.
     shift: u64,
 }
@@ -140,6 +156,7 @@ impl Geometry {
             cores: config.cores(),
             tlb_entries: config.tlb.entries,
             l1_lines: config.l1.lines(),
+            dir_entries: config.directory.entries(),
             shift: (splitmix(seed) % 64) * config.tlb.page_bytes as u64,
         }
     }
@@ -245,6 +262,46 @@ impl Geometry {
         }
     }
 
+    fn coherence_state(&self) -> StreamChannel {
+        // The prime reads consecutive lines sized to fit BOTH the
+        // attacker's private L1 (a clean re-probe costs l1_hit × lines,
+        // with no L2 or NoC trip to add noise) AND one page, so it homes on
+        // a single slice and its directory entries sit in one bounded
+        // directory. The victim's secret is a *write* sweep sized from the
+        // machine's directory geometry — per slice it streams twice the
+        // directory's entry capacity, so its Modified-entry claims flood
+        // every directory set of every slice its pages home on, and the
+        // LRU displacement of the attacker's entries back-invalidates the
+        // primed lines out of the attacker's L1. Under IRONHIDE the
+        // victim's pages — and therefore its directory claims — are
+        // confined to its own cluster's slices, so the attacker's entries
+        // are never displaced and the probe stays flat at L1-hit latency.
+        let lines_per_page = (self.page / self.line).max(1) as usize;
+        let prime_lines = self.l1_lines.min(lines_per_page);
+        let prime = {
+            let mut s = RefStream::new();
+            s.push_run(RefRun::new(
+                ATTACKER_BASE + self.shift,
+                self.line,
+                prime_lines as u32,
+                false,
+            ));
+            s
+        };
+        // Pages whose lines double-cover one slice's directory; the
+        // round-robin page pinning spreads `cores` times that over all
+        // (allowed) slices.
+        let pages_per_slice = (2 * self.dir_entries).div_ceil(lines_per_page).max(1);
+        StreamChannel {
+            name: ChannelKind::CoherenceState.label(),
+            placement: ChannelPlacement::DistinctCores,
+            probe: prime.clone(),
+            prime,
+            protocol: self.oblivious_protocol(),
+            secret: self.page_stream(VICTIM_BASE, self.cores * pages_per_slice, true),
+        }
+    }
+
     fn ipc_buffer_timing(&self) -> StreamChannel {
         // The monitored structure is the shared IPC buffer itself, built
         // through the same ring-buffer descriptor the performance runner
@@ -334,6 +391,40 @@ mod tests {
         let noc = ChannelKind::NocLinkContention.build(&config, 0);
         assert!(noc.secret.iter().all(|r| r.write), "NoC burst must be write-back heavy");
         assert!(noc.probe.iter().all(|r| !r.write));
+
+        let coh = ChannelKind::CoherenceState.build(&config, 0);
+        assert_eq!(
+            coh.prime.len() as u64,
+            (config.l1.lines() as u64).min(lines_per_page),
+            "prime must fit both the L1 and one page"
+        );
+        assert_eq!(coh.prime.len(), coh.probe.len());
+        assert!(coh.secret.iter().all(|r| r.write), "the secret claims Modified dir entries");
+        // Per slice the sweep double-covers the directory's entry capacity
+        // (on the testbench: 2 pages/slice × 8 slices = 16 pages).
+        let pages_per_slice =
+            (2 * config.directory.entries() as u64).div_ceil(lines_per_page).max(1);
+        assert_eq!(
+            coh.secret.len() as u64,
+            config.cores() as u64 * pages_per_slice * lines_per_page
+        );
+        // One page ⇒ one home slice ⇒ one bounded directory holds the prime.
+        let base = coh.prime.iter().map(|r| r.vaddr).min().unwrap();
+        let top = coh.prime.iter().map(|r| r.vaddr).max().unwrap();
+        assert!(top - base < config.tlb.page_bytes as u64, "prime must stay inside one page");
+        assert_eq!(coh.placement, ChannelPlacement::DistinctCores);
+
+        // The sizing premises must hold for *any* machine configuration,
+        // not just the testbench: check the paper machine too.
+        let paper = MachineConfig::paper_default();
+        let coh_paper = ChannelKind::CoherenceState.build(&paper, 0);
+        let paper_lpp = paper.tlb.page_bytes as u64 / paper.l1.line_bytes as u64;
+        let span = coh_paper.prime.iter().map(|r| r.vaddr).max().unwrap()
+            - coh_paper.prime.iter().map(|r| r.vaddr).min().unwrap();
+        assert!(span < paper.tlb.page_bytes as u64, "paper-scale prime must fit one page");
+        assert!(coh_paper.prime.len() <= paper.l1.lines(), "paper-scale prime must fit the L1");
+        let paper_pps = (2 * paper.directory.entries() as u64).div_ceil(paper_lpp);
+        assert_eq!(coh_paper.secret.len() as u64, paper.cores() as u64 * paper_pps * paper_lpp);
 
         let ipc = ChannelKind::IpcBufferTiming.build(&config, 0);
         assert!(ipc.prime.iter().all(|r| r.write), "IPC prime produces the buffer");

@@ -90,9 +90,29 @@ impl LeakageOracle {
         channel: &dyn CovertChannel,
         seed: u64,
     ) -> Result<AttackOutcome, RunError> {
+        self.assess_recycled(arch, channel, seed, &mut None)
+    }
+
+    /// Like [`LeakageOracle::assess`], but runs on the machine in `slot`
+    /// (recycled via `Machine::reset_pristine`; a fresh machine is built
+    /// when the slot is empty) and leaves the machine behind for the next
+    /// assessment — the attack matrix threads its cells through a pool of
+    /// these. Byte-identical to a fresh-machine assessment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if the underlying attack run fails.
+    pub fn assess_recycled(
+        &self,
+        arch: Architecture,
+        channel: &dyn CovertChannel,
+        seed: u64,
+        slot: &mut Option<ironhide_sim::machine::Machine>,
+    ) -> Result<AttackOutcome, RunError> {
         let bits = balanced_bits(seed, self.payload_bits);
         let runner = AttackRunner::new(self.config.clone()).with_warmup(self.warmup_slots);
-        let trace = runner.run(arch, channel, &bits)?;
+        let (trace, machine) = runner.run_recycled(arch, channel, &bits, slot.take())?;
+        *slot = Some(machine);
 
         let (decoded, threshold) = decode(&trace.probe_cycles, self.noise_floor_cycles);
         let bit_errors = bits.iter().zip(&decoded).filter(|(sent, got)| sent != got).count() as u64;
@@ -167,13 +187,14 @@ pub fn binary_entropy(p: f64) -> f64 {
 
 /// Wraps one [`ChannelKind`] as an attack-matrix channel spec: the cell
 /// closure builds the channel from the cell's machine/seed and assesses it
-/// with a [`LeakageOracle`] whose payload length follows the scale label.
+/// with a [`LeakageOracle`] whose payload length follows the scale label,
+/// recycling the cell pool's machine through the assessment.
 pub fn attack_spec(kind: ChannelKind) -> AttackSpec {
-    AttackSpec::new(kind.label(), move |config, arch, scale, seed| {
+    AttackSpec::new(kind.label(), move |config, arch, scale, seed, machine| {
         let channel = kind.build(config, seed);
         LeakageOracle::new(config.clone())
             .with_payload_bits(LeakageOracle::payload_for_scale(scale.label()))
-            .assess(arch, &channel, seed)
+            .assess_recycled(arch, &channel, seed, machine)
     })
 }
 

@@ -59,7 +59,7 @@ struct ScalePoint {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -160,6 +160,22 @@ fn render_report(
     out.push_str(&format!("  \"accesses_per_sec\": {},\n", rate.round() as u64));
     out.push_str(&format!("  \"simulated_cycles_total\": {sim_cycles},\n"));
     out.push_str(&format!("  \"peak_rss_bytes\": {peak_rss},\n"));
+    // Coherence traffic of the measured phase, summed over every cell's
+    // directory counters and the NoC's maintenance-class packets (see the
+    // README's BENCH field documentation): how much MESI work the grid's
+    // sharing actually generated, and therefore how much of the simulated
+    // latency movement is protocol traffic rather than cache behaviour.
+    let dir = |f: fn(&ironhide_cache::DirectoryStats) -> u64| -> u64 {
+        matrix.cells.iter().map(|c| f(&c.report.machine.directory)).sum()
+    };
+    let maintenance: u64 = matrix.cells.iter().map(|c| c.report.machine.noc.maintenance).sum();
+    out.push_str("  \"coherence\": {\n");
+    out.push_str(&format!("    \"directory_lookups\": {},\n", dir(|d| d.lookups)));
+    out.push_str(&format!("    \"invalidations\": {},\n", dir(|d| d.invalidations)));
+    out.push_str(&format!("    \"downgrades\": {},\n", dir(|d| d.downgrades)));
+    out.push_str(&format!("    \"back_invalidations\": {},\n", dir(|d| d.back_invalidations)));
+    out.push_str(&format!("    \"maintenance_packets\": {maintenance}\n"));
+    out.push_str("  },\n");
     out.push_str("  \"scaling\": [\n");
     for (i, p) in scaling.iter().enumerate() {
         out.push_str(&format!(

@@ -1,0 +1,609 @@
+//! The per-home-slice MESI coherence directory.
+//!
+//! The Tile-Gx-class machine this reproduction models keeps the logically
+//! shared L2 physically distributed: every physical line has a *home* slice,
+//! and that home is the serialisation point for coherence. Each home slice
+//! owns a [`Directory`] — a set-associative array of entries tracking, per
+//! line, the MESI state, the set of cores whose private L1 may hold a copy
+//! (a [`NodeSet`] bitset) and the owning core for the exclusive-side
+//! states. The machine consults the home directory on every L1 fill and on
+//! every write-upgrade of a Shared line, and turns the returned
+//! [`DirOutcome`] into cross-core invalidation/downgrade messages charged on
+//! the real mesh routes.
+//!
+//! # The state machine
+//!
+//! A line tracked by a directory entry is in one of three states (absence of
+//! a live entry is the Invalid state):
+//!
+//! * **Exclusive** — exactly one core holds the line, clean. Granted to the
+//!   sole reader of a line. The owner may silently upgrade its copy to
+//!   Modified (an ordinary write hit, no message), which is why every
+//!   foreign access to an Exclusive entry still interrogates the owner.
+//! * **Modified** — exactly one core holds the line and has announced a
+//!   write (a write fill or a write-upgrade). Foreign reads force a
+//!   write-back and a downgrade to Shared; foreign writes force an
+//!   invalidation.
+//! * **Shared** — more than one core may hold the line, all clean. Reads
+//!   join the sharer set silently; a write must invalidate every other
+//!   sharer before it completes (the write-upgrade).
+//!
+//! The sharer set is maintained *conservatively*: clean L1 evictions are
+//! silent (as on real directory hardware), so a recorded sharer may no
+//! longer hold the line. Stale sharers cost useless invalidation messages,
+//! never correctness — an invalidation of an absent line is a no-op at the
+//! cache.
+//!
+//! # Capacity and back-invalidation
+//!
+//! The directory is a real SRAM structure with bounded capacity
+//! ([`DirectoryConfig`]). When a fill needs a slot in a full set, an LRU
+//! victim entry is evicted and every copy it tracked must be
+//! **back-invalidated** — the protocol cannot track a line it has no entry
+//! for. This is exactly the structural property behind
+//! directory-conflict attacks ("attack directories, not caches"): a
+//! process that fills directory sets evicts *other processes'* entries and
+//! thereby knocks their lines out of private L1s they never touched. The
+//! `coherence-state` covert channel in `ironhide-attacks` exploits it, and
+//! IRONHIDE's per-cluster slice (and therefore directory) partitioning is
+//! what closes it.
+//!
+//! # Purging
+//!
+//! [`Directory::purge`] is O(1): entries are generation-tagged like the
+//! cache [`Way`](crate::set_assoc::Way)s, so one generation bump kills every
+//! entry without walking the array. A bare directory purge deliberately does
+//! **not** back-invalidate the copies its entries tracked — it is only
+//! coherent when the caller purges the affected private caches in the same
+//! stalled operation, which is exactly how the two call sites use it: the
+//! MI6 enclave boundary purges every private L1 alongside every directory,
+//! and IRONHIDE's cluster reconfiguration purges the moved slices'
+//! directories after the moved tiles' private state is flushed and the
+//! re-homed pages' lines are scrubbed.
+
+use ironhide_mesh::{NodeId, NodeSet};
+
+use crate::config::CacheConfig;
+
+/// Geometry of one home slice's coherence directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectoryConfig {
+    /// Number of directory sets.
+    pub sets: usize,
+    /// Entries per set.
+    pub ways: usize,
+}
+
+impl DirectoryConfig {
+    /// Creates a directory geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "directory geometry must be non-zero");
+        DirectoryConfig { sets, ways }
+    }
+
+    /// The conventional sizing for a home slice of geometry `l2`: one
+    /// directory entry per slice line (1× coverage) at an associativity of
+    /// `min(l2.ways, 4)`. 1× coverage is deliberately *tight* — it keeps the
+    /// directory an honest bounded structure whose conflict behaviour (and
+    /// conflict channel) exists, as on real parts, instead of an unbounded
+    /// full map.
+    pub fn for_l2_slice(l2: &CacheConfig) -> Self {
+        let ways = l2.ways.clamp(1, 4);
+        DirectoryConfig { sets: (l2.lines() / ways).max(1), ways }
+    }
+
+    /// Total entries the directory can hold.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// The MESI state a directory entry records for its line (Invalid is the
+/// absence of a live entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum MesiState {
+    /// Multiple cores may hold clean copies.
+    #[default]
+    Shared = 0,
+    /// Exactly one core holds a clean copy (and may silently modify it).
+    Exclusive = 1,
+    /// Exactly one core holds the line and has announced a write.
+    Modified = 2,
+}
+
+/// One directory entry: the tracked line, its MESI state, the conservative
+/// sharer set and the owning core for the exclusive-side states.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Line number (physical address / line size) this entry tracks.
+    line: u64,
+    /// Cores whose L1 may hold a copy.
+    sharers: NodeSet,
+    /// LRU stamp.
+    last_use: u64,
+    /// Liveness generation (see [`Directory::purge`]).
+    generation: u32,
+    /// Owning core, meaningful in the Exclusive/Modified states.
+    owner: u16,
+    /// MESI state of the line.
+    state: MesiState,
+    /// Whether the entry has ever been filled (dead entries are reused
+    /// before live victims are evicted).
+    valid: bool,
+}
+
+/// Counters of one directory's activity (aggregated machine-wide into
+/// `MachineStats` by the simulator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Directory transactions (one per L1 fill or write-upgrade at this
+    /// home).
+    pub lookups: u64,
+    /// Transactions that found a live entry for their line.
+    pub hits: u64,
+    /// Entries allocated (one per tracked-line fill).
+    pub allocations: u64,
+    /// Foreign copies invalidated on behalf of writers.
+    pub invalidations: u64,
+    /// Foreign owners downgraded to Shared on behalf of readers.
+    pub downgrades: u64,
+    /// Copies back-invalidated because their entry was evicted for capacity.
+    pub back_invalidations: u64,
+    /// O(1) whole-directory purges performed.
+    pub purges: u64,
+    /// Live entries dropped by purges and explicit line drops.
+    pub flushed_entries: u64,
+}
+
+impl DirectoryStats {
+    /// Merges another block into this one.
+    pub fn merge(&mut self, other: &DirectoryStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.allocations += other.allocations;
+        self.invalidations += other.invalidations;
+        self.downgrades += other.downgrades;
+        self.back_invalidations += other.back_invalidations;
+        self.purges += other.purges;
+        self.flushed_entries += other.flushed_entries;
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = DirectoryStats::default();
+    }
+}
+
+/// A directory entry displaced for capacity: its line and the copies that
+/// must be back-invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedEntry {
+    /// Line number the evicted entry tracked.
+    pub line: u64,
+    /// Cores whose copy of that line must be back-invalidated.
+    pub sharers: NodeSet,
+}
+
+/// What the machine must do to complete one directory transaction: the
+/// foreign copies to invalidate or downgrade (each costs a maintenance
+/// round trip on the requester's critical path), an optional capacity
+/// eviction (back-invalidations, charged off the critical path like
+/// ordinary victim write-backs), and the Shared bit the requester's own L1
+/// line ends with.
+#[derive(Debug, Clone, Copy)]
+pub struct DirOutcome {
+    /// Foreign cores whose copy must be invalidated before the access
+    /// completes (writes only).
+    pub invalidate: NodeSet,
+    /// Foreign cores whose copy must be downgraded Modified/Exclusive →
+    /// Shared before the access completes (reads of owned lines).
+    pub downgrade: NodeSet,
+    /// Live entry displaced to make room for this transaction's line.
+    pub evicted: Option<EvictedEntry>,
+    /// Whether the requester's L1 line ends in the Shared state.
+    pub shared: bool,
+}
+
+/// Allocates `n` default (all-dead) entries from zeroed memory, the same
+/// lazy-zero-page trick `zeroed_ways` uses for the cache way arrays: a
+/// paper-scale machine carries ~16 MB of directory entries across its 64
+/// slices, and sets that are never filled should never be faulted in.
+fn zeroed_entries(n: usize) -> Vec<DirEntry> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<DirEntry>(n).expect("entry array layout fits");
+    // SAFETY: `DirEntry` is plain old data — bools, unsigned integers, a
+    // `NodeSet` of four `u64` words and the `repr(u8)` `MesiState` whose
+    // zero discriminant is the valid `Shared` variant — so the all-zero
+    // byte pattern is exactly `DirEntry::default()` and `n` zeroed entries
+    // are fully initialised. The pointer comes from the global allocator
+    // with the layout `Vec` expects for capacity `n`, making
+    // `Vec::from_raw_parts` sound; the `Vec` owns and frees it through the
+    // same allocator.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut DirEntry;
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, n, n)
+    }
+}
+
+/// The coherence directory of one home slice (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Directory {
+    config: DirectoryConfig,
+    /// All entries of all sets, contiguous: way `w` of set `s` lives at
+    /// `s * config.ways + w`.
+    entries: Vec<DirEntry>,
+    /// LRU clock.
+    tick: u64,
+    /// Current liveness generation (entries of older generations are dead).
+    generation: u32,
+    /// Live entries, maintained incrementally so purges and occupancy
+    /// queries never walk the array.
+    live_count: usize,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new(config: DirectoryConfig) -> Self {
+        Directory {
+            entries: zeroed_entries(config.entries()),
+            config,
+            tick: 0,
+            generation: 0,
+            live_count: 0,
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// The directory geometry.
+    pub fn config(&self) -> &DirectoryConfig {
+        &self.config
+    }
+
+    /// Activity counters accumulated so far.
+    pub fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    /// Resets the counters without touching directory contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Number of live entries (O(1), maintained incrementally).
+    pub fn resident_entries(&self) -> usize {
+        self.live_count
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> (usize, usize) {
+        let base = (line % self.config.sets as u64) as usize * self.config.ways;
+        (base, base + self.config.ways)
+    }
+
+    #[inline]
+    fn live(&self, e: &DirEntry) -> bool {
+        e.valid && e.generation == self.generation
+    }
+
+    /// Performs one directory transaction for `core`'s access to `line`
+    /// (`write` selects the invalidating transitions), updating the entry
+    /// and returning the copy-set actions the machine must charge. Called
+    /// on every L1 fill and on every write-upgrade of a Shared L1 line.
+    pub fn access(&mut self, line: u64, core: NodeId, write: bool) -> DirOutcome {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let tick = self.tick;
+        let generation = self.generation;
+        let (lo, hi) = self.set_range(line);
+        let mut outcome = DirOutcome {
+            invalidate: NodeSet::default(),
+            downgrade: NodeSet::default(),
+            evicted: None,
+            shared: false,
+        };
+        if let Some(e) = self.entries[lo..hi]
+            .iter_mut()
+            .find(|e| e.valid && e.generation == generation && e.line == line)
+        {
+            self.stats.hits += 1;
+            e.last_use = tick;
+            if write {
+                // Write (fill or upgrade): every other tracked copy dies
+                // before the write completes; the line is Modified, owned
+                // by the requester.
+                let mut others = e.sharers;
+                others.remove(core);
+                outcome.invalidate = others;
+                e.sharers.clear();
+                e.sharers.insert(core);
+                e.owner = core.0 as u16;
+                e.state = MesiState::Modified;
+                self.stats.invalidations += others.len() as u64;
+            } else {
+                // Read: a foreign owner (Exclusive may hide a silent
+                // Modified) is interrogated and downgraded; the requester
+                // joins the sharer set.
+                let owner = NodeId(e.owner as usize);
+                if matches!(e.state, MesiState::Exclusive | MesiState::Modified) && owner != core {
+                    outcome.downgrade.insert(owner);
+                    self.stats.downgrades += 1;
+                }
+                e.sharers.insert(core);
+                if e.sharers.len() == 1 {
+                    // The requester is the only tracked copy: (re-)grant
+                    // exclusivity. This also covers a core re-fetching a
+                    // line it silently evicted while owning it.
+                    e.owner = core.0 as u16;
+                    if e.state == MesiState::Shared {
+                        e.state = MesiState::Exclusive;
+                    }
+                } else {
+                    e.state = MesiState::Shared;
+                    outcome.shared = true;
+                }
+            }
+            return outcome;
+        }
+
+        // Allocate: dead entry first, else the LRU victim of the set — whose
+        // tracked copies must all be back-invalidated, because a line
+        // without a directory entry cannot be kept coherent.
+        let set = &self.entries[lo..hi];
+        let victim_idx = match set.iter().position(|e| !(e.valid && e.generation == generation)) {
+            Some(i) => i,
+            None => {
+                let mut best = 0;
+                for (i, e) in set.iter().enumerate() {
+                    if e.last_use < set[best].last_use {
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        let victim = self.entries[lo + victim_idx];
+        if victim.valid && victim.generation == generation {
+            outcome.evicted = Some(EvictedEntry { line: victim.line, sharers: victim.sharers });
+            self.stats.back_invalidations += victim.sharers.len() as u64;
+        } else {
+            self.live_count += 1;
+        }
+        self.stats.allocations += 1;
+        let mut sharers = NodeSet::default();
+        sharers.insert(core);
+        self.entries[lo + victim_idx] = DirEntry {
+            line,
+            sharers,
+            last_use: tick,
+            generation,
+            owner: core.0 as u16,
+            state: if write { MesiState::Modified } else { MesiState::Exclusive },
+            valid: true,
+        };
+        outcome
+    }
+
+    /// Drops the live entry tracking `line`, if any, without generating any
+    /// back-invalidation (the caller is responsible for scrubbing the
+    /// tracked copies — used when a page is re-homed away from this slice
+    /// during a stalled reconfiguration). Returns whether an entry was
+    /// dropped.
+    pub fn drop_line(&mut self, line: u64) -> bool {
+        let generation = self.generation;
+        let (lo, hi) = self.set_range(line);
+        match self.entries[lo..hi]
+            .iter_mut()
+            .find(|e| e.valid && e.generation == generation && e.line == line)
+        {
+            Some(e) => {
+                e.valid = false;
+                self.live_count -= 1;
+                self.stats.flushed_entries += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The live entry for `line`, as `(state, sharers, owner)`, without
+    /// disturbing any state. Observability for invariant checks and tests.
+    pub fn probe(&self, line: u64) -> Option<(MesiState, NodeSet, NodeId)> {
+        let (lo, hi) = self.set_range(line);
+        self.entries[lo..hi]
+            .iter()
+            .find(|e| self.live(e) && e.line == line)
+            .map(|e| (e.state, e.sharers, NodeId(e.owner as usize)))
+    }
+
+    /// Visits every live entry as `(line, state, sharers, owner)`, in array
+    /// order. Observability for invariant checks and tests.
+    pub fn for_each_live(&self, mut f: impl FnMut(u64, MesiState, NodeSet, NodeId)) {
+        for e in &self.entries {
+            if self.live(e) {
+                f(e.line, e.state, e.sharers, NodeId(e.owner as usize));
+            }
+        }
+    }
+
+    /// Invalidates every entry in O(1) by starting a new liveness
+    /// generation, returning the number of live entries dropped. See the
+    /// module docs for when a bare directory purge is coherent.
+    pub fn purge(&mut self) -> u64 {
+        let dropped = self.live_count as u64;
+        self.bump_generation();
+        self.live_count = 0;
+        self.stats.purges += 1;
+        self.stats.flushed_entries += dropped;
+        dropped
+    }
+
+    /// Starts a new liveness generation, falling back to a real clear on
+    /// the (practically unreachable) u32 wrap so stale generations can
+    /// never alias.
+    fn bump_generation(&mut self) {
+        if self.generation == u32::MAX {
+            self.entries.fill(DirEntry::default());
+            self.generation = 0;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    /// Resets the directory to its just-constructed state — empty, counters
+    /// zeroed, LRU clock at zero — in O(1), so recycled machines behave
+    /// byte-identically to fresh ones.
+    pub fn reset_pristine(&mut self) {
+        self.bump_generation();
+        self.live_count = 0;
+        self.tick = 0;
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        // 4 sets × 2 ways = 8 entries.
+        Directory::new(DirectoryConfig::new(4, 2))
+    }
+
+    #[test]
+    fn sole_reader_gets_exclusive_then_sharers_downgrade_it() {
+        let mut d = dir();
+        let out = d.access(7, NodeId(0), false);
+        assert!(out.invalidate.is_empty() && out.downgrade.is_empty());
+        assert!(!out.shared);
+        assert_eq!(d.probe(7).unwrap().0, MesiState::Exclusive);
+
+        // A second reader interrogates the owner and both end Shared.
+        let out = d.access(7, NodeId(3), false);
+        assert!(out.downgrade.contains(NodeId(0)));
+        assert_eq!(out.downgrade.len(), 1);
+        assert!(out.shared);
+        let (state, sharers, _) = d.probe(7).unwrap();
+        assert_eq!(state, MesiState::Shared);
+        assert!(sharers.contains(NodeId(0)) && sharers.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn writer_invalidates_every_other_sharer() {
+        let mut d = dir();
+        for core in [0usize, 1, 2] {
+            d.access(11, NodeId(core), false);
+        }
+        let out = d.access(11, NodeId(2), true);
+        assert!(out.invalidate.contains(NodeId(0)) && out.invalidate.contains(NodeId(1)));
+        assert!(!out.invalidate.contains(NodeId(2)), "the writer never invalidates itself");
+        let (state, sharers, owner) = d.probe(11).unwrap();
+        assert_eq!(state, MesiState::Modified);
+        assert_eq!(owner, NodeId(2));
+        assert_eq!(sharers.len(), 1);
+        assert_eq!(d.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn modified_owner_is_downgraded_by_a_remote_read() {
+        let mut d = dir();
+        d.access(5, NodeId(1), true);
+        assert_eq!(d.probe(5).unwrap().0, MesiState::Modified);
+        let out = d.access(5, NodeId(2), false);
+        assert!(out.downgrade.contains(NodeId(1)));
+        assert!(out.shared);
+        assert_eq!(d.probe(5).unwrap().0, MesiState::Shared);
+    }
+
+    #[test]
+    fn capacity_eviction_reports_back_invalidations() {
+        let mut d = dir();
+        // Lines 0, 4, 8 map to set 0 of the 4-set directory; 2-way ⇒ the
+        // third allocation evicts the LRU entry (line 0) with its sharers.
+        d.access(0, NodeId(0), false);
+        d.access(0, NodeId(1), false);
+        d.access(4, NodeId(2), false);
+        let out = d.access(8, NodeId(3), true);
+        let ev = out.evicted.expect("full set must evict");
+        assert_eq!(ev.line, 0);
+        assert_eq!(ev.sharers.len(), 2);
+        assert_eq!(d.stats().back_invalidations, 2);
+        assert!(d.probe(0).is_none());
+        assert!(d.probe(4).is_some());
+    }
+
+    #[test]
+    fn purge_is_generational_and_counts() {
+        let mut d = dir();
+        for line in 0..6u64 {
+            d.access(line, NodeId(0), line % 2 == 0);
+        }
+        assert_eq!(d.resident_entries(), 6);
+        assert_eq!(d.purge(), 6);
+        assert_eq!(d.resident_entries(), 0);
+        assert!(d.probe(0).is_none());
+        assert_eq!(d.stats().purges, 1);
+        assert_eq!(d.stats().flushed_entries, 6);
+        // The array is reusable: a fresh transaction allocates again.
+        assert!(d.access(0, NodeId(1), false).evicted.is_none());
+        assert_eq!(d.resident_entries(), 1);
+    }
+
+    #[test]
+    fn drop_line_removes_without_eviction() {
+        let mut d = dir();
+        d.access(3, NodeId(0), false);
+        assert!(d.drop_line(3));
+        assert!(!d.drop_line(3));
+        assert!(d.probe(3).is_none());
+        assert_eq!(d.resident_entries(), 0);
+    }
+
+    #[test]
+    fn reset_pristine_matches_fresh() {
+        let mut d = dir();
+        for line in 0..32u64 {
+            d.access(line, NodeId(line as usize % 4), true);
+        }
+        d.reset_pristine();
+        let mut fresh = dir();
+        // Same transaction on both produces the same outcome and stats.
+        let a = d.access(9, NodeId(1), false);
+        let b = fresh.access(9, NodeId(1), false);
+        assert_eq!(a.shared, b.shared);
+        assert_eq!(a.evicted, b.evicted);
+        assert_eq!(d.stats(), fresh.stats());
+        assert_eq!(d.resident_entries(), fresh.resident_entries());
+    }
+
+    #[test]
+    fn for_l2_slice_sizing() {
+        let cfg = DirectoryConfig::for_l2_slice(&CacheConfig::new(4096, 4, 64));
+        assert_eq!(cfg.entries(), 64);
+        assert_eq!(cfg.ways, 4);
+        assert_eq!(cfg.sets, 16);
+        let paper = DirectoryConfig::for_l2_slice(&CacheConfig::paper_l2_slice());
+        assert_eq!(paper.entries(), CacheConfig::paper_l2_slice().lines());
+    }
+
+    #[test]
+    fn zeroed_entries_are_default() {
+        let d = Directory::new(DirectoryConfig::new(2, 2));
+        assert_eq!(d.resident_entries(), 0);
+        for e in &d.entries {
+            assert!(!e.valid);
+            assert_eq!(e.state, MesiState::Shared);
+            assert!(e.sharers.is_empty());
+        }
+    }
+}

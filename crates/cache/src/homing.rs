@@ -179,22 +179,45 @@ impl HomeMap {
     /// number of pages moved. This is the bulk page-migration step of
     /// IRONHIDE's cluster reconfiguration.
     pub fn rehome_all(&mut self) -> Result<u64, HomingError> {
+        let mut log = Vec::new();
+        self.rehome_all_logged(&mut log)
+    }
+
+    /// Like [`HomeMap::rehome_all`], but also appends each moved page and
+    /// the slice it was homed on *before* the move to `log`. The machine
+    /// uses the log to scrub the moved pages' cache lines and directory
+    /// entries — on the prototype the unmap/set-home/remap sequence flushes
+    /// the page from every cache, so a re-homed page must not leave copies
+    /// (or coherence metadata) behind at its old home.
+    pub fn rehome_all_logged(
+        &mut self,
+        log: &mut Vec<(PageId, SliceId)>,
+    ) -> Result<u64, HomingError> {
         if self.allowed.is_empty() {
             return Err(HomingError {
                 page: PageId(0),
                 reason: "cannot re-home pages: no slices allowed",
             });
         }
-        let stale: Vec<PageId> =
-            self.pins.iter().filter(|(_, s)| !self.allowed.contains(s)).map(|(p, _)| *p).collect();
+        let start = log.len();
+        log.extend(
+            self.pins.iter().filter(|(_, s)| !self.allowed.contains(s)).map(|(p, s)| (*p, *s)),
+        );
         let mut moved = 0;
-        for (i, page) in stale.iter().enumerate() {
+        for (i, (page, _)) in log[start..].iter().enumerate() {
             let target = self.allowed[i % self.allowed.len()];
             self.pins.insert(*page, target);
             self.rehomes += 1;
             moved += 1;
         }
         Ok(moved)
+    }
+
+    /// The slice `page` is explicitly pinned to, if any (`None` for pages
+    /// that would fall through to the policy spread). Lets the machine
+    /// detect when a pin *moves* an already-used page's home.
+    pub fn pinned_home(&self, page: PageId) -> Option<SliceId> {
+        self.pins.get(&page).copied()
     }
 
     /// Number of explicitly pinned pages.

@@ -20,6 +20,13 @@
 //!   the secure and insecure processes (MI6) versus re-balancing them once per
 //!   application invocation (IRONHIDE) changes each process's effective L2
 //!   capacity, which is what Figure 7(b) measures.
+//! * **Coherence** — every home slice carries a bounded MESI [`Directory`]
+//!   tracking which cores hold each line, so cross-core invalidations,
+//!   downgrades and directory-conflict back-invalidations are functional
+//!   state the machine charges on real mesh routes (and that the
+//!   `coherence-state` covert channel attacks). Directory purges are O(1)
+//!   generation bumps, wired into the MI6 boundary and IRONHIDE's
+//!   reconfiguration.
 //!
 //! # Example
 //!
@@ -38,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod directory;
 pub mod homing;
 pub mod replacement;
 pub mod set_assoc;
@@ -45,6 +53,9 @@ pub mod stats;
 pub mod tlb;
 
 pub use config::{CacheConfig, TlbConfig};
+pub use directory::{
+    DirOutcome, Directory, DirectoryConfig, DirectoryStats, EvictedEntry, MesiState,
+};
 pub use homing::{HomeMap, HomePolicy, PageId, SliceId};
 pub use replacement::ReplacementPolicy;
 pub use set_assoc::{AccessOutcome, Evicted, SetAssocCache, Way};

@@ -58,6 +58,15 @@ impl AccessOutcome {
 pub struct Way {
     pub(crate) valid: bool,
     pub(crate) dirty: bool,
+    /// MESI Shared bit, maintained by the coherence controller of the level
+    /// this cache models (the machine's directory layer for private L1s):
+    /// `true` means other caches may hold the line, so a write hit must
+    /// perform a directory upgrade before it may complete. Together with
+    /// `valid` and `dirty` this encodes the full MESI state of the line:
+    /// invalid (`!valid`), Shared (`shared`), Exclusive (`!shared && !dirty`)
+    /// and Modified (`!shared && dirty`). Non-coherent uses of the cache
+    /// (L2 slices, the TLB model) simply leave it `false`.
+    pub(crate) shared: bool,
     /// Generation the way was filled in; a way is *live* only when its
     /// generation matches the cache's. Bumping the cache generation
     /// therefore invalidates every line in O(1) — the purge operation —
@@ -95,10 +104,15 @@ impl Way {
         self.filled_at
     }
 
+    /// Whether the line is in the MESI Shared state (see the field docs).
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
     /// A valid way with the given recency/fill stamps (for policy tests).
     #[cfg(test)]
     pub(crate) fn stamped(last_use: u64, filled_at: u64) -> Self {
-        Way { valid: true, dirty: false, generation: 0, tag: 0, last_use, filled_at }
+        Way { valid: true, dirty: false, shared: false, generation: 0, tag: 0, last_use, filled_at }
     }
 }
 
@@ -252,17 +266,28 @@ impl SetAssocCache {
 
     /// Looks up `addr` without modifying any state (no LRU update, no stats).
     pub fn probe(&self, addr: u64) -> bool {
-        let (index, tag) = self.index_and_tag(addr);
-        self.set(index).iter().any(|w| self.live(w) && w.tag == tag)
+        self.find_way(addr).is_some()
     }
 
     /// Performs a read (`write == false`) or write (`write == true`) access to
     /// the line containing `addr`, filling it on a miss.
     pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.access_coherent(addr, write).0
+    }
+
+    /// Like [`SetAssocCache::access`], but also reports the coherence
+    /// pre-state the machine's directory layer needs: whether the access
+    /// **hit** a line that was in the MESI Shared state. A write hit on a
+    /// Shared line is precisely the case that must perform a directory
+    /// write-upgrade (invalidate the other sharers) before the write is
+    /// architecturally complete; all other hits and every miss return
+    /// `false` (misses negotiate their fill state with the directory
+    /// afterwards, via [`SetAssocCache::set_line_shared`]).
+    pub fn access_coherent(&mut self, addr: u64, write: bool) -> (AccessOutcome, bool) {
         self.tick += 1;
         self.stats.accesses += 1;
         let (index, tag) = self.index_and_tag(addr);
-        let outcome = self.access_at(index, tag, write);
+        let (outcome, was_shared) = self.access_at(index, tag, write);
         match outcome {
             AccessOutcome::Hit => self.stats.hits += 1,
             AccessOutcome::Miss { evicted } => {
@@ -275,15 +300,16 @@ impl SetAssocCache {
                 }
             }
         }
-        outcome
+        (outcome, was_shared)
     }
 
-    /// The access algorithm shared by [`SetAssocCache::access`] and the bulk
-    /// run path: lookup/fill at a precomputed `(index, tag)`, updating way
-    /// metadata and the resident-line counters but **not** the access/hit/miss
-    /// statistics (callers batch those).
+    /// The access algorithm behind [`SetAssocCache::access_coherent`]:
+    /// lookup/fill at a precomputed `(index, tag)`, updating way metadata
+    /// and the resident-line counters but **not** the access/hit/miss
+    /// statistics (the caller accounts those). The second return is the hit
+    /// line's pre-access Shared bit (`false` for misses).
     #[inline]
-    fn access_at(&mut self, index: usize, tag: u64, write: bool) -> AccessOutcome {
+    fn access_at(&mut self, index: usize, tag: u64, write: bool) -> (AccessOutcome, bool) {
         let assoc = self.config.ways;
         let policy = self.policy;
         let tick = self.tick;
@@ -293,12 +319,13 @@ impl SetAssocCache {
         if let Some(way) =
             set.iter_mut().find(|w| w.valid && w.generation == generation && w.tag == tag)
         {
+            let was_shared = way.shared;
             way.last_use = tick;
             if write && !way.dirty {
                 way.dirty = true;
                 self.dirty_count += 1;
             }
-            return AccessOutcome::Hit;
+            return (AccessOutcome::Hit, was_shared);
         }
         // Fill: find a dead way, otherwise evict a victim chosen directly
         // from the way metadata (no temporary stamp vectors).
@@ -319,58 +346,19 @@ impl SetAssocCache {
         if write {
             self.dirty_count += 1;
         }
-        self.ways[base + victim_idx] =
-            Way { valid: true, dirty: write, generation, tag, last_use: tick, filled_at: tick };
-        AccessOutcome::Miss { evicted }
-    }
-
-    /// Performs `len` accesses to the lines `base, base + stride,
-    /// base + 2*stride, ...` (`stride` is interpreted with wrapping
-    /// arithmetic, so two's-complement negative strides walk downwards),
-    /// invoking `on_access(addr, outcome)` for each in order.
-    ///
-    /// Byte-identical to calling [`SetAssocCache::access`] once per address:
-    /// the line number is advanced arithmetically and the per-access
-    /// statistics are accumulated in registers and flushed once, but every
-    /// way-metadata update (recency stamps, fills, victim selection) happens
-    /// exactly as in the scalar path.
-    pub fn fill_run(
-        &mut self,
-        base: u64,
-        stride: u64,
-        len: u32,
-        write: bool,
-        mut on_access: impl FnMut(u64, AccessOutcome),
-    ) {
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        let mut evictions = 0u64;
-        let mut writebacks = 0u64;
-        let mut addr = base;
-        for _ in 0..len {
-            self.tick += 1;
-            let (index, tag) = self.index_and_tag(addr);
-            let outcome = self.access_at(index, tag, write);
-            match outcome {
-                AccessOutcome::Hit => hits += 1,
-                AccessOutcome::Miss { evicted } => {
-                    misses += 1;
-                    if let Some(ev) = evicted {
-                        evictions += 1;
-                        if ev.dirty {
-                            writebacks += 1;
-                        }
-                    }
-                }
-            }
-            on_access(addr, outcome);
-            addr = addr.wrapping_add(stride);
-        }
-        self.stats.accesses += len as u64;
-        self.stats.hits += hits;
-        self.stats.misses += misses;
-        self.stats.evictions += evictions;
-        self.stats.writebacks += writebacks;
+        // Fills start in the exclusive-side states (Modified for writes,
+        // Exclusive for reads); the directory layer flips the line to Shared
+        // afterwards when other caches hold it.
+        self.ways[base + victim_idx] = Way {
+            valid: true,
+            dirty: write,
+            shared: false,
+            generation,
+            tag,
+            last_use: tick,
+            filled_at: tick,
+        };
+        (AccessOutcome::Miss { evicted }, false)
     }
 
     /// Performs `count` accesses to the single line containing `addr` — the
@@ -378,14 +366,17 @@ impl SetAssocCache {
     /// runs the full lookup/fill; the remaining `count - 1` are guaranteed
     /// hits on the same way, so they collapse into one recency/statistics
     /// update. Byte-identical to `count` scalar [`SetAssocCache::access`]
-    /// calls to addresses within the line.
+    /// calls to addresses within the line. The second return is the first
+    /// access's pre-state Shared bit (see
+    /// [`SetAssocCache::access_coherent`]); the collapsed extras can never
+    /// need an upgrade because the first access already owns the line.
     ///
     /// # Panics
     ///
     /// Panics if `count` is zero.
-    pub fn access_line_run(&mut self, addr: u64, count: u64, write: bool) -> AccessOutcome {
+    pub fn access_line_run(&mut self, addr: u64, count: u64, write: bool) -> (AccessOutcome, bool) {
         assert!(count > 0, "a line run must contain at least one access");
-        let first = self.access(addr, write);
+        let first = self.access_coherent(addr, write);
         if count > 1 {
             let extra = count - 1;
             self.tick += extra;
@@ -407,29 +398,32 @@ impl SetAssocCache {
         first
     }
 
-    /// Counts how many of the `len` lines `base, base + stride, ...` are
-    /// resident, without modifying any state (the bulk form of
-    /// [`SetAssocCache::probe`]).
-    pub fn probe_run(&self, base: u64, stride: u64, len: u32) -> u32 {
-        let mut resident = 0;
-        let mut addr = base;
-        for _ in 0..len {
-            if self.probe(addr) {
-                resident += 1;
-            }
-            addr = addr.wrapping_add(stride);
-        }
-        resident
+    /// The live way holding the line containing `addr`, if resident — the
+    /// one lookup (`index_and_tag` → set slice → liveness + tag match) every
+    /// line-granular operation shares, so the liveness predicate lives in
+    /// exactly one place.
+    #[inline]
+    fn find_way_mut(&mut self, addr: u64) -> Option<&mut Way> {
+        let (index, tag) = self.index_and_tag(addr);
+        let generation = self.generation;
+        let base = index * self.config.ways;
+        self.ways[base..base + self.config.ways]
+            .iter_mut()
+            .find(|w| w.valid && w.generation == generation && w.tag == tag)
+    }
+
+    /// Read-only form of [`SetAssocCache::find_way_mut`].
+    #[inline]
+    fn find_way(&self, addr: u64) -> Option<&Way> {
+        let (index, tag) = self.index_and_tag(addr);
+        self.set(index).iter().find(|w| self.live(w) && w.tag == tag)
     }
 
     /// Invalidates the line containing `addr` if present, returning it.
     pub fn invalidate(&mut self, addr: u64) -> Option<Evicted> {
         let (index, tag) = self.index_and_tag(addr);
         let line_addr = self.line_addr(index, tag);
-        let generation = self.generation;
-        let base = index * self.config.ways;
-        let set = &mut self.ways[base..base + self.config.ways];
-        let way = set.iter_mut().find(|w| w.valid && w.generation == generation && w.tag == tag)?;
+        let way = self.find_way_mut(addr)?;
         let dirty = way.dirty;
         way.valid = false;
         way.dirty = false;
@@ -442,6 +436,62 @@ impl SetAssocCache {
             self.stats.writebacks += 1;
         }
         Some(Evicted { addr: line_addr, dirty })
+    }
+
+    // ----- coherence hooks (driven by the machine's directory layer) --------
+
+    /// Sets the MESI Shared bit of the resident line containing `addr`,
+    /// returning whether the line was present. Called by the directory layer
+    /// after a fill, once the sharer census is known; it never changes
+    /// dirtiness, recency or any statistic.
+    pub fn set_line_shared(&mut self, addr: u64, shared: bool) -> bool {
+        match self.find_way_mut(addr) {
+            Some(way) => {
+                way.shared = shared;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Downgrades the resident line containing `addr` from an owning state
+    /// (Modified/Exclusive) to Shared on behalf of a remote reader: the line
+    /// stays resident, its Shared bit is set and its dirty data is
+    /// considered written back (dirty cleared). Returns `Some(was_dirty)`
+    /// when the line was present — the caller charges a write-back packet
+    /// exactly when `was_dirty` — or `None` when the copy is already gone
+    /// (a silent eviction the directory has not observed; the downgrade
+    /// message is then a no-op at this cache).
+    pub fn downgrade_line(&mut self, addr: u64) -> Option<bool> {
+        let way = self.find_way_mut(addr)?;
+        let was_dirty = way.dirty;
+        way.dirty = false;
+        way.shared = true;
+        if was_dirty {
+            self.dirty_count -= 1;
+            self.stats.writebacks += 1;
+        }
+        Some(was_dirty)
+    }
+
+    /// The MESI-relevant flags `(dirty, shared)` of the resident line
+    /// containing `addr`, without disturbing any state (`None` when the line
+    /// is not resident). Observability for invariant checks and tests.
+    pub fn line_flags(&self, addr: u64) -> Option<(bool, bool)> {
+        self.find_way(addr).map(|w| (w.dirty, w.shared))
+    }
+
+    /// Visits every resident line as `(line_addr, dirty, shared)`, in array
+    /// order, without disturbing any state. Observability for coherence
+    /// invariant checks and tests.
+    pub fn for_each_resident(&self, mut f: impl FnMut(u64, bool, bool)) {
+        for index in 0..self.config.sets() {
+            for w in self.set(index) {
+                if self.live(w) {
+                    f(self.line_addr(index, w.tag), w.dirty, w.shared);
+                }
+            }
+        }
     }
 
     /// Flushes and invalidates the whole cache (the MI6 purge operation),
@@ -651,38 +701,14 @@ mod tests {
     }
 
     #[test]
-    fn fill_run_matches_scalar_accesses() {
-        for (stride, len) in [(64u64, 40u32), (128, 24), (0u64.wrapping_sub(64), 16), (96, 20)] {
-            let mut bulk = small();
-            let mut scalar = small();
-            let base = 0x800u64;
-            let mut bulk_events = Vec::new();
-            bulk.fill_run(base, stride, len, true, |addr, out| bulk_events.push((addr, out)));
-            let mut scalar_events = Vec::new();
-            let mut addr = base;
-            for _ in 0..len {
-                scalar_events.push((addr, scalar.access(addr, true)));
-                addr = addr.wrapping_add(stride);
-            }
-            assert_eq!(bulk_events, scalar_events, "stride {stride:#x}");
-            assert_eq!(bulk.stats().accesses, scalar.stats().accesses);
-            assert_eq!(bulk.stats().hits, scalar.stats().hits);
-            assert_eq!(bulk.stats().misses, scalar.stats().misses);
-            assert_eq!(bulk.stats().evictions, scalar.stats().evictions);
-            assert_eq!(bulk.stats().writebacks, scalar.stats().writebacks);
-            assert_eq!(bulk.resident_lines(), scalar.resident_lines());
-            assert_eq!(bulk.dirty_lines(), scalar.dirty_lines());
-        }
-    }
-
-    #[test]
     fn line_run_collapses_same_line_touches() {
         let mut bulk = small();
         let mut scalar = small();
         bulk.access(0x100, false);
         scalar.access(0x100, false);
-        let out = bulk.access_line_run(0x40, 5, true);
+        let (out, was_shared) = bulk.access_line_run(0x40, 5, true);
         assert!(out.is_miss());
+        assert!(!was_shared, "a miss cannot report a Shared-state hit");
         let mut last = scalar.access(0x40, true);
         for i in 1..5u64 {
             last = scalar.access(0x40 + i * 8, true);
@@ -698,17 +724,6 @@ mod tests {
         let ev_b = bulk.access(0x240, false).evicted().unwrap();
         let ev_s = scalar.access(0x240, false).evicted().unwrap();
         assert_eq!(ev_b, ev_s);
-    }
-
-    #[test]
-    fn probe_run_counts_without_disturbing() {
-        let mut c = small();
-        for i in 0..4u64 {
-            c.access(i * 64, false);
-        }
-        let before = *c.stats();
-        assert_eq!(c.probe_run(0, 64, 8), 4);
-        assert_eq!(c.stats().accesses, before.accesses);
     }
 
     #[test]

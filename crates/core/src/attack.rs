@@ -253,7 +253,37 @@ impl AttackRunner {
         channel: &dyn CovertChannel,
         bits: &[bool],
     ) -> Result<AttackTrace, RunError> {
-        let mut machine = Machine::new(self.config.clone());
+        self.run_recycled(arch, channel, bits, None).map(|(trace, _)| trace)
+    }
+
+    /// Like [`AttackRunner::run`], but recycles `machine` (from a prior run
+    /// on the **same configuration**) instead of allocating a fresh one, and
+    /// hands the run's machine back for the next caller — the same
+    /// cell-pool recycling the performance sweep uses. Results are
+    /// byte-identical to a fresh-machine run: [`Machine::reset_pristine`]
+    /// also resets every home slice's coherence directory, so no sharer /
+    /// owner metadata from the previous cell's victim survives into the
+    /// next attack (covered by `recycled_machine_attack_is_byte_identical`
+    /// below).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation fails or the victim
+    /// cannot be attested (the recycled machine is lost in that case).
+    pub fn run_recycled(
+        &self,
+        arch: Architecture,
+        channel: &dyn CovertChannel,
+        bits: &[bool],
+        recycled: Option<Machine>,
+    ) -> Result<(AttackTrace, Machine), RunError> {
+        let mut machine = match recycled {
+            Some(mut m) => {
+                m.reset_pristine();
+                m
+            }
+            None => Machine::new(self.config.clone()),
+        };
         let attacker = machine.create_process("attacker", SecurityClass::Insecure);
         let victim = machine.create_process("victim", SecurityClass::Secure);
 
@@ -311,15 +341,18 @@ impl AttackRunner {
         }
 
         let isolation = IsolationAuditor::new().audit(&state.machine, arch, state.spec);
-        Ok(AttackTrace {
-            probe_cycles,
-            payload_cycles,
-            clock_ghz: self.config.clock_ghz,
-            attacker_core,
-            victim_core,
-            secure_cores,
-            isolation,
-        })
+        Ok((
+            AttackTrace {
+                probe_cycles,
+                payload_cycles,
+                clock_ghz: self.config.clock_ghz,
+                attacker_core,
+                victim_core,
+                secure_cores,
+                isolation,
+            },
+            state.machine,
+        ))
     }
 
     /// The victim's core under the temporally shared architectures, honouring
@@ -516,6 +549,28 @@ mod tests {
             closed.probe_cycles.iter().max().unwrap() - closed.probe_cycles.iter().min().unwrap();
         assert!(spread <= 2, "IRONHIDE probes must be bit-independent (spread {spread})");
         assert_ne!(closed.attacker_core, closed.victim_core);
+    }
+
+    /// Machine recycling across attack cells: a machine saturated with one
+    /// run's caches, NoC load and coherence-directory state must replay the
+    /// next run byte-identically to a fresh machine — directory residue in
+    /// particular is exactly what the coherence-state channel would read.
+    #[test]
+    fn recycled_machine_attack_is_byte_identical() {
+        let runner = AttackRunner::new(MachineConfig::attack_testbench()).with_warmup(2);
+        let channel = TinyChannel::new();
+        let bits = [true, false, false, true, true, false];
+        let (fresh, machine) =
+            runner.run_recycled(Architecture::Insecure, &channel, &bits, None).unwrap();
+        // Recycle through a *different* architecture first, so cluster maps,
+        // slice restrictions and purge state all get exercised in between.
+        let (_, machine) =
+            runner.run_recycled(Architecture::Ironhide, &channel, &bits, Some(machine)).unwrap();
+        let (recycled, _) =
+            runner.run_recycled(Architecture::Insecure, &channel, &bits, Some(machine)).unwrap();
+        assert_eq!(fresh.probe_cycles, recycled.probe_cycles);
+        assert_eq!(fresh.payload_cycles, recycled.payload_cycles);
+        assert_eq!(fresh.isolation.violations, recycled.isolation.violations);
     }
 
     #[test]

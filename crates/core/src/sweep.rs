@@ -372,8 +372,23 @@ fn derive_seed(master_seed: u64, key: &str) -> u64 {
 /// the cell's derived seed, it instantiates the channel, co-schedules the
 /// attacker/victim pair and decodes the transmission. `ironhide-attacks`
 /// provides these via its `LeakageOracle`.
+///
+/// The final argument is the cell's recycled-machine slot: the runner hands
+/// in a pooled machine from a previous cell (or `None`), and a factory that
+/// simulates should run through `AttackRunner::run_recycled` and leave the
+/// machine in the slot for the next cell. Machine construction is ~0.5 ms of
+/// way/directory-array allocation that would otherwise be paid per cell;
+/// recycling cannot affect results because `Machine::reset_pristine` is
+/// byte-equivalent to a fresh build. Factories that do not simulate may
+/// ignore the slot.
 pub type AttackFactory = Arc<
-    dyn Fn(&MachineConfig, Architecture, &ScalePoint, u64) -> Result<AttackOutcome, RunError>
+    dyn Fn(
+            &MachineConfig,
+            Architecture,
+            &ScalePoint,
+            u64,
+            &mut Option<Machine>,
+        ) -> Result<AttackOutcome, RunError>
         + Send
         + Sync,
 >;
@@ -390,7 +405,13 @@ impl AttackSpec {
     /// Creates a channel spec from a label and an attack closure.
     pub fn new<F>(label: impl Into<String>, factory: F) -> Self
     where
-        F: Fn(&MachineConfig, Architecture, &ScalePoint, u64) -> Result<AttackOutcome, RunError>
+        F: Fn(
+                &MachineConfig,
+                Architecture,
+                &ScalePoint,
+                u64,
+                &mut Option<Machine>,
+            ) -> Result<AttackOutcome, RunError>
             + Send
             + Sync
             + 'static,
@@ -403,15 +424,17 @@ impl AttackSpec {
         &self.label
     }
 
-    /// Runs the attack for one cell.
+    /// Runs the attack for one cell, recycling (and handing back) the
+    /// machine in `slot`.
     pub fn execute(
         &self,
         config: &MachineConfig,
         arch: Architecture,
         scale: &ScalePoint,
         seed: u64,
+        slot: &mut Option<Machine>,
     ) -> Result<AttackOutcome, RunError> {
-        (self.factory)(config, arch, scale, seed)
+        (self.factory)(config, arch, scale, seed, slot)
     }
 }
 
@@ -657,14 +680,26 @@ impl SweepRunner {
             .num_threads(self.threads)
             .build()
             .expect("attack thread pool builds");
+        // Attack cells recycle simulated machines through a shared pool
+        // exactly like the performance sweep's cells (pop one, let the
+        // factory reset-pristine and run it, push it back). Determinism is
+        // unaffected by pop order: a recycled machine is byte-identical to
+        // a fresh one, coherence directories included.
+        let machine_pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
         let results: Vec<Result<AttackCell, AttackSweepError>> = pool.install(|| {
             cells
                 .par_iter()
                 .map(|(key, channel, scale)| {
                     let seed = self.attack_cell_seed(key);
-                    let outcome = channel
-                        .execute(&self.machine, key.arch, scale, seed)
-                        .map_err(|error| AttackSweepError { cell: key.clone(), error })?;
+                    let mut slot = machine_pool.lock().ok().and_then(|mut p| p.pop());
+                    let result = channel.execute(&self.machine, key.arch, scale, seed, &mut slot);
+                    if let Some(m) = slot {
+                        if let Ok(mut p) = machine_pool.lock() {
+                            p.push(m);
+                        }
+                    }
+                    let outcome =
+                        result.map_err(|error| AttackSweepError { cell: key.clone(), error })?;
                     Ok(AttackCell { key: key.clone(), seed, outcome })
                 })
                 .collect()
@@ -1029,6 +1064,19 @@ fn noc_stats_json(out: &mut String, s: &ironhide_mesh::NocStats) {
     });
 }
 
+fn directory_stats_json(out: &mut String, s: &ironhide_cache::DirectoryStats) {
+    json_fields!(out, {
+        "lookups": out.push_str(&s.lookups.to_string()),
+        "hits": out.push_str(&s.hits.to_string()),
+        "allocations": out.push_str(&s.allocations.to_string()),
+        "invalidations": out.push_str(&s.invalidations.to_string()),
+        "downgrades": out.push_str(&s.downgrades.to_string()),
+        "back_invalidations": out.push_str(&s.back_invalidations.to_string()),
+        "purges": out.push_str(&s.purges.to_string()),
+        "flushed_entries": out.push_str(&s.flushed_entries.to_string()),
+    });
+}
+
 fn machine_stats_json(out: &mut String, s: &ironhide_sim::stats::MachineStats) {
     json_fields!(out, {
         "l1": cache_stats_json(out, &s.l1),
@@ -1036,6 +1084,7 @@ fn machine_stats_json(out: &mut String, s: &ironhide_sim::stats::MachineStats) {
         "l2": cache_stats_json(out, &s.l2),
         "mem": mem_stats_json(out, &s.mem),
         "noc": noc_stats_json(out, &s.noc),
+        "directory": directory_stats_json(out, &s.directory),
         "core_purges": out.push_str(&s.core_purges.to_string()),
         "pages_rehomed": out.push_str(&s.pages_rehomed.to_string()),
     });
@@ -1271,8 +1320,9 @@ mod tests {
     fn synthetic_attack_grid() -> AttackGrid {
         // A fake channel whose "outcome" is derived purely from the cell
         // seed, exercising grid ordering, seed plumbing and serialisation
-        // without simulating a machine.
-        let spec = AttackSpec::new("fake-channel", |config, arch, scale, seed| {
+        // without simulating a machine (the recycled-machine slot is
+        // legitimately unused).
+        let spec = AttackSpec::new("fake-channel", |config, arch, scale, seed, _machine| {
             let bits = 16u64;
             let errors = seed % (bits + 1);
             let ber = errors as f64 / bits as f64;

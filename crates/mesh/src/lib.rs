@@ -51,4 +51,4 @@ pub use latency::{LatencyModel, LinkLoad, NocLatencyConfig};
 pub use packet::{Packet, PacketKind};
 pub use routing::{HopTable, Route, RouteIter, RouteLinks, RoutingAlgorithm};
 pub use stats::NocStats;
-pub use topology::{Coord, MeshEdge, MeshTopology, NodeId, NodeSet};
+pub use topology::{Coord, MeshEdge, MeshTopology, NodeId, NodeSet, NodeSetIter};

@@ -218,42 +218,46 @@ impl Default for MeshTopology {
     }
 }
 
-/// A set of mesh nodes backed by a bitmask, for O(1) membership tests on the
-/// hot path (e.g. "is this node a memory-controller attachment point?",
-/// "does this tile belong to the secure cluster?") where a `Vec::contains`
-/// linear scan or an ordered-set lookup would be wasteful.
-#[derive(Debug, Clone, Default)]
+/// A set of mesh nodes backed by an inline fixed-size bitmask, for O(1)
+/// membership tests on the hot path (e.g. "is this node a memory-controller
+/// attachment point?", "does this tile belong to the secure cluster?") where
+/// a `Vec::contains` linear scan or an ordered-set lookup would be wasteful.
+///
+/// The storage is four inline words (up to [`NodeSet::MAX_NODES`] nodes — an
+/// order of magnitude above the paper's 64-tile machine), so the set is
+/// `Copy` and never touches the heap. That matters beyond convenience: the
+/// coherence directory in `ironhide-cache` embeds one `NodeSet` of sharers
+/// in every directory entry, and directory transactions sit on the L1-miss
+/// path, which must stay allocation-free (see `tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeSet {
-    bits: Vec<u64>,
+    bits: [u64; Self::WORDS],
 }
-
-// Manual equality: two sets are equal iff they contain the same nodes, even
-// when their masks grew to different word counts (trailing zero words are
-// insignificant).
-impl PartialEq for NodeSet {
-    fn eq(&self, other: &Self) -> bool {
-        let (short, long) =
-            if self.bits.len() <= other.bits.len() { (self, other) } else { (other, self) };
-        short.bits.iter().zip(&long.bits).all(|(a, b)| a == b)
-            && long.bits[short.bits.len()..].iter().all(|w| *w == 0)
-    }
-}
-
-impl Eq for NodeSet {}
 
 impl NodeSet {
+    const WORDS: usize = 4;
+
+    /// The largest node index (exclusive) an inline set can hold.
+    pub const MAX_NODES: usize = Self::WORDS * 64;
+
     /// Creates an empty set sized for a mesh of `nodes` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds [`NodeSet::MAX_NODES`].
     pub fn with_capacity(nodes: usize) -> Self {
-        NodeSet { bits: vec![0; nodes.div_ceil(64)] }
+        assert!(nodes <= Self::MAX_NODES, "NodeSet supports up to {} nodes", Self::MAX_NODES);
+        NodeSet::default()
     }
 
-    /// Inserts `node`, growing the mask if needed. Returns whether the node
-    /// was newly inserted.
+    /// Inserts `node`. Returns whether the node was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is at or beyond [`NodeSet::MAX_NODES`].
     pub fn insert(&mut self, node: NodeId) -> bool {
+        assert!(node.0 < Self::MAX_NODES, "NodeSet supports up to {} nodes", Self::MAX_NODES);
         let (word, bit) = (node.0 / 64, node.0 % 64);
-        if word >= self.bits.len() {
-            self.bits.resize(word + 1, 0);
-        }
         let newly = self.bits[word] & (1 << bit) == 0;
         self.bits[word] |= 1 << bit;
         newly
@@ -287,6 +291,44 @@ impl NodeSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Removes every node from the set.
+    pub fn clear(&mut self) {
+        self.bits = [0; Self::WORDS];
+    }
+
+    /// Iterates over the members in ascending node order. The order is part
+    /// of the contract: the coherence layer sends invalidations in iteration
+    /// order, and simulation results must not depend on set insertion
+    /// history.
+    pub fn iter(&self) -> NodeSetIter {
+        NodeSetIter { bits: self.bits, word: 0 }
+    }
+}
+
+/// Ascending-order iterator over a [`NodeSet`] (see [`NodeSet::iter`]).
+#[derive(Debug, Clone)]
+pub struct NodeSetIter {
+    bits: [u64; NodeSet::WORDS],
+    word: usize,
+}
+
+impl Iterator for NodeSetIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.word < NodeSet::WORDS {
+            let w = self.bits[self.word];
+            if w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let bit = w.trailing_zeros() as usize;
+            self.bits[self.word] &= w - 1; // clear the lowest set bit
+            return Some(NodeId(self.word * 64 + bit));
+        }
+        None
     }
 }
 
@@ -402,5 +444,24 @@ mod tests {
         let set: NodeSet = [NodeId(0), NodeId(130), NodeId(7)].into_iter().collect();
         assert!(set.contains(NodeId(130)));
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn node_set_iterates_in_ascending_order() {
+        let set: NodeSet = [NodeId(200), NodeId(3), NodeId(64), NodeId(0)].into_iter().collect();
+        let order: Vec<usize> = set.iter().map(|n| n.0).collect();
+        assert_eq!(order, vec![0, 3, 64, 200]);
+        let mut cleared = set;
+        cleared.clear();
+        assert!(cleared.is_empty());
+        assert_eq!(cleared.iter().count(), 0);
+        // `set` is Copy: the original is untouched by mutating the copy.
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 256 nodes")]
+    fn node_set_rejects_out_of_range_insert() {
+        NodeSet::default().insert(NodeId(256));
     }
 }

@@ -1,6 +1,6 @@
 //! Machine configuration.
 
-use ironhide_cache::{CacheConfig, TlbConfig};
+use ironhide_cache::{CacheConfig, DirectoryConfig, TlbConfig};
 use ironhide_mem::DramConfig;
 use ironhide_mesh::NocLatencyConfig;
 
@@ -56,6 +56,10 @@ pub struct MachineConfig {
     pub l1: CacheConfig,
     /// Shared L2 slice geometry (per tile).
     pub l2_slice: CacheConfig,
+    /// Coherence-directory geometry of each home slice (see
+    /// [`ironhide_cache::Directory`]). Bounded like the real SRAM structure,
+    /// so directory conflicts — and the conflict covert channel — exist.
+    pub directory: DirectoryConfig,
     /// Private data TLB geometry (per tile).
     pub tlb: TlbConfig,
     /// DRAM device parameters (per controller).
@@ -83,6 +87,7 @@ impl MachineConfig {
             mesh_height: 8,
             l1: CacheConfig::paper_l1(),
             l2_slice: CacheConfig::paper_l2_slice(),
+            directory: DirectoryConfig::for_l2_slice(&CacheConfig::paper_l2_slice()),
             tlb: TlbConfig::paper_dtlb(),
             dram: DramConfig::default(),
             controllers: 4,
@@ -101,6 +106,7 @@ impl MachineConfig {
             mesh_height: 2,
             l1: CacheConfig::new(1024, 2, 64),
             l2_slice: CacheConfig::new(4096, 4, 64),
+            directory: DirectoryConfig::for_l2_slice(&CacheConfig::new(4096, 4, 64)),
             tlb: TlbConfig::new(4, 4096),
             dram: DramConfig::default(),
             controllers: 2,
@@ -123,6 +129,7 @@ impl MachineConfig {
             mesh_height: 2,
             l1: CacheConfig::new(1024, 2, 64),
             l2_slice: CacheConfig::new(4096, 4, 64),
+            directory: DirectoryConfig::for_l2_slice(&CacheConfig::new(4096, 4, 64)),
             tlb: TlbConfig::new(4, 4096),
             dram: DramConfig::default(),
             controllers: 2,
@@ -146,6 +153,11 @@ impl MachineConfig {
     /// controllers, or a non-positive clock).
     pub fn validate(&self) {
         assert!(self.cores() > 0, "machine must have at least one core");
+        assert!(
+            self.cores() <= ironhide_mesh::NodeSet::MAX_NODES,
+            "directory sharer sets support up to {} cores",
+            ironhide_mesh::NodeSet::MAX_NODES
+        );
         assert!(self.controllers > 0, "machine must have at least one memory controller");
         assert!(self.clock_ghz > 0.0, "clock frequency must be positive");
         assert!(self.dram_region_bytes > 0, "DRAM regions must be non-empty");

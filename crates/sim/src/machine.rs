@@ -13,8 +13,16 @@
 //!   L2 slices (static partitioning, local homing) and re-home pages when the
 //!   allocation changes (IRONHIDE's dynamic hardware isolation);
 //! * [`Machine::set_cluster_map`] — activate network-level cluster isolation.
+//!
+//! Private L1s are kept coherent by a directory-based MESI protocol: every
+//! home slice owns a bounded [`Directory`] that the machine consults on each
+//! L1 fill and on each write-upgrade of a Shared line, charging the
+//! resulting cross-core invalidation/downgrade messages over the real mesh
+//! routes (one shared transaction implementation serves the scalar and
+//! batched engines; see the `ironhide_cache::directory` module docs for the
+//! protocol).
 
-use ironhide_cache::{Evicted, PageId, SetAssocCache, SliceId, Tlb};
+use ironhide_cache::{Directory, Evicted, PageId, SetAssocCache, SliceId, Tlb};
 use ironhide_mem::{ControllerMask, MemoryController, RegionMap, RegionOwner};
 use ironhide_mesh::{
     ClusterId, ClusterMap, HopTable, LatencyModel, MeshEdge, MeshTopology, NocStats, NodeId,
@@ -135,6 +143,33 @@ impl BatchScratch {
     }
 }
 
+/// The home slice of an *evicted* line, shared by the scalar and batched
+/// write-back paths. An eviction carries a physical address with no
+/// issuing-process context, and a line's home is a property of the physical
+/// page, not of whoever triggered the eviction: resolving it through the
+/// evicting process's map would mis-home — and mis-route, possibly across
+/// the cluster boundary — dirty lines another process left in the cache
+/// (e.g. the victim's Modified lines displaced while it services the shared
+/// IPC buffer in the attacker's address space). The owning process is
+/// recovered from the page's DRAM-region security class (the allocator
+/// hands each class pages from its own regions); with several processes of
+/// one class the first one's map decides, matching the allocator's aliased
+/// physical layout.
+fn home_of_line(
+    processes: &[ProcessState],
+    regions: &RegionMap,
+    page_bytes: u64,
+    paddr: u64,
+) -> NodeId {
+    let owner_class = match regions.owner_of(paddr) {
+        Ok(RegionOwner::Secure) => SecurityClass::Secure,
+        _ => SecurityClass::Insecure,
+    };
+    let owner = processes.iter().find(|p| p.class == owner_class).or_else(|| processes.first());
+    let ppn = paddr / page_bytes;
+    owner.and_then(|p| p.home.home_of(PageId(ppn)).ok()).map(|s| NodeId(s.0)).unwrap_or(NodeId(0))
+}
+
 /// The IPC-marker packet reclassification shared by the scalar and batched
 /// paths: IPC-marked traffic travels as IPC-class packets, except
 /// write-backs (evictions are not part of the logical IPC transfer).
@@ -194,9 +229,135 @@ fn resolve_route(
     out.resolved = true;
 }
 
+/// The network half of a coherence transaction: the routing state and the
+/// one-off route scratch needed to charge invalidation/downgrade messages.
+/// Split out so [`coherence_transaction`] — the **single** implementation
+/// both the scalar reference path and the batched engine execute — can be
+/// handed disjoint borrows from either context.
+struct CohNet<'a> {
+    noc: &'a mut LatencyModel,
+    noc_stats: &'a mut NocStats,
+    topology: &'a MeshTopology,
+    cluster_map: Option<&'a ClusterMap>,
+    mc_node_set: &'a NodeSet,
+    hop_table: &'a HopTable,
+    regions: &'a RegionMap,
+    ipc_marker: bool,
+    oneoff: &'a mut CachedRoute,
+}
+
+impl CohNet<'_> {
+    /// Charges one coherence packet `src → dst` on behalf of the line at
+    /// `paddr`. Coherence traffic is maintenance-class (1 flit); when it
+    /// must cross the cluster boundary *and* the line lives in an
+    /// insecure-class DRAM region — where the legitimately shared IPC
+    /// buffer lives by construction, the only data cached in both clusters
+    /// — it travels as IPC-class traffic, the coherence half of the IPC
+    /// transfer. The region gate is what keeps the isolation audit's "only
+    /// IPC crosses the boundary" invariant *falsifiable*: coherence
+    /// messages for a secure-region line that somehow cross the boundary
+    /// (a mis-homed page, a missed scrub) stay maintenance-class and trip
+    /// the auditor instead of being blessed by the crossing itself.
+    fn charge(&mut self, src: NodeId, dst: NodeId, kind: PacketKind, paddr: u64) -> u64 {
+        let kind = match self.cluster_map {
+            Some(map)
+                if map.cluster_of(src) != map.cluster_of(dst)
+                    && matches!(self.regions.owner_of(paddr), Ok(RegionOwner::Insecure)) =>
+            {
+                PacketKind::Ipc
+            }
+            _ => kind,
+        };
+        resolve_route(
+            self.oneoff,
+            src,
+            dst,
+            kind,
+            self.ipc_marker,
+            self.topology,
+            self.cluster_map,
+            self.mc_node_set,
+            self.hop_table,
+        );
+        self.oneoff.charge(self.noc, self.noc_stats)
+    }
+}
+
+/// Applies one directory transaction at `home` for `core`'s access to the
+/// line containing `paddr`, and charges its coherence traffic. Returns the
+/// cycles added to the access's critical path.
+///
+/// The charging discipline is fixed (and therefore byte-identical between
+/// the scalar and batched engines):
+///
+/// * an `upgrade` (write hit on a Shared line) brackets the transaction
+///   with a requester→home request and a home→requester acknowledgement;
+/// * every foreign invalidation/downgrade costs a home→sharer maintenance
+///   message plus the sharer's acknowledgement **on the critical path**,
+///   charged sequentially in ascending core order (conservative: real
+///   hardware overlaps them);
+/// * dirty copies surrendered by a downgrade or invalidation emit a
+///   write-back packet off the critical path, like ordinary victim
+///   write-backs;
+/// * a capacity eviction back-invalidates every copy the displaced entry
+///   tracked, entirely off the critical path (the requester does not wait
+///   for it — but the traffic, and the victims' lost lines, are real).
+#[allow(clippy::too_many_arguments)]
+fn coherence_transaction(
+    dir: &mut Directory,
+    l1s: &mut [SetAssocCache],
+    core: NodeId,
+    home: NodeId,
+    paddr: u64,
+    line_bytes: u64,
+    write: bool,
+    upgrade: bool,
+    net: &mut CohNet<'_>,
+) -> u64 {
+    let out = dir.access(paddr / line_bytes, core, write);
+    let mut cycles = 0u64;
+    if upgrade {
+        cycles += net.charge(core, home, PacketKind::Maintenance, paddr);
+    }
+    for t in out.downgrade.iter() {
+        cycles += net.charge(home, t, PacketKind::Maintenance, paddr);
+        if l1s[t.0].downgrade_line(paddr) == Some(true) {
+            net.charge(t, home, PacketKind::WriteBack, paddr);
+        }
+        cycles += net.charge(t, home, PacketKind::Maintenance, paddr);
+    }
+    for t in out.invalidate.iter() {
+        cycles += net.charge(home, t, PacketKind::Maintenance, paddr);
+        if l1s[t.0].invalidate(paddr).map(|ev| ev.dirty) == Some(true) {
+            net.charge(t, home, PacketKind::WriteBack, paddr);
+        }
+        cycles += net.charge(t, home, PacketKind::Maintenance, paddr);
+    }
+    if upgrade {
+        cycles += net.charge(home, core, PacketKind::Maintenance, paddr);
+    }
+    if let Some(ev) = out.evicted {
+        let ev_addr = ev.line * line_bytes;
+        for t in ev.sharers.iter() {
+            net.charge(home, t, PacketKind::Maintenance, ev_addr);
+            if l1s[t.0].invalidate(ev_addr).map(|e| e.dirty) == Some(true) {
+                net.charge(t, home, PacketKind::WriteBack, ev_addr);
+            }
+            net.charge(t, home, PacketKind::Maintenance, ev_addr);
+        }
+    }
+    // The requester's own line adopts the state the sharer census decided:
+    // Shared when other copies remain, exclusive-side after an upgrade.
+    if out.shared {
+        l1s[core.0].set_line_shared(paddr, true);
+    } else if upgrade {
+        l1s[core.0].set_line_shared(paddr, false);
+    }
+    cycles
+}
+
 /// The state one page segment of a batched run executes against: the split
-/// borrows of the machine the L1 miss path needs (everything except the
-/// issuing core's own L1, which the run loop holds), plus the lazily
+/// borrows of the machine the access and miss paths need, plus the lazily
 /// resolved page-run invariants (home slice, owning controller) and the
 /// statistics accumulators flushed once per segment.
 struct SegCtx<'a> {
@@ -206,6 +367,9 @@ struct SegCtx<'a> {
     /// Physical page number every reference of the segment falls in.
     ppn: u64,
     page_bytes: u64,
+    line_bytes: u64,
+    l1s: &'a mut [SetAssocCache],
+    directories: &'a mut [Directory],
     l2s: &'a mut [SetAssocCache],
     noc: &'a mut LatencyModel,
     noc_stats: &'a mut NocStats,
@@ -258,6 +422,50 @@ impl SegCtx<'_> {
         );
         self.batch.oneoff.charge(self.noc, self.noc_stats)
     }
+
+    /// Runs [`coherence_transaction`] at the segment's home slice from the
+    /// batched engine's split borrows.
+    fn coherence(&mut self, paddr: u64, write: bool, upgrade: bool) -> u64 {
+        let home = self.home();
+        let core = self.core;
+        let line_bytes = self.line_bytes;
+        let SegCtx {
+            l1s,
+            directories,
+            noc,
+            noc_stats,
+            topology,
+            cluster_map,
+            mc_node_set,
+            hop_table,
+            regions,
+            batch,
+            ipc_marker,
+            ..
+        } = self;
+        let mut net = CohNet {
+            noc,
+            noc_stats,
+            topology,
+            cluster_map: *cluster_map,
+            mc_node_set,
+            hop_table,
+            regions,
+            ipc_marker: *ipc_marker,
+            oneoff: &mut batch.oneoff,
+        };
+        coherence_transaction(
+            &mut directories[home.0],
+            l1s,
+            core,
+            home,
+            paddr,
+            line_bytes,
+            write,
+            upgrade,
+            &mut net,
+        )
+    }
 }
 
 /// The L1-miss path of one batched reference: write-back of the victim,
@@ -275,12 +483,7 @@ fn run_miss_path(
     // Write back the victim off the critical path but account for it.
     if let Some(ev) = evicted {
         if ev.dirty {
-            let ev_ppn = ev.addr / ctx.page_bytes;
-            let ev_home = ctx.processes[ctx.pid.0]
-                .home
-                .home_of(PageId(ev_ppn))
-                .map(|s| NodeId(s.0))
-                .unwrap_or(NodeId(0));
+            let ev_home = home_of_line(ctx.processes, ctx.regions, ctx.page_bytes, ev.addr);
             ctx.route_oneoff(ctx.core, ev_home, PacketKind::WriteBack);
         }
     }
@@ -366,6 +569,9 @@ fn run_miss_path(
         AccessPath::L2 { home }
     };
     cycles += ctx.batch.response.charge(ctx.noc, ctx.noc_stats);
+    // The home directory serialises the fill: foreign copies transition
+    // (and are charged) before the access is architecturally complete.
+    cycles += ctx.coherence(paddr, write, false);
     (cycles, path)
 }
 
@@ -378,6 +584,8 @@ pub struct Machine {
     l1s: Vec<SetAssocCache>,
     tlbs: Vec<Tlb>,
     l2s: Vec<SetAssocCache>,
+    /// Per-home-slice MESI directories (one per tile, like the L2 slices).
+    directories: Vec<Directory>,
     noc: LatencyModel,
     noc_stats: NocStats,
     controllers: Vec<MemoryController>,
@@ -413,6 +621,7 @@ impl Machine {
         let l1s = (0..cores).map(|_| SetAssocCache::new(config.l1)).collect();
         let tlbs = (0..cores).map(|_| Tlb::new(config.tlb)).collect();
         let l2s = (0..cores).map(|_| SetAssocCache::new(config.l2_slice)).collect();
+        let directories = (0..cores).map(|_| Directory::new(config.directory)).collect();
         let controllers =
             (0..config.controllers).map(|i| MemoryController::new(i, config.dram)).collect();
         let mc_nodes =
@@ -431,6 +640,7 @@ impl Machine {
             l1s,
             tlbs,
             l2s,
+            directories,
             controllers,
             mc_nodes,
             mc_node_set,
@@ -470,6 +680,9 @@ impl Machine {
         }
         for c in &mut self.l2s {
             c.reset_pristine();
+        }
+        for d in &mut self.directories {
+            d.reset_pristine();
         }
         for t in &mut self.tlbs {
             t.reset_pristine();
@@ -638,13 +851,73 @@ impl Machine {
     /// Restricts the L2 slices `pid` may home pages on, re-homing any pages
     /// that now live outside the allowed set. Returns `(pages_moved, cycles)`
     /// where `cycles` is the cost of the unmap/set-home/remap sequence.
+    ///
+    /// Re-homing is the prototype's unmap/set-home/remap: while a page is
+    /// unmapped its lines are flushed from every cache, so each moved page's
+    /// lines are scrubbed from all private L1s and its coherence-directory
+    /// entries are dropped at the old home. Without the scrub a core could
+    /// keep a Shared copy that the *new* home's directory has never heard
+    /// of — and read it stale after a remote write.
     pub fn set_process_slices(&mut self, pid: ProcessId, slices: Vec<SliceId>) -> (u64, u64) {
         self.route_epoch += 1;
         let p = &mut self.processes[pid.0];
         p.home.set_allowed(slices);
-        let moved = p.home.rehome_all().unwrap_or(0);
+        let mut moved_log: Vec<(PageId, SliceId)> = Vec::new();
+        let moved = p.home.rehome_all_logged(&mut moved_log).unwrap_or(0);
         self.pages_rehomed += moved;
+        for (page, old_home) in moved_log {
+            self.scrub_page(page.0, old_home);
+        }
         (moved, moved * self.config.latency.rehome_page)
+    }
+
+    /// Scrubs one re-homed physical page — the full unmap/flush/remap of the
+    /// prototype: the page's cached copies are invalidated out of the
+    /// private L1s, its lines are flushed from the *old* home's L2 slice
+    /// (they are unreachable at the new home, and would otherwise sit as
+    /// stale occupancy — or worse, be re-hit if a later re-pin cycles the
+    /// page's home back), and its entries are dropped from the old home's
+    /// directory. Cold path — only runs when a page's home actually moves,
+    /// during a stalled reconfiguration or an aliasing re-pin. Like the
+    /// purge operations, the flush routes no per-line NoC packets (dirty
+    /// lines bump their caches' write-back counters); the migration's
+    /// latency is the caller's `rehome_page` charge per page.
+    ///
+    /// While the old home's directory entry is still live, its sharer set is
+    /// a superset of every core holding the line (the inclusivity
+    /// invariant), so only those cores' L1s need probing. When the entry is
+    /// already gone — the reconfiguration protocol purges the moved slices'
+    /// directories *before* re-homing — the sharer census is lost and every
+    /// L1 is scanned instead. Invalidating a non-holder is a stat-free
+    /// no-op, so the two paths are observably identical whenever both are
+    /// possible.
+    fn scrub_page(&mut self, ppn: u64, old_home: SliceId) {
+        let line_bytes = self.config.l1.line_bytes as u64;
+        let lines_per_page = (self.page_bytes() / line_bytes).max(1);
+        let base_line = ppn * lines_per_page;
+        for i in 0..lines_per_page {
+            let line = base_line + i;
+            let addr = line * line_bytes;
+            let sharers = self.directories.get(old_home.0).and_then(|d| d.probe(line));
+            match sharers {
+                Some((_, sharers, _)) => {
+                    for t in sharers.iter() {
+                        self.l1s[t.0].invalidate(addr);
+                    }
+                    self.directories[old_home.0].drop_line(line);
+                }
+                None => {
+                    for l1 in &mut self.l1s {
+                        if l1.resident_lines() > 0 {
+                            l1.invalidate(addr);
+                        }
+                    }
+                }
+            }
+            if let Some(l2) = self.l2s.get_mut(old_home.0) {
+                l2.invalidate(addr);
+            }
+        }
     }
 
     /// The L2 slices `pid` may currently home pages on.
@@ -773,12 +1046,22 @@ impl Machine {
                 Some(allowed[(p.allocated_pages as usize) % allowed.len()])
             }
         };
+        let mut scrub_from: Option<SliceId> = None;
         if let Some(slice) = slice {
-            let _ = p.home.pin(PageId(ppn), slice);
             // A first touch normally pins a *fresh* physical page, but after
             // a reconfiguration shrinks the process's region list the
             // round-robin allocator can hand a second virtual page an
             // already-used ppn — and this pin then *moves* that ppn's home.
+            let prev_pin = p.home.pinned_home(PageId(ppn));
+            let _ = p.home.pin(PageId(ppn), slice);
+            if let Some(old) = prev_pin {
+                if old != slice {
+                    // The home moved: the old home's directory entries and
+                    // any cached copies are scrubbed below, exactly as a
+                    // re-homing unmap/flush/remap would.
+                    scrub_from = Some(old);
+                }
+            }
             // If the batched engine's page-route memo is bound to exactly
             // that (pid, ppn), drop it so the next miss re-reads the home
             // map like the scalar path does.
@@ -789,6 +1072,9 @@ impl Machine {
             }
         }
         p.allocated_pages += 1;
+        if let Some(old) = scrub_from {
+            self.scrub_page(ppn, old);
+        }
         ppn
     }
 
@@ -853,14 +1139,15 @@ impl Machine {
         }
 
         // 3. Private L1.
-        let l1_outcome = self.l1s[core.0].access(paddr, write);
+        let (l1_outcome, l1_was_shared) = self.l1s[core.0].access_coherent(paddr, write);
         cycles += lat.l1_hit;
         let mut path = AccessPath::L1;
         if l1_outcome.is_miss() {
             // Write back the victim off the critical path but account for it.
             if let Some(ev) = l1_outcome.evicted() {
                 if ev.dirty {
-                    let home = self.home_node_of(pid, ev.addr);
+                    let home =
+                        home_of_line(&self.processes, &self.regions, self.page_bytes(), ev.addr);
                     self.route_latency(core, home, PacketKind::WriteBack);
                 }
             }
@@ -893,6 +1180,14 @@ impl Machine {
                 path = AccessPath::L2 { home };
             }
             cycles += self.route_latency(home, core, PacketKind::Response);
+            // 6. The home directory serialises the fill: foreign copies
+            // transition (and are charged) before the access completes.
+            cycles += self.coherence_at(home, core, paddr, write, false);
+        } else if write && l1_was_shared {
+            // Write hit on a Shared line: the directory write-upgrade must
+            // invalidate every other sharer before the write is complete.
+            let home = self.home_of_access(pid, paddr, core);
+            cycles += self.coherence_at(home, core, paddr, true, true);
         }
 
         // Attribute statistics to the process.
@@ -923,9 +1218,83 @@ impl Machine {
         cycles
     }
 
-    fn home_node_of(&self, pid: ProcessId, paddr: u64) -> NodeId {
+    /// The home slice an *access* by `core` resolves for `paddr` — identical
+    /// to the miss path's resolution, falling back to the issuing core's own
+    /// slice (the batched engine's `SegCtx::home` uses the same fallback).
+    fn home_of_access(&self, pid: ProcessId, paddr: u64, core: NodeId) -> NodeId {
         let ppn = paddr / self.page_bytes();
-        self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| NodeId(s.0)).unwrap_or(NodeId(0))
+        self.processes[pid.0].home.home_of(PageId(ppn)).map(|s| NodeId(s.0)).unwrap_or(core)
+    }
+
+    /// Runs [`coherence_transaction`] at `home` from the scalar reference
+    /// path's borrows.
+    fn coherence_at(
+        &mut self,
+        home: NodeId,
+        core: NodeId,
+        paddr: u64,
+        write: bool,
+        upgrade: bool,
+    ) -> u64 {
+        let line_bytes = self.config.l1.line_bytes as u64;
+        let Machine {
+            directories,
+            l1s,
+            noc,
+            noc_stats,
+            topology,
+            cluster_map,
+            mc_node_set,
+            hop_table,
+            regions,
+            batch,
+            ipc_marker,
+            ..
+        } = self;
+        let mut net = CohNet {
+            noc,
+            noc_stats,
+            topology,
+            cluster_map: cluster_map.as_ref(),
+            mc_node_set,
+            hop_table,
+            regions,
+            ipc_marker: *ipc_marker,
+            oneoff: &mut batch.oneoff,
+        };
+        coherence_transaction(
+            &mut directories[home.0],
+            l1s,
+            core,
+            home,
+            paddr,
+            line_bytes,
+            write,
+            upgrade,
+            &mut net,
+        )
+    }
+
+    // ----- coherence observability (tests, invariant checks) ---------------
+
+    /// Read-only view of the coherence directory at home slice `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn directory(&self, slice: SliceId) -> &Directory {
+        &self.directories[slice.0]
+    }
+
+    /// Read-only view of `core`'s private L1 (for coherence invariant checks
+    /// and tests: residency via [`SetAssocCache::probe`], MESI flags via
+    /// [`SetAssocCache::line_flags`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1(&self, core: NodeId) -> &SetAssocCache {
+        &self.l1s[core.0]
     }
 
     // ----- the batched access engine ----------------------------------------
@@ -998,6 +1367,7 @@ impl Machine {
         let Machine {
             l1s,
             l2s,
+            directories,
             noc,
             noc_stats,
             controllers,
@@ -1022,6 +1392,9 @@ impl Machine {
             pid,
             ppn,
             page_bytes,
+            line_bytes,
+            l1s,
+            directories,
             l2s,
             noc,
             noc_stats,
@@ -1040,7 +1413,6 @@ impl Machine {
             l2_hits: 0,
             dram_accesses: 0,
         };
-        let l1 = &mut l1s[core.0];
         let mut trace = latency_trace.as_mut();
         let mut total = 0u64;
         let mut l1_hits = 0u64;
@@ -1051,10 +1423,13 @@ impl Machine {
         if seg.stride == 0 || (seg.stride as i64).unsigned_abs() < line_bytes {
             // Sub-line strides: consecutive references share L1 lines. Within
             // each line group only the first reference can miss; the rest
-            // collapse into one bulk hit update.
+            // collapse into one bulk hit update. (The collapsed extras can
+            // never owe a coherence action: after the first reference the
+            // core owns the line, or holds it Shared read-only.)
             for lseg in seg.segments(line_bytes) {
                 let paddr = paddr0.wrapping_add(lseg.base.wrapping_sub(seg.base));
-                let outcome = l1.access_line_run(paddr, lseg.len as u64, write);
+                let (outcome, was_shared) =
+                    ctx.l1s[core.0].access_line_run(paddr, lseg.len as u64, write);
                 let mut cycles = lat.l1_hit;
                 if first_ref {
                     cycles += walk;
@@ -1067,6 +1442,9 @@ impl Machine {
                     seg_last_path = path;
                 } else {
                     l1_hits += 1;
+                    if write && was_shared {
+                        cycles += ctx.coherence(paddr, true, true);
+                    }
                     seg_last_path = AccessPath::L1;
                 }
                 total += cycles;
@@ -1087,9 +1465,12 @@ impl Machine {
             }
         } else {
             // Line-or-larger strides: every reference touches a distinct
-            // line; the L1 advances the line number arithmetically and
-            // reports each outcome for routing.
-            l1.fill_run(paddr0, seg.stride, seg.len, write, |paddr, outcome| {
+            // line; each runs the full lookup/fill so the directory layer
+            // can invalidate/downgrade copies in any L1 (including this
+            // core's own, for back-invalidations) between references.
+            let mut paddr = paddr0;
+            for _ in 0..seg.len {
+                let (outcome, was_shared) = ctx.l1s[core.0].access_coherent(paddr, write);
                 let mut cycles = lat.l1_hit;
                 if first_ref {
                     cycles += walk;
@@ -1102,13 +1483,17 @@ impl Machine {
                     seg_last_path = path;
                 } else {
                     l1_hits += 1;
+                    if write && was_shared {
+                        cycles += ctx.coherence(paddr, true, true);
+                    }
                     seg_last_path = AccessPath::L1;
                 }
                 total += cycles;
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(cycles);
                 }
-            });
+                paddr = paddr.wrapping_add(seg.stride);
+            }
         }
 
         // Flush the per-segment statistics (identical totals to the scalar
@@ -1170,10 +1555,22 @@ impl Machine {
     /// machine-wide fence — the all-cores form of [`Machine::purge_private`]
     /// an MI6 enclave boundary performs, without the caller materialising a
     /// core list.
+    ///
+    /// The boundary also wipes every home slice's coherence directory (an
+    /// O(1) generation bump per slice, covered by the fence cost): directory
+    /// entries are microarchitectural state a later process could probe —
+    /// residual owner/sharer metadata turns into observable
+    /// invalidation/downgrade latencies, the coherence-state channel. With
+    /// every private L1 emptied in the same stalled operation, dropping the
+    /// directories whole keeps the protocol coherent (no cache holds a line
+    /// the directories no longer track).
     pub fn purge_all_private(&mut self) -> u64 {
         let mut worst = 0;
         for c in 0..self.config.cores() {
             worst = worst.max(self.purge_core(NodeId(c)));
+        }
+        for d in &mut self.directories {
+            d.purge();
         }
         worst + self.config.latency.purge_fence
     }
@@ -1203,6 +1600,15 @@ impl Machine {
     /// Flushes every shared L2 slice in `slices` (used when a slice changes
     /// cluster during reconfiguration), returning the cycles of the slowest
     /// flush.
+    ///
+    /// Each flushed slice's coherence directory is purged with it (O(1)
+    /// generation bump): a slice that changes cluster must not carry the old
+    /// owner's sharer/owner metadata to the new one. The reconfiguration
+    /// protocol makes this coherent — moved tiles' private state is purged
+    /// and the re-homed pages' lines are scrubbed from every L1 in the same
+    /// stalled sequence (see `ClusterManager::reconfigure` in
+    /// `ironhide-core`); a *bare* `purge_slices` outside that protocol can
+    /// leave L1 copies the directories no longer track.
     pub fn purge_slices(&mut self, slices: &[SliceId]) -> u64 {
         let lat = self.config.latency;
         let mut worst = 0;
@@ -1210,6 +1616,7 @@ impl Machine {
             if s.0 < self.l2s.len() {
                 let resident = self.l2s[s.0].resident_lines() as u64;
                 self.l2s[s.0].purge();
+                self.directories[s.0].purge();
                 worst = worst.max(resident * lat.purge_line / 4);
             }
         }
@@ -1233,6 +1640,9 @@ impl Machine {
         for mc in &self.controllers {
             out.mem.merge(mc.stats());
         }
+        for d in &self.directories {
+            out.directory.merge(d.stats());
+        }
         out.noc = self.noc_stats.clone();
         out.core_purges = self.core_purges;
         out.pages_rehomed = self.pages_rehomed;
@@ -1250,6 +1660,9 @@ impl Machine {
         }
         for c in &mut self.l2s {
             c.reset_stats();
+        }
+        for d in &mut self.directories {
+            d.reset_stats();
         }
         for mc in &mut self.controllers {
             mc.reset_stats();

@@ -1,6 +1,6 @@
 //! Machine-level and per-process statistics.
 
-use ironhide_cache::CacheStats;
+use ironhide_cache::{CacheStats, DirectoryStats};
 use ironhide_mem::MemStats;
 use ironhide_mesh::NocStats;
 
@@ -55,6 +55,9 @@ pub struct MachineStats {
     pub mem: MemStats,
     /// NoC traffic counters.
     pub noc: NocStats,
+    /// Aggregate over all home-slice coherence directories (the
+    /// coherence-traffic counters the README documents for `BENCH_*.json`).
+    pub directory: DirectoryStats,
     /// Number of whole-core purge operations performed.
     pub core_purges: u64,
     /// Number of pages re-homed by reconfigurations.

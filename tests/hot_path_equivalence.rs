@@ -366,6 +366,7 @@ enum MachineOp {
     Run { core: usize, base: u64, stride: u64, len: u32, write: bool },
     PurgeCore(usize),
     PurgeSlices(usize),
+    PurgeAll,
     PurgeNetwork,
     IpcMarker(bool),
     RestrictSlices(usize),
@@ -376,13 +377,17 @@ enum MachineOp {
 /// `u64`s). Strides exercise every engine path: the same line (0, sub-line
 /// 8/24), line sweeps (64), line-skipping (96/160), page-boundary straddles,
 /// whole pages (4096), larger-than-page jumps, and descending
-/// (wrapping-negative) sweeps.
+/// (wrapping-negative) sweeps. Two run flavours interleave: wide-window
+/// runs (capacity pressure, directory conflicts) and narrow-window "shared"
+/// runs, whose dense same-line collisions across the four cores drive the
+/// MESI read-shared / write-upgrade / invalidation transitions the
+/// coherence layer must replay byte-identically in both engines.
 fn decode_op(word: u64) -> MachineOp {
     const STRIDES: [u64; 11] =
         [0, 8, 24, 64, 96, 160, 2048, 4096, 12288, 0u64.wrapping_sub(64), 0u64.wrapping_sub(4096)];
     // Low bits pick the op class; runs are ~8x as likely as each
     // maintenance op.
-    match word % 13 {
+    match word % 15 {
         0 => MachineOp::PurgeCore((word >> 8) as usize % 4),
         1 => MachineOp::PurgeSlices((word >> 8) as usize % 4),
         2 => MachineOp::PurgeNetwork,
@@ -391,6 +396,15 @@ fn decode_op(word: u64) -> MachineOp {
             let s = (word >> 8) as usize % 4;
             MachineOp::RestrictSlices(s)
         }
+        5 => MachineOp::PurgeAll,
+        // Tight sharing: a two-page window all four cores keep re-touching.
+        6 | 7 => MachineOp::Run {
+            core: (word >> 4) as usize % 4,
+            base: 0x20_0000 + ((word >> 8) % 0x2000),
+            stride: STRIDES[(word >> 24) as usize % STRIDES.len()],
+            len: 1 + ((word >> 32) % 48) as u32,
+            write: (word >> 40).is_multiple_of(2),
+        },
         _ => MachineOp::Run {
             core: (word >> 4) as usize % 4,
             // Park descending runs high enough that they never wrap below
@@ -441,6 +455,9 @@ proptest! {
                         batched.purge_slices(&[SliceId(*s)]),
                         scalar.purge_slices(&[SliceId(*s)])
                     );
+                }
+                MachineOp::PurgeAll => {
+                    prop_assert_eq!(batched.purge_all_private(), scalar.purge_all_private());
                 }
                 MachineOp::PurgeNetwork => {
                     prop_assert_eq!(batched.purge_network(), scalar.purge_network());
