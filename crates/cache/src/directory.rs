@@ -250,6 +250,11 @@ pub struct Directory {
     /// queries never walk the array.
     live_count: usize,
     stats: DirectoryStats,
+    /// Transactions served by [`Directory::access_private_fast`]. A pure
+    /// diagnostic — deliberately *not* part of [`DirectoryStats`], because
+    /// whether the fast path fired is an implementation detail the
+    /// scalar/batched byte-identity contract must not observe.
+    fast_hits: u64,
 }
 
 impl Directory {
@@ -262,6 +267,7 @@ impl Directory {
             generation: 0,
             live_count: 0,
             stats: DirectoryStats::default(),
+            fast_hits: 0,
         }
     }
 
@@ -301,6 +307,14 @@ impl Directory {
     /// and returning the copy-set actions the machine must charge. Called
     /// on every L1 fill and on every write-upgrade of a Shared L1 line.
     pub fn access(&mut self, line: u64, core: NodeId, write: bool) -> DirOutcome {
+        self.access_locate(line, core, write).0
+    }
+
+    /// [`Directory::access`], additionally returning the index of the entry
+    /// the line ended in (`set * ways + way`) — the hint a caller can replay
+    /// through [`Directory::access_private_fast`] on its next access to the
+    /// same line.
+    pub fn access_locate(&mut self, line: u64, core: NodeId, write: bool) -> (DirOutcome, u32) {
         self.tick += 1;
         self.stats.lookups += 1;
         let tick = self.tick;
@@ -312,9 +326,10 @@ impl Directory {
             evicted: None,
             shared: false,
         };
-        if let Some(e) = self.entries[lo..hi]
+        if let Some((way, e)) = self.entries[lo..hi]
             .iter_mut()
-            .find(|e| e.valid && e.generation == generation && e.line == line)
+            .enumerate()
+            .find(|(_, e)| e.valid && e.generation == generation && e.line == line)
         {
             self.stats.hits += 1;
             e.last_use = tick;
@@ -353,7 +368,7 @@ impl Directory {
                     outcome.shared = true;
                 }
             }
-            return outcome;
+            return (outcome, (lo + way) as u32);
         }
 
         // Allocate: dead entry first, else the LRU victim of the set — whose
@@ -391,7 +406,54 @@ impl Directory {
             state: if write { MesiState::Modified } else { MesiState::Exclusive },
             valid: true,
         };
-        outcome
+        (outcome, (lo + victim_idx) as u32)
+    }
+
+    /// Attempts the private-line fast path for `core`'s access to `line`
+    /// through a `slot` hint previously returned by
+    /// [`Directory::access_locate`]. Applies — and returns `true` — only
+    /// when the hinted entry still tracks `line`, is live, and `core` is
+    /// its sole sharer: exactly the case where the full transaction would
+    /// return an empty [`DirOutcome`] (no invalidations, no downgrades, no
+    /// eviction, `shared == false`). It then performs, byte-identically,
+    /// the updates the full transaction would: the LRU touch, the
+    /// lookup/hit accounting, the ownership re-grant and the Modified
+    /// (write) / Shared→Exclusive (read) transition. A `false` return means
+    /// the hint was stale — the probe mutates nothing (not even the LRU
+    /// clock or counters) and the caller runs the full transaction.
+    pub fn access_private_fast(&mut self, line: u64, core: NodeId, write: bool, slot: u32) -> bool {
+        let generation = self.generation;
+        let tick = self.tick + 1;
+        let e = match self.entries.get_mut(slot as usize) {
+            Some(e)
+                if e.valid
+                    && e.generation == generation
+                    && e.line == line
+                    && e.sharers.len() == 1
+                    && e.sharers.contains(core) =>
+            {
+                e
+            }
+            _ => return false,
+        };
+        e.last_use = tick;
+        e.owner = core.0 as u16;
+        if write {
+            e.state = MesiState::Modified;
+        } else if e.state == MesiState::Shared {
+            e.state = MesiState::Exclusive;
+        }
+        self.tick = tick;
+        self.stats.lookups += 1;
+        self.stats.hits += 1;
+        self.fast_hits += 1;
+        true
+    }
+
+    /// Transactions served by the private-line fast path so far (a
+    /// diagnostic counter outside [`DirectoryStats`]; see the field docs).
+    pub fn fast_hits(&self) -> u64 {
+        self.fast_hits
     }
 
     /// Drops the live entry tracking `line`, if any, without generating any
@@ -468,6 +530,7 @@ impl Directory {
         self.live_count = 0;
         self.tick = 0;
         self.stats.reset();
+        self.fast_hits = 0;
     }
 }
 

@@ -97,12 +97,23 @@ impl ReallocPolicy {
                 ReallocDecision { secure_cores: initial, evaluations: 0, charge_overhead: false }
             }
             ReallocPolicy::Heuristic => {
+                // The gradient walk revisits candidates: after every improving
+                // round one of `best ± step` is the point the walk just came
+                // from, and clamping folds out-of-range candidates onto points
+                // already probed. `predict` is a pure function of the
+                // candidate (each probe simulates the same sample on a
+                // pristine scratch machine), so re-probes are memoised — the
+                // score, the decision and the evaluation count are identical
+                // to the unmemoised walk; only the redundant simulations
+                // disappear.
+                let mut memo: Vec<Option<f64>> = vec![None; total_cores];
                 let mut evaluations = 0u64;
-                let mut best = initial;
-                let mut best_score = {
-                    evaluations += 1;
-                    predict(best)
+                let mut eval = |candidate: usize, evaluations: &mut u64| -> f64 {
+                    *evaluations += 1;
+                    *memo[candidate].get_or_insert_with(|| predict(candidate))
                 };
+                let mut best = initial;
+                let mut best_score = eval(best, &mut evaluations);
                 let mut step = (total_cores / 4).max(1);
                 while step >= 1 {
                     let mut improved = false;
@@ -112,8 +123,7 @@ impl ReallocPolicy {
                         if candidate == best {
                             continue;
                         }
-                        evaluations += 1;
-                        let score = predict(candidate);
+                        let score = eval(candidate, &mut evaluations);
                         if score < best_score {
                             best_score = score;
                             best = candidate;
@@ -199,6 +209,30 @@ mod tests {
             assert!(d.evaluations < 63, "heuristic must be cheaper than exhaustive search");
             assert!(d.charge_overhead);
         }
+    }
+
+    #[test]
+    fn heuristic_memoises_revisited_candidates() {
+        // The walk 32 → 16 → 8 → ... revisits the point it came from every
+        // improving round; those probes must be served from the memo, not
+        // re-simulated.
+        let mut simulations = 0u64;
+        let mut f = convex(8);
+        let d = ReallocPolicy::Heuristic.decide(64, 32, |n| {
+            simulations += 1;
+            f(n)
+        });
+        assert!(
+            simulations < d.evaluations,
+            "revisited candidates must not re-simulate ({simulations} simulations, \
+             {} evaluations)",
+            d.evaluations
+        );
+        // The memo must not change the decision or the logical evaluation
+        // count: this walk's trajectory is fixed by the convex surface.
+        let d_ref = ReallocPolicy::Heuristic.decide(64, 32, convex(8));
+        assert_eq!(d.secure_cores, d_ref.secure_cores);
+        assert_eq!(d.evaluations, d_ref.evaluations);
     }
 
     #[test]

@@ -98,6 +98,104 @@ impl CachedRoute {
     }
 }
 
+/// One slot of the one-off [`RouteCache`]: the `(route_epoch, src, dst,
+/// kind)` the resolved route belongs to (`epoch == None` marks a never-used
+/// slot).
+#[derive(Debug)]
+struct OneOffRoute {
+    epoch: Option<u64>,
+    src: NodeId,
+    dst: NodeId,
+    kind: PacketKind,
+    route: CachedRoute,
+}
+
+impl Default for OneOffRoute {
+    fn default() -> Self {
+        OneOffRoute {
+            epoch: None,
+            src: NodeId(0),
+            dst: NodeId(0),
+            kind: PacketKind::Request,
+            route: CachedRoute::default(),
+        }
+    }
+}
+
+/// Direct-mapped, epoch-validated cache of resolved one-off packet routes:
+/// coherence maintenance and acknowledgement messages, victim write-backs
+/// and the scalar path's per-access packets — every packet whose `(src,
+/// dst)` is not a page-run invariant. Coherence traffic re-visits a small
+/// working set of `(home, sharer)` pairs, so memoising the resolved link
+/// lists removes the per-packet route materialisation (the dominant
+/// allocation-and-walk cost of the directory layer) while every packet
+/// still performs its per-link load observations and statistics updates in
+/// unchanged order.
+///
+/// Route selection depends only on the mesh topology (fixed), the cluster
+/// map, the slice restrictions and the IPC marker — and every mutation of
+/// the latter three bumps `route_epoch`. A slot is therefore valid exactly
+/// when its stored `(epoch, src, dst, kind)` matches the lookup; stale
+/// slots can never serve a route, they are simply re-resolved in place.
+#[derive(Debug, Default)]
+struct RouteCache {
+    entries: Vec<OneOffRoute>,
+}
+
+impl RouteCache {
+    /// Slot count (direct-mapped). 256 slots comfortably cover the working
+    /// set of one page binding: four page-route classes are cached
+    /// separately, and the one-off traffic touches O(sharers) pairs.
+    const SLOTS: usize = 256;
+
+    /// Charges one packet `src → dst`, resolving the route only when the
+    /// slot does not already hold it for the current epoch. Byte-identical
+    /// to resolving per packet: [`resolve_route`] is a pure function of
+    /// `(src, dst, kind)` and the epoch-guarded routing state.
+    #[allow(clippy::too_many_arguments)]
+    fn charge(
+        &mut self,
+        epoch: u64,
+        src: NodeId,
+        dst: NodeId,
+        kind: PacketKind,
+        ipc_marker: bool,
+        topology: &MeshTopology,
+        cluster_map: Option<&ClusterMap>,
+        mc_node_set: &NodeSet,
+        hop_table: &HopTable,
+        noc: &mut LatencyModel,
+        noc_stats: &mut NocStats,
+    ) -> u64 {
+        if self.entries.is_empty() {
+            // One-time lazy allocation; the slots (and their link vectors)
+            // are reused for the life of the machine.
+            self.entries.resize_with(Self::SLOTS, OneOffRoute::default);
+        }
+        let slot =
+            (src.0.wrapping_mul(31) ^ dst.0.wrapping_mul(197) ^ (kind as usize) << 3) % Self::SLOTS;
+        let e = &mut self.entries[slot];
+        if e.epoch != Some(epoch) || e.src != src || e.dst != dst || e.kind != kind {
+            resolve_route(
+                &mut e.route,
+                src,
+                dst,
+                kind,
+                ipc_marker,
+                topology,
+                cluster_map,
+                mc_node_set,
+                hop_table,
+            );
+            e.epoch = Some(epoch);
+            e.src = src;
+            e.dst = dst;
+            e.kind = kind;
+        }
+        e.route.charge(noc, noc_stats)
+    }
+}
+
 /// Reusable route caches of the batched access engine (and the scalar
 /// path's one-off scratch). Allocated lazily, grown once, reused forever —
 /// steady-state accesses stay allocation-free.
@@ -122,8 +220,21 @@ struct BatchScratch {
     mem_request: CachedRoute,
     /// Response route memory controller → home slice.
     mem_response: CachedRoute,
-    /// Scratch for one-off packets (write-backs, scalar accesses).
-    oneoff: CachedRoute,
+    /// Epoch-validated cache of one-off packet routes (write-backs,
+    /// coherence messages, scalar accesses). Deliberately *not* reset by
+    /// [`BatchScratch::rebind`]: its slots are keyed by `(route_epoch, src,
+    /// dst, kind)` and self-validate on every lookup, so a page/core/process
+    /// rebind — which changes none of those — cannot make them stale.
+    /// `tests/hot_path_equivalence.rs` pins this invariant differentially.
+    oneoff: RouteCache,
+    /// Per-line directory slot hints, indexed by line offset within the
+    /// memoised page (`u32::MAX` = no hint). Like `oneoff`, *not* reset on
+    /// rebind: a hint is only acted on after
+    /// [`Directory::access_private_fast`] revalidates the slot (live entry,
+    /// same line, sole sharer = this core), so a stale hint — even one left
+    /// by a different page whose lines hash elsewhere — costs at worst one
+    /// failed probe.
+    dir_slots: Vec<u32>,
 }
 
 impl BatchScratch {
@@ -243,7 +354,9 @@ struct CohNet<'a> {
     hop_table: &'a HopTable,
     regions: &'a RegionMap,
     ipc_marker: bool,
-    oneoff: &'a mut CachedRoute,
+    /// Current `route_epoch`, keying the one-off route cache.
+    epoch: u64,
+    oneoff: &'a mut RouteCache,
 }
 
 impl CohNet<'_> {
@@ -268,8 +381,12 @@ impl CohNet<'_> {
             }
             _ => kind,
         };
-        resolve_route(
-            self.oneoff,
+        // The cache key uses the *post*-reclassification kind: the
+        // reclassification above depends on `paddr`'s region, which is not
+        // part of the key — but the route resolved for a given kind is
+        // region-independent, so keying on the final kind is exact.
+        self.oneoff.charge(
+            self.epoch,
             src,
             dst,
             kind,
@@ -278,8 +395,9 @@ impl CohNet<'_> {
             self.cluster_map,
             self.mc_node_set,
             self.hop_table,
-        );
-        self.oneoff.charge(self.noc, self.noc_stats)
+            self.noc,
+            self.noc_stats,
+        )
     }
 }
 
@@ -302,6 +420,18 @@ impl CohNet<'_> {
 /// * a capacity eviction back-invalidates every copy the displaced entry
 ///   tracked, entirely off the critical path (the requester does not wait
 ///   for it — but the traffic, and the victims' lost lines, are real).
+///
+/// `slot_hint` is the private-page fast path: a directory entry index a
+/// previous transaction on the same line stored (or `u32::MAX`). When the
+/// hinted entry revalidates as still privately held by `core` — the case
+/// where the full transaction provably produces an empty outcome and
+/// charges nothing — [`Directory::access_private_fast`] applies the
+/// transaction without the set walk or the `DirOutcome` bookkeeping. The
+/// hint is refreshed from the full transaction's located slot whenever the
+/// line ends privately held. The scalar reference path passes `None` and
+/// always executes the full transaction, which is what makes the
+/// batched-vs-scalar differential in `tests/hot_path_equivalence.rs` a real
+/// check of the fast path's byte-identity.
 #[allow(clippy::too_many_arguments)]
 fn coherence_transaction(
     dir: &mut Directory,
@@ -313,8 +443,27 @@ fn coherence_transaction(
     write: bool,
     upgrade: bool,
     net: &mut CohNet<'_>,
+    slot_hint: Option<&mut u32>,
 ) -> u64 {
-    let out = dir.access(paddr / line_bytes, core, write);
+    let line = paddr / line_bytes;
+    let slot_hint = match slot_hint {
+        Some(hint) => {
+            // An upgrade still takes the full path: its request/ack bracket
+            // is charged even when no other sharer exists.
+            if !upgrade && dir.access_private_fast(line, core, write, *hint) {
+                return 0;
+            }
+            Some(hint)
+        }
+        None => None,
+    };
+    let (out, slot) = dir.access_locate(line, core, write);
+    if let Some(hint) = slot_hint {
+        // After a write the requester is the sole sharer by construction;
+        // after a read it is unless the line ended Shared. Only a privately
+        // held line is worth hinting.
+        *hint = if write || !out.shared { slot } else { u32::MAX };
+    }
     let mut cycles = 0u64;
     if upgrade {
         cycles += net.charge(core, home, PacketKind::Maintenance, paddr);
@@ -383,6 +532,8 @@ struct SegCtx<'a> {
     regions: &'a RegionMap,
     batch: &'a mut BatchScratch,
     ipc_marker: bool,
+    /// Current `route_epoch`, keying the one-off route cache.
+    epoch: u64,
     load_hint: u64,
     l2_accesses: u64,
     l2_hits: u64,
@@ -407,10 +558,10 @@ impl SegCtx<'_> {
     }
 
     /// Charges one one-off packet (write-backs, whose victim addresses are
-    /// not page-run invariants) through the full route-selection path.
+    /// not page-run invariants) through the epoch-validated route cache.
     fn route_oneoff(&mut self, src: NodeId, dst: NodeId, kind: PacketKind) -> u64 {
-        resolve_route(
-            &mut self.batch.oneoff,
+        self.batch.oneoff.charge(
+            self.epoch,
             src,
             dst,
             kind,
@@ -419,8 +570,9 @@ impl SegCtx<'_> {
             self.cluster_map,
             self.mc_node_set,
             self.hop_table,
-        );
-        self.batch.oneoff.charge(self.noc, self.noc_stats)
+            self.noc,
+            self.noc_stats,
+        )
     }
 
     /// Runs [`coherence_transaction`] at the segment's home slice from the
@@ -429,6 +581,8 @@ impl SegCtx<'_> {
         let home = self.home();
         let core = self.core;
         let line_bytes = self.line_bytes;
+        let lines_per_page = (self.page_bytes / line_bytes) as usize;
+        let slot_idx = ((paddr % self.page_bytes) / line_bytes) as usize;
         let SegCtx {
             l1s,
             directories,
@@ -441,8 +595,14 @@ impl SegCtx<'_> {
             regions,
             batch,
             ipc_marker,
+            epoch,
             ..
         } = self;
+        if batch.dir_slots.len() != lines_per_page {
+            // One-time lazy allocation (pages have one size per machine).
+            batch.dir_slots.clear();
+            batch.dir_slots.resize(lines_per_page, u32::MAX);
+        }
         let mut net = CohNet {
             noc,
             noc_stats,
@@ -452,6 +612,7 @@ impl SegCtx<'_> {
             hop_table,
             regions,
             ipc_marker: *ipc_marker,
+            epoch: *epoch,
             oneoff: &mut batch.oneoff,
         };
         coherence_transaction(
@@ -464,6 +625,7 @@ impl SegCtx<'_> {
             write,
             upgrade,
             &mut net,
+            Some(&mut batch.dir_slots[slot_idx]),
         )
     }
 }
@@ -1102,10 +1264,11 @@ impl Machine {
             mc_node_set,
             hop_table,
             ipc_marker,
+            route_epoch,
             ..
         } = self;
-        resolve_route(
-            &mut batch.oneoff,
+        batch.oneoff.charge(
+            *route_epoch,
             src,
             dst,
             kind,
@@ -1114,8 +1277,9 @@ impl Machine {
             cluster_map.as_ref(),
             mc_node_set,
             hop_table,
-        );
-        batch.oneoff.charge(noc, noc_stats)
+            noc,
+            noc_stats,
+        )
     }
 
     // ----- the access path -------------------------------------------------
@@ -1249,6 +1413,7 @@ impl Machine {
             regions,
             batch,
             ipc_marker,
+            route_epoch,
             ..
         } = self;
         let mut net = CohNet {
@@ -1260,8 +1425,11 @@ impl Machine {
             hop_table,
             regions,
             ipc_marker: *ipc_marker,
+            epoch: *route_epoch,
             oneoff: &mut batch.oneoff,
         };
+        // `slot_hint: None` — the scalar path is the unmemoised reference
+        // the batched engine's fast path is differentially tested against.
         coherence_transaction(
             &mut directories[home.0],
             l1s,
@@ -1272,6 +1440,7 @@ impl Machine {
             write,
             upgrade,
             &mut net,
+            None,
         )
     }
 
@@ -1384,6 +1553,7 @@ impl Machine {
             batch,
             load_hint,
             ipc_marker,
+            route_epoch,
             ..
         } = self;
         let mut ctx = SegCtx {
@@ -1408,6 +1578,7 @@ impl Machine {
             regions,
             batch,
             ipc_marker: *ipc_marker,
+            epoch: *route_epoch,
             load_hint: *load_hint,
             l2_accesses: 0,
             l2_hits: 0,

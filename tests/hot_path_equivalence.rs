@@ -519,6 +519,94 @@ proptest! {
     }
 }
 
+/// The private-page directory fast path must actually fire on a
+/// sole-sharer revisit workload — one page (64 lines) re-swept through a
+/// 16-line L1, so every sweep after the first re-misses lines the
+/// directory still tracks as privately held — and stay byte-identical to
+/// the scalar reference path, which never consumes slot hints.
+#[test]
+fn private_page_fast_path_fires_and_stays_byte_identical() {
+    let mut batched = Machine::new(MachineConfig::small_test());
+    let mut scalar = Machine::new(MachineConfig::small_test());
+    let pid_b = batched.create_process("p", SecurityClass::Secure);
+    let pid_s = scalar.create_process("p", SecurityClass::Secure);
+    for round in 0..4u32 {
+        // Alternate read and write sweeps: the fast path must replay both
+        // the Modified (write) and the Shared→Exclusive re-grant (read)
+        // transitions identically.
+        let run = RefRun::new(0x40_0000, 64, 64, round % 2 == 0);
+        let got = batched.access_run(NodeId(0), pid_b, run);
+        let mut want = 0u64;
+        for r in run.iter() {
+            want += scalar.access(NodeId(0), pid_s, r.vaddr, r.write);
+        }
+        assert_eq!(got, want, "round {round} diverged");
+    }
+    let fast: u64 = (0..4).map(|s| batched.directory(SliceId(s)).fast_hits()).sum();
+    assert!(fast > 0, "the private-page fast path never fired");
+    let slow: u64 = (0..4).map(|s| scalar.directory(SliceId(s)).fast_hits()).sum();
+    assert_eq!(slow, 0, "the scalar reference must stay unmemoised");
+    assert_eq!(format!("{:?}", batched.stats()), format!("{:?}", scalar.stats()));
+}
+
+/// Stale one-off route-cache slots and directory slot hints must never
+/// survive `reset_pristine` or any route-affecting mutation: a machine
+/// that ran a full prelude — cluster isolation, IPC-marked traffic,
+/// restricted homes, traffic from every core — and was then reset must
+/// behave byte-identically to a never-used machine over an op sequence
+/// that itself reconfigures routing mid-stream. This pins the
+/// `BatchScratch` invariant that `rebind` deliberately does *not* clear
+/// `oneoff`/`dir_slots`: their validity is epoch- respectively
+/// structurally-keyed, not lifecycle-managed, so a reset that merely bumps
+/// `route_epoch` must be indistinguishable from empty caches.
+#[test]
+fn stale_caches_never_survive_pristine_reset() {
+    let topo = MeshTopology::new(2, 2);
+    let mut warm = Machine::new(MachineConfig::small_test());
+    let pid = warm.create_process("prelude", SecurityClass::Secure);
+    warm.set_cluster_map(Some(ClusterMap::row_major_split(topo, 2)));
+    warm.set_ipc_marker(true);
+    warm.set_process_slices(pid, vec![SliceId(1), SliceId(2)]);
+    for core in 0..4 {
+        warm.access_run(NodeId(core), pid, RefRun::new(0x30_0000, 64, 64, core % 2 == 0));
+    }
+    warm.reset_pristine();
+
+    let mut fresh = Machine::new(MachineConfig::small_test());
+    let pid_w = warm.create_process("p", SecurityClass::Secure);
+    let pid_f = fresh.create_process("p", SecurityClass::Secure);
+    warm.enable_latency_trace(4096);
+    fresh.enable_latency_trace(4096);
+    let sweep = |m: &mut Machine, pid| {
+        let mut total = 0u64;
+        for core in 0..4 {
+            total += m.access_run(NodeId(core), pid, RefRun::new(0x30_0000, 64, 96, core >= 2));
+        }
+        total
+    };
+    assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "plain traffic");
+    warm.set_cluster_map(Some(ClusterMap::row_major_split(topo, 2)));
+    fresh.set_cluster_map(Some(ClusterMap::row_major_split(topo, 2)));
+    assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "clustered traffic");
+    warm.set_ipc_marker(true);
+    fresh.set_ipc_marker(true);
+    assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "IPC-marked traffic");
+    warm.set_ipc_marker(false);
+    fresh.set_ipc_marker(false);
+    assert_eq!(
+        warm.set_process_slices(pid_w, vec![SliceId(0), SliceId(3)]),
+        fresh.set_process_slices(pid_f, vec![SliceId(0), SliceId(3)])
+    );
+    assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "rehomed traffic");
+    warm.set_cluster_map(None);
+    fresh.set_cluster_map(None);
+    assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "de-clustered traffic");
+    let trace_w: Vec<u64> = warm.latency_trace().unwrap().iter().collect();
+    let trace_f: Vec<u64> = fresh.latency_trace().unwrap().iter().collect();
+    assert_eq!(trace_w, trace_f);
+    assert_eq!(format!("{:?}", warm.stats()), format!("{:?}", fresh.stats()));
+}
+
 /// The audit path never sees a cluster value disagree between the iterator
 /// and materialised forms (plain test: a fixed interesting shape).
 #[test]
