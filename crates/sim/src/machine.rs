@@ -411,9 +411,15 @@ impl CohNet<'_> {
 /// * an `upgrade` (write hit on a Shared line) brackets the transaction
 ///   with a requester→home request and a home→requester acknowledgement;
 /// * every foreign invalidation/downgrade costs a home→sharer maintenance
-///   message plus the sharer's acknowledgement **on the critical path**,
-///   charged sequentially in ascending core order (conservative: real
-///   hardware overlaps them);
+///   message plus the sharer's acknowledgement, **all still charged on the
+///   mesh per packet in ascending core order** (traffic, link-load EMA and
+///   statistics see every message) — but the requester's critical path
+///   waits only for the **slowest** sharer's home→sharer→home round trip,
+///   not their sum: the home issues the messages concurrently and collects
+///   acknowledgements in parallel, as directory hardware does. A
+///   transaction's invalidation and downgrade sets are mutually exclusive
+///   (writes invalidate, reads downgrade at most one owner), so the per-set
+///   maxima never hide each other;
 /// * dirty copies surrendered by a downgrade or invalidation emit a
 ///   write-back packet off the critical path, like ordinary victim
 ///   write-backs;
@@ -468,20 +474,24 @@ fn coherence_transaction(
     if upgrade {
         cycles += net.charge(core, home, PacketKind::Maintenance, paddr);
     }
+    let mut slowest_ack = 0u64;
     for t in out.downgrade.iter() {
-        cycles += net.charge(home, t, PacketKind::Maintenance, paddr);
+        let mut round_trip = net.charge(home, t, PacketKind::Maintenance, paddr);
         if l1s[t.0].downgrade_line(paddr) == Some(true) {
             net.charge(t, home, PacketKind::WriteBack, paddr);
         }
-        cycles += net.charge(t, home, PacketKind::Maintenance, paddr);
+        round_trip += net.charge(t, home, PacketKind::Maintenance, paddr);
+        slowest_ack = slowest_ack.max(round_trip);
     }
     for t in out.invalidate.iter() {
-        cycles += net.charge(home, t, PacketKind::Maintenance, paddr);
+        let mut round_trip = net.charge(home, t, PacketKind::Maintenance, paddr);
         if l1s[t.0].invalidate(paddr).map(|ev| ev.dirty) == Some(true) {
             net.charge(t, home, PacketKind::WriteBack, paddr);
         }
-        cycles += net.charge(t, home, PacketKind::Maintenance, paddr);
+        round_trip += net.charge(t, home, PacketKind::Maintenance, paddr);
+        slowest_ack = slowest_ack.max(round_trip);
     }
+    cycles += slowest_ack;
     if upgrade {
         cycles += net.charge(home, core, PacketKind::Maintenance, paddr);
     }
