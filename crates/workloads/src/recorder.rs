@@ -48,21 +48,49 @@ impl Region {
     }
 
     /// Size of the region in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size overflows `u64` (a region that large cannot be
+    /// addressed and always indicates a layout bug).
     pub fn size_bytes(&self) -> u64 {
-        self.elem_bytes * self.len
+        self.elem_bytes.checked_mul(self.len).unwrap_or_else(|| {
+            panic!("region size {} x {} overflows u64", self.elem_bytes, self.len)
+        })
     }
 
     /// Virtual address of element `index` (indices wrap so synthetic kernels
     /// can address freely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element's address overflows `u64` — seed-shifted layout
+    /// bases can push a region against the top of the address space, and a
+    /// silent wrap would alias another region's trace, so the arithmetic is
+    /// explicitly checked.
     pub fn addr_of(&self, index: u64) -> u64 {
         let idx = if self.len == 0 { 0 } else { index % self.len };
-        self.base + idx * self.elem_bytes
+        idx.checked_mul(self.elem_bytes).and_then(|off| self.base.checked_add(off)).unwrap_or_else(
+            || {
+                panic!(
+                    "address of element {idx} overflows u64 (region base {:#x}, {} B elements)",
+                    self.base, self.elem_bytes
+                )
+            },
+        )
     }
 
     /// The first address after the region; useful for laying out the next
     /// region with headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the end address overflows `u64` (the region cannot fit in
+    /// the address space; see [`Region::addr_of`]).
     pub fn end(&self) -> u64 {
-        self.base + self.size_bytes()
+        self.base.checked_add(self.size_bytes()).unwrap_or_else(|| {
+            panic!("region end overflows u64 (base {:#x} + {} B)", self.base, self.size_bytes())
+        })
     }
 }
 
@@ -134,16 +162,48 @@ impl AccessRecorder {
     /// (and none at all once the per-unit cap is full), so recording cost no
     /// longer scales with a kernel's arithmetic intensity.
     pub fn read_cycle(&mut self, region: &Region, indices: &[u64], reps: u64) {
-        if indices.is_empty() || reps == 0 {
+        self.bulk_cycle(region, indices.len() as u64, reps, |i| (indices[i as usize], false));
+    }
+
+    /// The write counterpart of [`AccessRecorder::read_cycle`]: `reps`
+    /// passes over the cyclic *write* pattern `indices`, byte-identical to
+    /// the equivalent [`AccessRecorder::write`] loop, with the same bulk
+    /// sampling arithmetic — so write-heavy kernels with stationary
+    /// patterns stop paying per-touch recording cost.
+    pub fn write_cycle(&mut self, region: &Region, indices: &[u64], reps: u64) {
+        self.bulk_cycle(region, indices.len() as u64, reps, |i| (indices[i as usize], true));
+    }
+
+    /// The mixed counterpart: `reps` passes over a cyclic pattern of
+    /// `(index, write)` touches — the shape of a kernel that re-sweeps a
+    /// stationary working set doing interleaved loads and stores.
+    /// Byte-identical to issuing each `(index, write)` through
+    /// [`AccessRecorder::read`]/[`AccessRecorder::write`] in order.
+    pub fn rw_cycle(&mut self, region: &Region, pattern: &[(u64, bool)], reps: u64) {
+        self.bulk_cycle(region, pattern.len() as u64, reps, |i| pattern[i as usize]);
+    }
+
+    /// The shared bulk core of the `*_cycle` recorders: `reps` passes over a
+    /// `cycle`-touch pattern, where `at(i)` yields the `(index, write)` of
+    /// the pattern's `i`-th touch. Counts every touch, keeps exactly the
+    /// touches scalar recording would keep, and advances the sampling phase
+    /// in O(kept) instead of O(touched).
+    fn bulk_cycle(
+        &mut self,
+        region: &Region,
+        cycle: u64,
+        reps: u64,
+        at: impl Fn(u64) -> (u64, bool),
+    ) {
+        if cycle == 0 || reps == 0 {
             return;
         }
-        let cycle = indices.len() as u64;
         let n = cycle * reps;
         // 1-based offset within this block of the next kept touch.
         let mut offset = self.until_sample;
         while offset <= n && self.refs.len() < self.cap {
-            let index = indices[((offset - 1) % cycle) as usize];
-            self.refs.push(MemRef { vaddr: region.addr_of(index), write: false });
+            let (index, write) = at((offset - 1) % cycle);
+            self.refs.push(MemRef { vaddr: region.addr_of(index), write });
             offset += self.sample_rate;
         }
         self.total_touches += n;
@@ -254,6 +314,46 @@ mod tests {
                 "rate {rate} cap {cap} reps {reps}"
             );
         }
+    }
+
+    #[test]
+    fn region_may_end_exactly_at_the_address_space_top() {
+        // A region flush against the top of the address space is legal: the
+        // checked arithmetic must only reject actual overflow, not the
+        // boundary itself.
+        let r = Region::new(u64::MAX - 800, 8, 100);
+        assert_eq!(r.size_bytes(), 800);
+        assert_eq!(r.end(), u64::MAX);
+        assert_eq!(r.addr_of(0), u64::MAX - 800);
+        assert_eq!(r.addr_of(99), u64::MAX - 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "region size")]
+    fn region_size_overflow_panics() {
+        Region::new(0, u64::MAX, 2).size_bytes();
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn region_element_offset_overflow_panics() {
+        // idx * elem_bytes alone overflows, before the base is even added.
+        Region::new(0, u64::MAX / 2 + 1, 3).addr_of(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "address of element")]
+    fn region_base_plus_offset_overflow_panics() {
+        // A seed-shifted base near the top of the address space: element 50
+        // lands past u64::MAX and must panic instead of wrapping into
+        // (and aliasing) another region's addresses.
+        Region::new(u64::MAX - 100, 8, 100).addr_of(50);
+    }
+
+    #[test]
+    #[should_panic(expected = "region end overflows")]
+    fn region_end_overflow_panics() {
+        Region::new(u64::MAX - 100, 8, 100).end();
     }
 
     #[test]

@@ -618,3 +618,87 @@ fn split_row_cluster_still_rejected() {
     // by either deterministic order (see the seed's cluster tests).
     assert!(map.contained_route(NodeId(33), NodeId(38), ClusterId::Secure).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Bulk recorder cycles: `write_cycle`/`rw_cycle` vs the scalar touch loop.
+// Mirrors `read_cycle_matches_scalar_reads` in the recorder's unit tests,
+// but from the package boundary and over the write-carrying variants the
+// fast-path work added — the kept references (addresses AND write bits),
+// the touch counts, and the surviving sampling phase must all match.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn write_cycle_matches_scalar_writes() {
+    use ironhide::ironhide_workloads::{AccessRecorder, Region};
+
+    let region = Region::new(0x9000, 8, 256);
+    let indices = [5u64, 17, 250, 0, 63, 17];
+    for (rate, cap, reps, pre) in
+        [(1u64, usize::MAX, 37u64, 0u64), (4, usize::MAX, 53, 3), (2, 25, 90, 1), (9, 4, 11, 8)]
+    {
+        let mut bulk = AccessRecorder::new(rate, cap);
+        let mut scalar = AccessRecorder::new(rate, cap);
+        // Desynchronise the sampling phase with a few ordinary touches.
+        for i in 0..pre {
+            bulk.read(&region, i);
+            scalar.read(&region, i);
+        }
+        bulk.write_cycle(&region, &indices, reps);
+        for _ in 0..reps {
+            for idx in indices {
+                scalar.write(&region, idx);
+            }
+        }
+        // Trailing touches prove the sampling phase survived the bulk call.
+        for i in 0..7 {
+            bulk.write(&region, 100 + i);
+            scalar.write(&region, 100 + i);
+        }
+        assert_eq!(bulk.total_touches(), scalar.total_touches(), "rate {rate} cap {cap}");
+        assert_eq!(
+            bulk.take().iter().collect::<Vec<_>>(),
+            scalar.take().iter().collect::<Vec<_>>(),
+            "rate {rate} cap {cap} reps {reps}"
+        );
+    }
+}
+
+#[test]
+fn rw_cycle_matches_interleaved_scalar_touches() {
+    use ironhide::ironhide_workloads::{AccessRecorder, Region};
+
+    let region = Region::new(0xA000, 4, 128);
+    // A read-modify-write sweep: load, load, store per element triple.
+    let pattern =
+        [(2u64, false), (9, false), (9, true), (40, false), (40, true), (127, false), (0, true)];
+    for (rate, cap, reps, pre) in
+        [(1u64, usize::MAX, 29u64, 0u64), (3, usize::MAX, 44, 2), (5, 18, 77, 4), (7, 3, 10, 6)]
+    {
+        let mut bulk = AccessRecorder::new(rate, cap);
+        let mut scalar = AccessRecorder::new(rate, cap);
+        for i in 0..pre {
+            bulk.write(&region, i);
+            scalar.write(&region, i);
+        }
+        bulk.rw_cycle(&region, &pattern, reps);
+        for _ in 0..reps {
+            for (idx, write) in pattern {
+                if write {
+                    scalar.write(&region, idx);
+                } else {
+                    scalar.read(&region, idx);
+                }
+            }
+        }
+        for i in 0..5 {
+            bulk.read(&region, 60 + i);
+            scalar.read(&region, 60 + i);
+        }
+        assert_eq!(bulk.total_touches(), scalar.total_touches(), "rate {rate} cap {cap}");
+        assert_eq!(
+            bulk.take().iter().collect::<Vec<_>>(),
+            scalar.take().iter().collect::<Vec<_>>(),
+            "rate {rate} cap {cap} reps {reps}"
+        );
+    }
+}
