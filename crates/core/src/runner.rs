@@ -91,6 +91,16 @@ pub struct CompletionReport {
     pub isolation: IsolationSummary,
     /// Clock frequency used for time conversion, in GHz.
     pub clock_ghz: f64,
+    /// Total simulated memory accesses across *every* phase of the run —
+    /// predictor probes, warm-up/reconfiguration and the measured phase —
+    /// not just the measured phase the `machine` snapshot covers (whose
+    /// counters are reset at the measured-phase boundary). Every one of
+    /// these accesses is a full simulation through the same hot path, so
+    /// this is the honest denominator for simulator-throughput metrics.
+    /// Deliberately absent from the serialised report: the JSON schema is
+    /// pinned by the golden-stats tests, and this is a harness metric, not
+    /// a simulated result.
+    pub sim_accesses_total: u64,
     /// Machine-wide counter snapshot at the end of the measured phase
     /// (aggregate L1/TLB/L2, memory-controller and NoC counters plus purge /
     /// re-homing event counts). Consumed by the golden-stats regression tests
@@ -262,6 +272,10 @@ impl ExperimentRunner {
         // then the measured run itself (Machine::reset_pristine), instead of
         // paying ~0.5 ms of way-array allocation per probe.
         let mut scratch: Option<Machine> = machine;
+        // Simulated accesses performed outside the measured phase (predictor
+        // probes, then warm-up); the stats resets at each phase boundary
+        // would otherwise erase them from the completion report.
+        let mut unmeasured_accesses = 0u64;
         if arch.spatial_clusters() {
             // Every candidate probe replays the same post-reset interaction
             // prefix, so the sample is generated once and shared: the
@@ -272,7 +286,7 @@ impl ExperimentRunner {
             let sample_len = self.params.predictor_sample.min(app.interactions()).max(1);
             let sample: Vec<Interaction> = (0..sample_len).map(|i| app.interaction(i)).collect();
             let decision = self.realloc.decide(total_cores, initial_secure, |candidate| {
-                self.predict(&*app, &sample, &mut scratch, candidate)
+                self.predict(&*app, &sample, &mut scratch, &mut unmeasured_accesses, candidate)
             });
             decision_secure = decision.secure_cores;
             charge_reconfig = decision.charge_overhead;
@@ -304,6 +318,9 @@ impl ExperimentRunner {
             }
         }
 
+        // Warm-up (and cluster formation) accesses since prepare's pristine
+        // reset, banked before the measured-phase counter reset clears them.
+        unmeasured_accesses += run.machine.stats().l1.accesses;
         run.machine.reset_stats();
         run.compute_cycles = 0;
         run.overhead_cycles = 0;
@@ -324,6 +341,8 @@ impl ExperimentRunner {
         let l2_misses = sec_stats.l2.misses + ins_stats.l2.misses;
         let isolation = IsolationAuditor::new().audit(&run.machine, arch, &run.spec);
         let secure_cores = if arch.spatial_clusters() { decision_secure } else { total_cores };
+        let machine_stats = run.machine.stats();
+        let sim_accesses_total = unmeasured_accesses + machine_stats.l1.accesses;
         let report = CompletionReport {
             app: app.name().to_string(),
             arch,
@@ -337,7 +356,8 @@ impl ExperimentRunner {
             l2_miss_rate: ratio(l2_misses, l2_accesses),
             isolation,
             clock_ghz: self.config.clock_ghz,
-            machine: run.machine.stats(),
+            sim_accesses_total,
+            machine: machine_stats,
         };
         Ok((report, run.machine))
     }
@@ -351,6 +371,7 @@ impl ExperimentRunner {
         app: &dyn InteractiveApp,
         sample: &[Interaction],
         scratch: &mut Option<Machine>,
+        accesses: &mut u64,
         secure_cores: usize,
     ) -> f64 {
         let mut run = match self.prepare(Architecture::Ironhide, app, secure_cores, scratch.take())
@@ -368,6 +389,9 @@ impl ExperimentRunner {
         // without overriding real performance gradients.
         let bias = 1.0 + 0.01 * secure_cores as f64 / self.config.cores() as f64;
         let score = (run.compute_cycles + run.overhead_cycles) as f64 * bias;
+        // Bank this probe's simulated accesses before the machine is
+        // recycled (the next prepare's pristine reset clears its counters).
+        *accesses += run.machine.stats().l1.accesses;
         *scratch = Some(run.machine);
         score
     }

@@ -305,14 +305,13 @@ impl SweepRunner {
             .num_threads(self.threads)
             .build()
             .expect("sweep thread pool builds");
-        // Cells recycle simulated machines through a shared pool (pop one,
-        // reset-pristine, run, push back): machine construction is ~0.5 ms of
-        // way-array allocation that would otherwise be paid per cell. The
-        // pool cannot affect results — a recycled machine is byte-identical
-        // to a fresh one — so determinism is unaffected by pop order.
-        let machine_pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
+        // Cells recycle simulated machines through per-worker sharded pools
+        // (see WorkerPools): each worker pops from and pushes to its own
+        // shard only, so the recycling hot path shares no mutable state
+        // across workers.
+        let machine_pools = WorkerPools::new(pool.current_num_threads());
         let results: Vec<Result<SweepCell, SweepError>> = pool
-            .install(|| cells.par_iter().map(|cell| self.run_cell(cell, &machine_pool)).collect());
+            .install(|| cells.par_iter().map(|cell| self.run_cell(cell, &machine_pools)).collect());
 
         let mut out = Vec::with_capacity(results.len());
         for result in results {
@@ -324,21 +323,68 @@ impl SweepRunner {
     fn run_cell(
         &self,
         (key, app, scale): &(CellKey, &AppSpec, &ScalePoint),
-        machine_pool: &Mutex<Vec<Machine>>,
+        machine_pools: &WorkerPools,
     ) -> Result<SweepCell, SweepError> {
         let seed = derive_cell_seed(self.master_seed, key);
         let mut instance = app.instantiate(scale, seed);
         let runner = ExperimentRunner::new(self.machine.clone())
             .with_params(self.params)
             .with_realloc(key.policy);
-        let recycled = machine_pool.lock().ok().and_then(|mut p| p.pop());
         let (report, machine) = runner
-            .run_recycled(key.arch, instance.as_mut(), recycled)
+            .run_recycled(key.arch, instance.as_mut(), machine_pools.take())
             .map_err(|error| SweepError { cell: key.clone(), error })?;
-        if let Ok(mut p) = machine_pool.lock() {
-            p.push(machine);
-        }
+        machine_pools.give(machine);
         Ok(SweepCell { key: key.clone(), seed, report })
+    }
+}
+
+/// Per-worker machine pools for recycling simulated machines across sweep
+/// cells without cross-worker sharing.
+///
+/// Machine construction is ~0.5 ms of way/directory-array allocation that
+/// would otherwise be paid per cell, so cells recycle machines (pop one,
+/// reset-pristine, run, push back). Earlier revisions recycled through one
+/// `Mutex<Vec<Machine>>` shared by every worker, which serialised the pool on
+/// a single lock; the pools are now *sharded per worker*: worker `i` (by
+/// [`rayon::current_thread_index`]) recycles exclusively through shard `i`,
+/// so no shard is ever contended and workers share no mutable state on the
+/// hot path (the `Mutex` per shard only satisfies `Sync` — its owner is the
+/// only thread that locks it). Recycling cannot affect results — a recycled
+/// machine is byte-identical to a fresh one — so determinism is unaffected
+/// by which worker ran which cell.
+///
+/// The pools live for one `run`/`run_attacks` call, which also guarantees
+/// every pooled machine was built from that call's `MachineConfig` (the
+/// contract `run_recycled` requires).
+struct WorkerPools {
+    shards: Vec<Mutex<Vec<Machine>>>,
+}
+
+impl WorkerPools {
+    /// Creates one shard per worker (at least one, for the serial path).
+    fn new(workers: usize) -> Self {
+        WorkerPools { shards: (0..workers.max(1)).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// The calling worker's own shard. Work running outside an indexed
+    /// worker (the serial fast path executes on the caller's thread) falls
+    /// back to shard 0, which is equally uncontended there — it is the only
+    /// thread running.
+    fn shard(&self) -> &Mutex<Vec<Machine>> {
+        let idx = rayon::current_thread_index().unwrap_or(0);
+        &self.shards[idx % self.shards.len()]
+    }
+
+    /// Pops a recycled machine from the calling worker's shard.
+    fn take(&self) -> Option<Machine> {
+        self.shard().lock().ok().and_then(|mut shard| shard.pop())
+    }
+
+    /// Returns a machine to the calling worker's shard for the next cell.
+    fn give(&self, machine: Machine) {
+        if let Ok(mut shard) = self.shard().lock() {
+            shard.push(machine);
+        }
     }
 }
 
@@ -680,23 +726,22 @@ impl SweepRunner {
             .num_threads(self.threads)
             .build()
             .expect("attack thread pool builds");
-        // Attack cells recycle simulated machines through a shared pool
-        // exactly like the performance sweep's cells (pop one, let the
-        // factory reset-pristine and run it, push it back). Determinism is
-        // unaffected by pop order: a recycled machine is byte-identical to
-        // a fresh one, coherence directories included.
-        let machine_pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
+        // Attack cells recycle simulated machines through the same
+        // per-worker sharded pools as the performance sweep's cells (pop
+        // from the worker's own shard, let the factory reset-pristine and
+        // run it, push it back): no shard is ever contended, and recycling
+        // cannot affect results — a recycled machine is byte-identical to a
+        // fresh one, coherence directories included.
+        let machine_pools = WorkerPools::new(pool.current_num_threads());
         let results: Vec<Result<AttackCell, AttackSweepError>> = pool.install(|| {
             cells
                 .par_iter()
                 .map(|(key, channel, scale)| {
                     let seed = self.attack_cell_seed(key);
-                    let mut slot = machine_pool.lock().ok().and_then(|mut p| p.pop());
+                    let mut slot = machine_pools.take();
                     let result = channel.execute(&self.machine, key.arch, scale, seed, &mut slot);
                     if let Some(m) = slot {
-                        if let Ok(mut p) = machine_pool.lock() {
-                            p.push(m);
-                        }
+                        machine_pools.give(m);
                     }
                     let outcome =
                         result.map_err(|error| AttackSweepError { cell: key.clone(), error })?;

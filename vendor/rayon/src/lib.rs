@@ -21,6 +21,19 @@ thread_local! {
     /// Thread count installed by [`ThreadPool::install`] for the current
     /// scope; 0 means "use the default".
     static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// Index of the current worker within its parallel operation; `None`
+    /// outside a worker (including the serial fast path, which runs on the
+    /// caller's thread).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The index of the calling worker thread within its parallel operation
+/// (mirroring `rayon::current_thread_index`): `Some(0..threads)` inside a
+/// parallel map's workers, `None` on threads not owned by one — callers use
+/// it to index per-worker state without locking across workers.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|c| c.get())
 }
 
 /// The number of worker threads a parallel operation started now would use.
@@ -191,14 +204,19 @@ fn par_map_ordered<'a, T: Sync, R: Send>(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
+        for worker in 0..threads {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || {
+                WORKER_INDEX.with(|c| c.set(Some(worker)));
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    let value = f(&items[idx]);
+                    *slots[idx].lock().unwrap() = Some(value);
                 }
-                let value = f(&items[idx]);
-                *slots[idx].lock().unwrap() = Some(value);
             });
         }
     });
@@ -240,6 +258,20 @@ mod tests {
             nested.install(|| assert_eq!(current_num_threads(), 2));
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn worker_indices_are_dense_and_scoped() {
+        assert_eq!(current_thread_index(), None, "caller thread is not a worker");
+        let items: Vec<u32> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let indices: Vec<Option<usize>> =
+            pool.install(|| items.par_iter().map(|_| current_thread_index()).collect::<Vec<_>>());
+        for idx in indices {
+            let idx = idx.expect("parallel work runs on an indexed worker");
+            assert!(idx < 4, "worker index {idx} out of range");
+        }
+        assert_eq!(current_thread_index(), None, "index does not leak to the caller");
     }
 
     #[test]
