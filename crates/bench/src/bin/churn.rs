@@ -1,0 +1,307 @@
+//! Reconfiguration-storm benchmark: the cost of `ClusterManager::reconfigure`
+//! under churn.
+//!
+//! The ROADMAP's multi-tenant scenario drives thousands of cluster
+//! reconfigurations per simulated second, each a stalled purge → rehome →
+//! scrub sequence. This harness measures that path in isolation: it warms a
+//! paper-default machine (two processes, real pinned pages, resident caches
+//! and directories), then runs a seed-deterministic open-loop storm of
+//! alternating cluster shapes and times **only** the `reconfigure` calls.
+//!
+//! Every storm runs twice from identical initial states: once through the
+//! scalar reference reconfiguration path (`Machine::set_reconfig_reference`,
+//! the pre-batching per-pin/per-line implementation kept as the byte-identity
+//! oracle) and once through the default batched path. The harness asserts the
+//! two passes agree on the stall-cycle checksum and the pages-rehomed count —
+//! an in-process differential gate on every benchmark run — and reports both
+//! throughputs plus their ratio, so the committed `BENCH_7.json` carries the
+//! speedup claim *and* the evidence the optimisation is observably inert.
+//!
+//! The full grid also re-runs the BENCH_6 baseline sweeps (full + smoke) and
+//! embeds their simulated-cycle checksums, pinning the storm measurement to a
+//! simulator whose end-to-end semantics are byte-unchanged.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ironhide-bench --bin churn            # full storm
+//! cargo run --release -p ironhide-bench --bin churn -- --smoke # CI smoke
+//! cargo run --release -p ironhide-bench --bin churn -- --out path.json
+//! ```
+
+use std::time::Instant;
+
+use ironhide_core::arch::Architecture;
+use ironhide_core::cluster::ClusterManager;
+use ironhide_core::realloc::ReallocPolicy;
+use ironhide_core::sweep::SweepRunner;
+use ironhide_mesh::{ClusterId, NodeId};
+use ironhide_sim::config::MachineConfig;
+use ironhide_sim::machine::Machine;
+use ironhide_sim::process::{ProcessId, SecurityClass};
+use ironhide_workloads::app::{sweep_grid, AppId, ScaleFactor};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Master seed of the storm (arbitrary but fixed forever: changing it would
+/// make the stall-cycle checksum incomparable across PRs).
+const MASTER_SEED: u64 = 7;
+
+/// Master seed of the embedded baseline sweeps (must stay the BENCH_6 seed so
+/// the embedded checksums are the pinned 102451907 / 9755096 values).
+const BASELINE_SEED: u64 = 2;
+
+/// Secure-cluster shapes the storm alternates between. Row-major splits on
+/// the paper's 8×8 mesh; every consecutive pair differs, so every
+/// reconfiguration moves tiles, purges slices and re-homes pages.
+const SHAPES: [usize; 6] = [8, 16, 24, 32, 40, 56];
+
+/// One pass's measurement.
+struct StormResult {
+    wall_s: f64,
+    rate: u64,
+    stall_checksum: u64,
+    pages_rehomed: u64,
+    scrub_probes: u64,
+}
+
+struct StormParams {
+    reconfigs: u64,
+    warm_pages: u64,
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: churn [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let label = if smoke { "smoke" } else { "full" };
+    let params = if smoke {
+        StormParams { reconfigs: 40, warm_pages: 64 }
+    } else {
+        StormParams { reconfigs: 200, warm_pages: 128 }
+    };
+
+    eprintln!("churn: running {label} storm ({} reconfigs, reference pass)...", params.reconfigs);
+    let reference = run_storm(&params, true);
+    eprintln!("churn: running {label} storm ({} reconfigs, batched pass)...", params.reconfigs);
+    let batched = run_storm(&params, false);
+
+    // The in-harness differential gate: the batched protocol must be
+    // observably identical to the scalar reference, stall cycle for stall
+    // cycle, before its throughput may be reported.
+    if reference.stall_checksum != batched.stall_checksum {
+        eprintln!(
+            "churn: DIVERGENCE — batched stall checksum {} != reference {}",
+            batched.stall_checksum, reference.stall_checksum
+        );
+        std::process::exit(1);
+    }
+    if reference.pages_rehomed != batched.pages_rehomed {
+        eprintln!(
+            "churn: DIVERGENCE — batched pages_rehomed {} != reference {}",
+            batched.pages_rehomed, reference.pages_rehomed
+        );
+        std::process::exit(1);
+    }
+
+    // Full mode: pin the storm to an end-to-end-unchanged simulator by
+    // re-deriving the BENCH_6 baseline checksums.
+    let baseline_checksums = if smoke {
+        vec![("smoke", baseline_checksum(true))]
+    } else {
+        vec![("full_grid", baseline_checksum(false)), ("smoke", baseline_checksum(true))]
+    };
+
+    let speedup =
+        if reference.rate > 0 { batched.rate as f64 / reference.rate as f64 } else { 0.0 };
+    let report = render_report(label, &params, &reference, &batched, speedup, &baseline_checksums);
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("churn: wrote {out_path}");
+    println!("{report}");
+}
+
+/// Builds the warmed two-process machine and cluster manager every storm pass
+/// starts from. Identical across passes by construction (the machine is
+/// byte-deterministic and the warm-up is fixed).
+fn prepare(params: &StormParams) -> (Machine, ClusterManager, ProcessId, ProcessId) {
+    let mut machine = Machine::new(MachineConfig::paper_default());
+    let secure = machine.create_process("tenant-secure", SecurityClass::Secure);
+    let insecure = machine.create_process("tenant-insecure", SecurityClass::Insecure);
+    let (manager, _) =
+        ClusterManager::form(&mut machine, secure, insecure, SHAPES[3]).expect("initial clusters");
+    warm(&mut machine, &manager, secure, insecure, 0, params.warm_pages);
+    (machine, manager, secure, insecure)
+}
+
+/// Touches pages `base..base + pages` per process from cores spread over the
+/// process's cluster, so pins, L1/L2 lines and directory entries are all
+/// resident when a reconfiguration hits. The storm advances `base` between
+/// iterations — a sliding window, like real tenants continuously allocating:
+/// re-touched pages repopulate the caches, fresh pages allocate and pin
+/// round-robin over the *current* allowed slices, so every later shrink has
+/// real pages to move (a fixed working set converges to pins inside the
+/// always-allowed slice range and the storm degenerates to pure purges).
+fn warm(
+    machine: &mut Machine,
+    manager: &ClusterManager,
+    secure: ProcessId,
+    insecure: ProcessId,
+    base: u64,
+    pages: u64,
+) {
+    let secure_cores: Vec<NodeId> = manager.cores_iter(ClusterId::Secure).collect();
+    let insecure_cores: Vec<NodeId> = manager.cores_iter(ClusterId::Insecure).collect();
+    for p in base..base + pages {
+        let vaddr = p * 4096;
+        let sc = secure_cores[p as usize % secure_cores.len()];
+        let ic = insecure_cores[p as usize % insecure_cores.len()];
+        machine.access(sc, secure, vaddr, p % 3 == 0);
+        machine.access(ic, insecure, vaddr, p % 3 == 1);
+        // A second reader per page gives the directories Shared entries, so
+        // the scrub's sharer census has real work.
+        machine.access(secure_cores[(p as usize + 1) % secure_cores.len()], secure, vaddr, false);
+    }
+}
+
+/// Runs one seed-deterministic storm pass, timing only the `reconfigure`
+/// calls, and returns its measurement.
+fn run_storm(params: &StormParams, reference: bool) -> StormResult {
+    let (mut machine, mut manager, secure, insecure) = prepare(params);
+    machine.set_reconfig_reference(reference);
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED);
+    let mut current = SHAPES[3];
+    let mut stall_checksum = 0u64;
+    let mut stalled = std::time::Duration::ZERO;
+    for i in 0..params.reconfigs {
+        let idx = (rng.next_u64() % SHAPES.len() as u64) as usize;
+        let mut target = SHAPES[idx];
+        if target == current {
+            target = SHAPES[(idx + 1) % SHAPES.len()];
+        }
+        let start = Instant::now();
+        let cycles =
+            manager.reconfigure(&mut machine, secure, insecure, target).expect("valid storm shape");
+        stalled += start.elapsed();
+        stall_checksum = stall_checksum.wrapping_add(cycles);
+        current = target;
+        // Open-loop tenant activity between reconfigurations (untimed): the
+        // window slides a quarter of its width per iteration, so caches and
+        // directories are resident *and* fresh pages keep pinning onto the
+        // current cluster shape, as real churn would.
+        warm(
+            &mut machine,
+            &manager,
+            secure,
+            insecure,
+            (i + 1) * params.warm_pages / 4,
+            params.warm_pages,
+        );
+    }
+    let wall_s = stalled.as_secs_f64();
+    let rate = if wall_s > 0.0 { (params.reconfigs as f64 / wall_s).round() as u64 } else { 0 };
+    StormResult {
+        wall_s,
+        rate,
+        stall_checksum,
+        pages_rehomed: machine.stats().pages_rehomed,
+        scrub_probes: machine.scrub_probes(),
+    }
+}
+
+/// Re-runs the BENCH_6 baseline sweep (smoke or full) and returns its
+/// simulated-cycle checksum.
+fn baseline_checksum(smoke: bool) -> u64 {
+    let apps: Vec<AppId> =
+        if smoke { vec![AppId::QueryAes, AppId::PrGraph] } else { AppId::ALL.to_vec() };
+    let archs = if smoke {
+        vec![Architecture::Mi6, Architecture::Ironhide]
+    } else {
+        Architecture::ALL.to_vec()
+    };
+    let grid = sweep_grid(&apps, &archs, &[ReallocPolicy::Heuristic], &[ScaleFactor::Smoke]);
+    let runner =
+        SweepRunner::new(MachineConfig::paper_default()).with_threads(1).with_seed(BASELINE_SEED);
+    let matrix = runner.run(&grid).unwrap_or_else(|e| {
+        eprintln!("churn: embedded baseline sweep failed: {e}");
+        std::process::exit(1);
+    });
+    matrix.cells.iter().map(|c| c.report.total_cycles).sum()
+}
+
+/// Renders the measurement as deterministic-layout JSON (timing fields vary
+/// run to run; everything else, including both checksums, must not).
+fn render_report(
+    grid_label: &str,
+    params: &StormParams,
+    reference: &StormResult,
+    batched: &StormResult,
+    speedup: f64,
+    baseline_checksums: &[(&str, u64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"reconfiguration_storm\",\n");
+    out.push_str(&format!("  \"grid\": \"{grid_label}\",\n"));
+    out.push_str(&format!("  \"master_seed\": {MASTER_SEED},\n"));
+    out.push_str(&format!("  \"reconfigs\": {},\n", params.reconfigs));
+    out.push_str(&format!("  \"warm_pages_per_process\": {},\n", params.warm_pages));
+    for (name, r) in [("reference", reference), ("batched", batched)] {
+        out.push_str(&format!("  \"{name}\": {{\n"));
+        out.push_str(&format!("    \"wall_seconds\": {:.6},\n", r.wall_s));
+        out.push_str(&format!("    \"reconfigs_per_sec\": {},\n", r.rate));
+        out.push_str(&format!("    \"stall_cycle_checksum\": {},\n", r.stall_checksum));
+        out.push_str(&format!("    \"pages_rehomed\": {},\n", r.pages_rehomed));
+        out.push_str(&format!("    \"scrub_probes\": {}\n", r.scrub_probes));
+        out.push_str("  },\n");
+    }
+    out.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    out.push_str("  \"baseline_checksums\": {\n");
+    for (i, (name, sum)) in baseline_checksums.iter().enumerate() {
+        let sep = if i + 1 == baseline_checksums.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {sum}{sep}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
+    out.push_str(&format!("  \"available_parallelism\": {}\n", available_parallelism()));
+    out.push_str("}\n");
+    out
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}

@@ -478,6 +478,38 @@ impl Directory {
         }
     }
 
+    /// Drops the live entries of the `count`-line run starting at
+    /// `base_line` (a re-homed page's worth of consecutive lines) in one
+    /// pass, returning the union of the dropped entries' sharer sets and
+    /// the number of entries dropped. Byte-identical in effects and
+    /// statistics to `count` scalar [`Directory::drop_line`] calls —
+    /// `flushed_entries` only counts entries that existed — but short-
+    /// circuits entirely when the directory is empty, and the union sharer
+    /// set lets the caller scrub only L1s the inclusivity invariant says
+    /// can still hold a tracked copy.
+    pub fn drop_page_lines(&mut self, base_line: u64, count: u64) -> (NodeSet, u64) {
+        let mut union = NodeSet::default();
+        let mut dropped = 0u64;
+        if self.live_count == 0 {
+            return (union, 0);
+        }
+        let generation = self.generation;
+        for line in base_line..base_line + count {
+            let (lo, hi) = self.set_range(line);
+            if let Some(e) = self.entries[lo..hi]
+                .iter_mut()
+                .find(|e| e.valid && e.generation == generation && e.line == line)
+            {
+                union.union_with(&e.sharers);
+                e.valid = false;
+                self.live_count -= 1;
+                dropped += 1;
+            }
+        }
+        self.stats.flushed_entries += dropped;
+        (union, dropped)
+    }
+
     /// The live entry for `line`, as `(state, sharers, owner)`, without
     /// disturbing any state. Observability for invariant checks and tests.
     pub fn probe(&self, line: u64) -> Option<(MesiState, NodeSet, NodeId)> {

@@ -68,11 +68,25 @@ impl std::error::Error for HomingError {}
 pub struct HomeMap {
     policy: HomePolicy,
     allowed: Vec<SliceId>,
+    /// Membership bitset over `allowed` (one bit per slice id), rebuilt by
+    /// [`HomeMap::set_allowed`]: the pin/rehome paths test membership in O(1)
+    /// instead of scanning the allowed vector per page.
+    allowed_bits: Vec<u64>,
     /// Page pins, consulted on every L1 miss. Keyed with the deterministic Fx
     /// hasher: it is both faster than SipHash and gives the map a
     /// process-independent iteration order, which [`HomeMap::rehome_all`]'s
     /// round-robin assignment depends on for reproducible reconfigurations.
     pins: FxHashMap<PageId, SliceId>,
+    /// Reverse index: how many pages are currently pinned to each slice,
+    /// maintained by `pin`/`rehome`/`rehome_all_logged`. Lets a
+    /// reconfiguration decide in O(distinct pinned slices) — not O(pins) —
+    /// whether any page is homed on a now-disallowed slice, which is the
+    /// common no-op case under churn. The *enumeration* of moved pages still
+    /// walks the pin table when pages do move: the round-robin target
+    /// assignment is defined over the pin table's iteration order, and that
+    /// order (hence the simulated-cycle checksums) cannot be reconstructed
+    /// from a per-slice index.
+    pins_per_slice: FxHashMap<SliceId, u32>,
     rehomes: u64,
 }
 
@@ -80,12 +94,54 @@ impl HomeMap {
     /// Creates a home map over the given allowed slices using the default
     /// hash-for-home policy.
     pub fn new(allowed: impl IntoIterator<Item = SliceId>) -> Self {
-        HomeMap {
+        let mut m = HomeMap {
             policy: HomePolicy::HashForHome,
             allowed: allowed.into_iter().collect(),
+            allowed_bits: Vec::new(),
             pins: FxHashMap::default(),
+            pins_per_slice: FxHashMap::default(),
             rehomes: 0,
+        };
+        m.rebuild_allowed_bits();
+        m
+    }
+
+    /// Rebuilds the membership bitset from the allowed vector.
+    fn rebuild_allowed_bits(&mut self) {
+        self.allowed_bits.iter_mut().for_each(|w| *w = 0);
+        let max = self.allowed.iter().map(|s| s.0).max();
+        if let Some(max) = max {
+            if self.allowed_bits.len() <= max / 64 {
+                self.allowed_bits.resize(max / 64 + 1, 0);
+            }
         }
+        for s in &self.allowed {
+            self.allowed_bits[s.0 / 64] |= 1 << (s.0 % 64);
+        }
+    }
+
+    /// O(1) membership test against the allowed set.
+    #[inline]
+    fn is_allowed(&self, slice: SliceId) -> bool {
+        self.allowed_bits.get(slice.0 / 64).is_some_and(|w| w & (1 << (slice.0 % 64)) != 0)
+    }
+
+    /// Records in the reverse index that a pin moved `from` one slice onto
+    /// another (`None` for a fresh pin).
+    #[inline]
+    fn index_repin(&mut self, from: Option<SliceId>, to: SliceId) {
+        if let Some(old) = from {
+            if old == to {
+                return;
+            }
+            if let Some(n) = self.pins_per_slice.get_mut(&old) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pins_per_slice.remove(&old);
+                }
+            }
+        }
+        *self.pins_per_slice.entry(to).or_insert(0) += 1;
     }
 
     /// Creates a local-homing map (the strong-isolation configuration).
@@ -115,7 +171,16 @@ impl HomeMap {
     /// tiles). Existing pins outside the new set must be re-homed explicitly
     /// by the caller via [`HomeMap::rehome_all`].
     pub fn set_allowed(&mut self, allowed: impl IntoIterator<Item = SliceId>) {
-        self.allowed = allowed.into_iter().collect();
+        self.allowed.clear();
+        self.allowed.extend(allowed);
+        self.rebuild_allowed_bits();
+    }
+
+    /// Whether any pinned page currently lives outside the allowed set —
+    /// i.e. whether [`HomeMap::rehome_all`] would move anything. O(distinct
+    /// pinned slices) via the reverse index, not O(pins).
+    pub fn has_disallowed_pins(&self) -> bool {
+        self.pins_per_slice.keys().any(|s| !self.is_allowed(*s))
     }
 
     /// Pins `page` to `slice` (the `tmc_alloc_set_home` call).
@@ -124,10 +189,11 @@ impl HomeMap {
     ///
     /// Fails if `slice` is not in the allowed set.
     pub fn pin(&mut self, page: PageId, slice: SliceId) -> Result<(), HomingError> {
-        if !self.allowed.contains(&slice) {
+        if !self.is_allowed(slice) {
             return Err(HomingError { page, reason: "target slice is not owned by this domain" });
         }
-        self.pins.insert(page, slice);
+        let prev = self.pins.insert(page, slice);
+        self.index_repin(prev, slice);
         Ok(())
     }
 
@@ -199,18 +265,63 @@ impl HomeMap {
                 reason: "cannot re-home pages: no slices allowed",
             });
         }
+        // Fast path: the reverse index knows in O(distinct pinned slices)
+        // whether anything is pinned outside the allowed set. Under churn
+        // most calls restrict to a superset (or re-apply the same set) and
+        // move nothing — they must not pay an O(pins) walk.
+        if !self.has_disallowed_pins() {
+            return Ok(0);
+        }
+        let start = log.len();
+        // Pages do move: enumerate them in the pin table's iteration order.
+        // The order is observable — the round-robin assignment below maps the
+        // i-th moved page to `allowed[i % k]` — so this walk cannot be
+        // replaced by iterating the reverse index (which would visit pages
+        // grouped by old slice and re-deal every target).
+        log.extend(self.pins.iter().filter(|(_, s)| !self.is_allowed(**s)).map(|(p, s)| (*p, *s)));
+        Ok(self.assign_round_robin(&log[start..]))
+    }
+
+    /// Assigns round-robin targets to an already-enumerated moved log,
+    /// updating the pin table and the reverse index. Shared tail of
+    /// [`HomeMap::rehome_all_logged`] and its reference twin.
+    fn assign_round_robin(&mut self, moved_log: &[(PageId, SliceId)]) -> u64 {
+        let mut moved = 0;
+        for (i, (page, old)) in moved_log.iter().enumerate() {
+            let target = self.allowed[i % self.allowed.len()];
+            self.pins.insert(*page, target);
+            self.index_repin(Some(*old), target);
+            self.rehomes += 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// The pre-index reference implementation of
+    /// [`HomeMap::rehome_all_logged`]: a full O(pins × allowed) walk with a
+    /// linear membership scan per pin and no zero-move fast path. Kept (and
+    /// exercised by `tests/reconfig_equivalence.rs` and the churn harness's
+    /// differential gate) as the byte-identity reference the indexed path
+    /// must match move for move.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no slices are allowed, like the indexed path.
+    pub fn rehome_all_logged_reference(
+        &mut self,
+        log: &mut Vec<(PageId, SliceId)>,
+    ) -> Result<u64, HomingError> {
+        if self.allowed.is_empty() {
+            return Err(HomingError {
+                page: PageId(0),
+                reason: "cannot re-home pages: no slices allowed",
+            });
+        }
         let start = log.len();
         log.extend(
             self.pins.iter().filter(|(_, s)| !self.allowed.contains(s)).map(|(p, s)| (*p, *s)),
         );
-        let mut moved = 0;
-        for (i, (page, _)) in log[start..].iter().enumerate() {
-            let target = self.allowed[i % self.allowed.len()];
-            self.pins.insert(*page, target);
-            self.rehomes += 1;
-            moved += 1;
-        }
-        Ok(moved)
+        Ok(self.assign_round_robin(&log[start..]))
     }
 
     /// The slice `page` is explicitly pinned to, if any (`None` for pages

@@ -438,6 +438,115 @@ impl SetAssocCache {
         Some(Evicted { addr: line_addr, dirty })
     }
 
+    /// Invalidates every resident line of the `lines`-line run starting at
+    /// `base_addr` (a page's worth of consecutive lines), returning the
+    /// number of lines that were actually resident. Byte-identical in
+    /// effects and statistics to `lines` scalar [`SetAssocCache::invalidate`]
+    /// calls — stats are only touched for lines that were present — but
+    /// walks the flat set×way array directly: the set index and tag are
+    /// advanced incrementally, so only the sets the run maps to are visited,
+    /// in one pass.
+    pub fn invalidate_page_run(&mut self, base_addr: u64, lines: u64) -> u64 {
+        let assoc = self.config.ways;
+        let generation = self.generation;
+        let mut flushed = 0u64;
+        let mut writebacks = 0u64;
+        match self.scheme {
+            IndexScheme::Pow2 { line_shift, set_mask, set_shift } => {
+                let base_line = base_addr >> line_shift;
+                for i in 0..lines {
+                    if self.valid_count == 0 {
+                        break;
+                    }
+                    let line = base_line + i;
+                    let index = (line & set_mask) as usize;
+                    let tag = line >> set_shift;
+                    let set = &mut self.ways[index * assoc..(index + 1) * assoc];
+                    if let Some(way) = set
+                        .iter_mut()
+                        .find(|w| w.valid && w.generation == generation && w.tag == tag)
+                    {
+                        let dirty = way.dirty;
+                        way.valid = false;
+                        way.dirty = false;
+                        self.valid_count -= 1;
+                        flushed += 1;
+                        if dirty {
+                            self.dirty_count -= 1;
+                            writebacks += 1;
+                        }
+                    }
+                }
+            }
+            IndexScheme::Generic { line_bytes, .. } => {
+                for i in 0..lines {
+                    if self.invalidate(base_addr + i * line_bytes).is_some() {
+                        flushed += 1;
+                    }
+                }
+                self.stats.flushed_lines -= flushed;
+                writebacks = 0; // `invalidate` already accounted them
+            }
+        }
+        self.stats.flushed_lines += flushed;
+        self.stats.writebacks += writebacks;
+        flushed
+    }
+
+    /// Invalidates every resident line belonging to any of the pages whose
+    /// first line numbers are listed (sorted ascending) in `base_lines`,
+    /// where each page spans `lines_per_page` consecutive lines. One pass
+    /// over the whole way array with a binary-search membership test per
+    /// live way — O(ways · log pages) regardless of how many pages are being
+    /// scrubbed, where per-page probing would cost O(pages · lines · assoc).
+    /// Effects and statistics are byte-identical to invalidating each page's
+    /// lines individually: only resident lines are touched. Returns the
+    /// number of lines invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `base_lines` is sorted (the binary search's
+    /// precondition) and that `lines_per_page` is non-zero.
+    pub fn invalidate_page_set(&mut self, base_lines: &[u64], lines_per_page: u64) -> u64 {
+        debug_assert!(lines_per_page > 0, "pages must span at least one line");
+        debug_assert!(base_lines.windows(2).all(|w| w[0] <= w[1]), "base_lines must be sorted");
+        if base_lines.is_empty() || self.valid_count == 0 {
+            return 0;
+        }
+        let generation = self.generation;
+        let assoc = self.config.ways;
+        let sets = self.config.sets();
+        let mut flushed = 0u64;
+        let mut writebacks = 0u64;
+        for index in 0..sets {
+            for w in &mut self.ways[index * assoc..(index + 1) * assoc] {
+                if !(w.valid && w.generation == generation) {
+                    continue;
+                }
+                let line = match self.scheme {
+                    IndexScheme::Pow2 { set_shift, .. } => (w.tag << set_shift) | index as u64,
+                    IndexScheme::Generic { sets, .. } => w.tag * sets + index as u64,
+                };
+                let page_base = line - line % lines_per_page;
+                if base_lines.binary_search(&page_base).is_err() {
+                    continue;
+                }
+                let dirty = w.dirty;
+                w.valid = false;
+                w.dirty = false;
+                self.valid_count -= 1;
+                flushed += 1;
+                if dirty {
+                    self.dirty_count -= 1;
+                    writebacks += 1;
+                }
+            }
+        }
+        self.stats.flushed_lines += flushed;
+        self.stats.writebacks += writebacks;
+        flushed
+    }
+
     // ----- coherence hooks (driven by the machine's directory layer) --------
 
     /// Sets the MESI Shared bit of the resident line containing `addr`,

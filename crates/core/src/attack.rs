@@ -307,16 +307,19 @@ impl AttackRunner {
                 // on the low half of the slices, the insecure one on the high
                 // half; cores remain time-shared.
                 let half = (total / 2).max(1);
-                machine.set_process_slices(victim, (0..half).map(SliceId).collect());
-                machine.set_process_slices(attacker, (half..total).map(SliceId).collect());
+                let low: Vec<SliceId> = (0..half).map(SliceId).collect();
+                let high: Vec<SliceId> = (half..total).map(SliceId).collect();
+                machine.set_process_slices(victim, &low);
+                machine.set_process_slices(attacker, &high);
                 (NodeId(0), self.temporal_victim_core(channel))
             }
             Architecture::Ironhide => {
                 let half = (total / 2).max(1);
                 let (manager, _setup) = ClusterManager::form(&mut machine, victim, attacker, half)?;
                 secure_cores = half;
-                let vic = manager.cores_of(ClusterId::Secure)[0];
-                let att = manager.cores_of(ClusterId::Insecure)[0];
+                let vic = manager.cores_iter(ClusterId::Secure).next().expect("non-empty cluster");
+                let att =
+                    manager.cores_iter(ClusterId::Insecure).next().expect("non-empty cluster");
                 (att, vic)
             }
         };

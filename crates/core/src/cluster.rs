@@ -13,7 +13,7 @@ use std::fmt;
 
 use ironhide_cache::SliceId;
 use ironhide_mem::ControllerMask;
-use ironhide_mesh::{ClusterId, ClusterMap, MeshTopology, NodeId};
+use ironhide_mesh::{ClusterId, ClusterMap, MeshTopology, NodeId, NodeSet};
 use ironhide_sim::machine::Machine;
 use ironhide_sim::process::ProcessId;
 
@@ -69,12 +69,25 @@ pub struct ClusterConfig {
     pub insecure_controllers: ControllerMask,
 }
 
+/// Reusable reconfiguration scratch: the moved tile/slice lists and the
+/// per-process slice lists are rebuilt on every [`ClusterManager::reconfigure`],
+/// so a reconfiguration storm reuses four vectors instead of allocating per
+/// call.
+#[derive(Debug, Clone, Default)]
+struct ReconfigScratch {
+    moved_nodes: Vec<NodeId>,
+    moved_slices: Vec<SliceId>,
+    secure_slices: Vec<SliceId>,
+    insecure_slices: Vec<SliceId>,
+}
+
 /// Manages the strongly isolated secure and insecure clusters of a machine.
 #[derive(Debug, Clone)]
 pub struct ClusterManager {
     map: ClusterMap,
     config: ClusterConfig,
     reconfigurations: u64,
+    scratch: ReconfigScratch,
 }
 
 impl ClusterManager {
@@ -99,7 +112,12 @@ impl ClusterManager {
         }
         let map = Self::build_map(machine.topology(), secure_cores, total)?;
         let config = Self::controller_split(controllers, secure_cores, total);
-        let mut manager = ClusterManager { map, config, reconfigurations: 0 };
+        let mut manager = ClusterManager {
+            map,
+            config,
+            reconfigurations: 0,
+            scratch: ReconfigScratch::default(),
+        };
         let cycles = manager.apply(machine, secure_pid, insecure_pid);
         Ok((manager, cycles))
     }
@@ -138,12 +156,18 @@ impl ClusterManager {
         secure_pid: ProcessId,
         insecure_pid: ProcessId,
     ) -> u64 {
-        let secure_slices: Vec<SliceId> =
-            self.map.nodes_of(ClusterId::Secure).iter().map(|n| SliceId(n.0)).collect();
-        let insecure_slices: Vec<SliceId> =
-            self.map.nodes_of(ClusterId::Insecure).iter().map(|n| SliceId(n.0)).collect();
-        let (_, secure_cycles) = machine.set_process_slices(secure_pid, secure_slices);
-        let (_, insecure_cycles) = machine.set_process_slices(insecure_pid, insecure_slices);
+        self.scratch.secure_slices.clear();
+        self.scratch
+            .secure_slices
+            .extend(self.map.nodes_iter(ClusterId::Secure).map(|n| SliceId(n.0)));
+        self.scratch.insecure_slices.clear();
+        self.scratch
+            .insecure_slices
+            .extend(self.map.nodes_iter(ClusterId::Insecure).map(|n| SliceId(n.0)));
+        let (_, secure_cycles) =
+            machine.set_process_slices(secure_pid, &self.scratch.secure_slices);
+        let (_, insecure_cycles) =
+            machine.set_process_slices(insecure_pid, &self.scratch.insecure_slices);
         machine.set_process_controllers(secure_pid, self.config.secure_controllers);
         machine.set_process_controllers(insecure_pid, self.config.insecure_controllers);
         machine.set_cluster_map(Some(self.map.clone()));
@@ -170,6 +194,14 @@ impl ClusterManager {
         self.map.nodes_of(cluster)
     }
 
+    /// Borrowing variant of [`ClusterManager::cores_of`]: iterates the
+    /// cluster's cores in the same ascending order without materialising a
+    /// `Vec`, for per-interaction queries that must not allocate (see
+    /// `tests/zero_alloc.rs`).
+    pub fn cores_iter(&self, cluster: ClusterId) -> impl Iterator<Item = NodeId> + '_ {
+        self.map.nodes_iter(cluster)
+    }
+
     /// Re-balances the clusters to `new_secure_cores` secure tiles: stalls the
     /// system, purges the private state of every re-allocated tile and the L2
     /// slices that change owner, re-homes both processes' pages and re-applies
@@ -193,15 +225,22 @@ impl ClusterManager {
         let total = machine.config().cores();
         let new_map = Self::build_map(machine.topology(), new_secure_cores, total)?;
         // Tiles whose cluster changes must have their private state purged and
-        // their L2 slice flushed before the other cluster may use them.
-        let moved: Vec<NodeId> = machine
-            .topology()
-            .iter_nodes()
-            .filter(|n| self.map.cluster_of(*n) != new_map.cluster_of(*n))
-            .collect();
-        let moved_slices: Vec<SliceId> = moved.iter().map(|n| SliceId(n.0)).collect();
-        let mut cycles = machine.purge_private(&moved);
-        cycles += machine.purge_slices(&moved_slices);
+        // their L2 slice flushed before the other cluster may use them. The
+        // moved set is collected as a bitset first, then spilled into the
+        // reusable scratch vectors the purge calls take, so a storm of
+        // reconfigurations allocates nothing here.
+        let mut moved = NodeSet::default();
+        for n in machine.topology().iter_nodes() {
+            if self.map.cluster_of(n) != new_map.cluster_of(n) {
+                moved.insert(n);
+            }
+        }
+        self.scratch.moved_nodes.clear();
+        self.scratch.moved_nodes.extend(moved.iter());
+        self.scratch.moved_slices.clear();
+        self.scratch.moved_slices.extend(moved.iter().map(|n| SliceId(n.0)));
+        let mut cycles = machine.purge_private(&self.scratch.moved_nodes);
+        cycles += machine.purge_slices(&self.scratch.moved_slices);
         // Drain the controllers that change sides as well.
         let old_secure_mask = self.config.secure_controllers;
         self.map = new_map;

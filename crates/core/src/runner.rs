@@ -311,8 +311,10 @@ impl ExperimentRunner {
                 run.cluster.as_mut().expect("IRONHIDE runs always have a cluster manager");
             let cycles =
                 manager.reconfigure(&mut run.machine, run.secure, run.insecure, decision_secure)?;
-            run.secure_cores = manager.cores_of(ClusterId::Secure);
-            run.insecure_cores = manager.cores_of(ClusterId::Insecure);
+            run.secure_cores.clear();
+            run.secure_cores.extend(manager.cores_iter(ClusterId::Secure));
+            run.insecure_cores.clear();
+            run.insecure_cores.extend(manager.cores_iter(ClusterId::Insecure));
             if charge_reconfig {
                 reconfig_cycles = cycles;
             }
@@ -435,8 +437,10 @@ impl ExperimentRunner {
                 // Static partitioning of the shared L2 slices (half each, as in
                 // the paper's 32/32 example); cores remain time-shared.
                 let half = (total / 2).max(1);
-                machine.set_process_slices(secure, (0..half).map(SliceId).collect());
-                machine.set_process_slices(insecure, (half..total).map(SliceId).collect());
+                let low: Vec<SliceId> = (0..half).map(SliceId).collect();
+                let high: Vec<SliceId> = (half..total).map(SliceId).collect();
+                machine.set_process_slices(secure, &low);
+                machine.set_process_slices(insecure, &high);
                 (all_cores.clone(), all_cores.clone())
             }
             Architecture::Ironhide => {

@@ -124,7 +124,14 @@ impl ClusterMap {
 
     /// Nodes of the given cluster, in ascending order.
     pub fn nodes_of(&self, cluster: ClusterId) -> Vec<NodeId> {
-        self.topology.iter_nodes().filter(|n| self.cluster_of(*n) == cluster).collect()
+        self.nodes_iter(cluster).collect()
+    }
+
+    /// Borrowing form of [`ClusterMap::nodes_of`]: iterates the cluster's
+    /// nodes in the same ascending order without materialising a `Vec`, so
+    /// per-interaction membership queries stay allocation-free.
+    pub fn nodes_iter(&self, cluster: ClusterId) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.iter_nodes().filter(move |n| self.cluster_of(*n) == cluster)
     }
 
     /// Number of tiles in the given cluster.

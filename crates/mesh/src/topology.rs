@@ -298,6 +298,15 @@ impl NodeSet {
         self.bits = [0; Self::WORDS];
     }
 
+    /// Adds every member of `other` to this set (the in-place union). Four
+    /// word-ORs, so accumulating a sharer census over many directory entries
+    /// stays O(1) per entry.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *w |= *o;
+        }
+    }
+
     /// Iterates over the members in ascending node order. The order is part
     /// of the contract: the coherence layer sends invalidations in iteration
     /// order, and simulation results must not depend on set insertion

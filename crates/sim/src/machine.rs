@@ -782,6 +782,27 @@ pub struct Machine {
     /// homing (cluster-map changes, slice restrictions, the IPC marker,
     /// pristine resets); invalidates the batched engine's page-route memo.
     route_epoch: u64,
+    /// When set, [`Machine::set_process_slices`] runs the pre-batching
+    /// scalar reconfiguration path (per-pin rehome scan, per-line scrub, an
+    /// unconditional `route_epoch` bump). The two paths are byte-identical
+    /// in every architectural effect; the flag exists so the equivalence
+    /// suite and the churn harness can run the reference implementation
+    /// against the batched one on live machines. Deliberately *not* cleared
+    /// by [`Machine::reset_pristine`] — it is a harness mode, not machine
+    /// state, and a differential run recycles its reference machine through
+    /// many pristine resets.
+    reference_reconfig: bool,
+    /// Reusable moved-page log for [`Machine::set_process_slices`], so a
+    /// reconfiguration storm allocates once instead of per call.
+    rehome_log: Vec<(PageId, SliceId)>,
+    /// Reusable sorted page-base-line scratch for [`Machine::scrub_pages`].
+    scrub_lines: Vec<u64>,
+    /// Cache/directory probes issued while scrubbing re-homed pages. A pure
+    /// diagnostic (the churn harness reports it) — deliberately *not* part
+    /// of [`MachineStats`], because how many probes the scrub needed is an
+    /// implementation detail the scalar/batched byte-identity contract must
+    /// not observe.
+    scrub_probes: u64,
 }
 
 impl Machine {
@@ -829,6 +850,10 @@ impl Machine {
             latency_trace: None,
             batch: BatchScratch::default(),
             route_epoch: 0,
+            reference_reconfig: false,
+            rehome_log: Vec::new(),
+            scrub_lines: Vec::new(),
+            scrub_probes: 0,
         }
     }
 
@@ -878,6 +903,7 @@ impl Machine {
         self.latency_trace = None;
         self.batch.key = None;
         self.route_epoch += 1;
+        self.scrub_probes = 0;
     }
 
     /// The mesh topology.
@@ -1030,17 +1056,62 @@ impl Machine {
     /// entries are dropped at the old home. Without the scrub a core could
     /// keep a Shared copy that the *new* home's directory has never heard
     /// of — and read it stale after a remote write.
-    pub fn set_process_slices(&mut self, pid: ProcessId, slices: Vec<SliceId>) -> (u64, u64) {
+    /// When the call would change nothing — the allowed set is already
+    /// exactly `slices` (same order: the round-robin spread of future pins
+    /// depends on it) and no pinned page lives outside it — the call
+    /// returns `(0, 0)` without bumping `route_epoch`, so a reconfiguration
+    /// that re-applies a process's current restriction does not invalidate
+    /// the route/directory-slot caches machine-wide. Every cached route is
+    /// still valid by construction (nothing it depends on changed), so the
+    /// no-op rule is unobservable in simulated cycles.
+    pub fn set_process_slices(&mut self, pid: ProcessId, slices: &[SliceId]) -> (u64, u64) {
+        if self.reference_reconfig {
+            return self.set_process_slices_reference(pid, slices);
+        }
+        {
+            let home = &self.processes[pid.0].home;
+            if home.allowed_slices() == slices && !home.has_disallowed_pins() {
+                return (0, 0);
+            }
+        }
+        self.route_epoch += 1;
+        let mut log = std::mem::take(&mut self.rehome_log);
+        log.clear();
+        let p = &mut self.processes[pid.0];
+        p.home.set_allowed(slices.iter().copied());
+        let moved = p.home.rehome_all_logged(&mut log).unwrap_or(0);
+        self.pages_rehomed += moved;
+        self.scrub_pages(&log);
+        self.rehome_log = log;
+        (moved, moved * self.config.latency.rehome_page)
+    }
+
+    /// The scalar reference twin of [`Machine::set_process_slices`] (see the
+    /// `reference_reconfig` flag): unconditional `route_epoch` bump, the
+    /// O(pins) rehome scan, and the per-line per-page scrub.
+    fn set_process_slices_reference(&mut self, pid: ProcessId, slices: &[SliceId]) -> (u64, u64) {
         self.route_epoch += 1;
         let p = &mut self.processes[pid.0];
-        p.home.set_allowed(slices);
+        p.home.set_allowed(slices.iter().copied());
         let mut moved_log: Vec<(PageId, SliceId)> = Vec::new();
-        let moved = p.home.rehome_all_logged(&mut moved_log).unwrap_or(0);
+        let moved = p.home.rehome_all_logged_reference(&mut moved_log).unwrap_or(0);
         self.pages_rehomed += moved;
         for (page, old_home) in moved_log {
             self.scrub_page(page.0, old_home);
         }
         (moved, moved * self.config.latency.rehome_page)
+    }
+
+    /// Selects the scalar reference reconfiguration path (see the field
+    /// docs); `false` restores the default batched path.
+    pub fn set_reconfig_reference(&mut self, reference: bool) {
+        self.reference_reconfig = reference;
+    }
+
+    /// Cache/directory probes issued by page scrubbing so far (a diagnostic
+    /// counter outside [`MachineStats`]; see the field docs).
+    pub fn scrub_probes(&self) -> u64 {
+        self.scrub_probes
     }
 
     /// Scrubs one re-homed physical page — the full unmap/flush/remap of the
@@ -1071,10 +1142,12 @@ impl Machine {
             let line = base_line + i;
             let addr = line * line_bytes;
             let sharers = self.directories.get(old_home.0).and_then(|d| d.probe(line));
+            self.scrub_probes += 1;
             match sharers {
                 Some((_, sharers, _)) => {
                     for t in sharers.iter() {
                         self.l1s[t.0].invalidate(addr);
+                        self.scrub_probes += 1;
                     }
                     self.directories[old_home.0].drop_line(line);
                 }
@@ -1082,19 +1155,103 @@ impl Machine {
                     for l1 in &mut self.l1s {
                         if l1.resident_lines() > 0 {
                             l1.invalidate(addr);
+                            self.scrub_probes += 1;
                         }
                     }
                 }
             }
+            // Same cheap residency guard the L1 scan uses: a recycled
+            // machine whose slices are empty must pay zero probes here
+            // (invalidating an absent line is a stat-free no-op either way).
             if let Some(l2) = self.l2s.get_mut(old_home.0) {
-                l2.invalidate(addr);
+                if l2.resident_lines() > 0 {
+                    l2.invalidate(addr);
+                    self.scrub_probes += 1;
+                }
             }
         }
+    }
+
+    /// Scrubs a whole batch of re-homed pages — the bulk twin of
+    /// [`Machine::scrub_page`], byte-identical in every architectural
+    /// effect (cache/directory contents and statistics) but
+    /// O(state that actually moves) instead of O(cores × lines × pages):
+    ///
+    /// * each old home's directory drops a page's entries in one
+    ///   [`Directory::drop_page_lines`] pass (short-circuiting when the
+    ///   directory is empty) instead of a probe-then-drop per line,
+    ///   returning the union sharer census;
+    /// * each old home's L2 flushes a page's lines in one
+    ///   [`SetAssocCache::invalidate_page_run`] pass, guarded by the same
+    ///   residency check as the scalar path;
+    /// * the private L1s are swept **once** over the whole moved-page set
+    ///   ([`SetAssocCache::invalidate_page_set`]) instead of once per line
+    ///   per page, and only the L1s that can hold a copy are visited: when
+    ///   every scrubbed line had a live directory entry, the inclusivity
+    ///   invariant bounds the holders by the union census, so non-members
+    ///   are skipped. When any census was lost (the reconfiguration
+    ///   protocol purges moved slices' directories *before* re-homing, so
+    ///   under a reconfiguration this is the common case) every resident
+    ///   L1 is swept, exactly like the scalar fallback.
+    ///
+    /// The sweep may probe a superset of the (line, L1) pairs the scalar
+    /// path touches; the extras are absent lines or non-holders, and
+    /// invalidating those is a stat-free no-op — which is why the two paths
+    /// are observably identical (proven by `tests/reconfig_equivalence.rs`).
+    fn scrub_pages(&mut self, moved_log: &[(PageId, SliceId)]) {
+        if moved_log.is_empty() {
+            return;
+        }
+        let line_bytes = self.config.l1.line_bytes as u64;
+        let lines_per_page = (self.page_bytes() / line_bytes).max(1);
+        let mut base_lines = std::mem::take(&mut self.scrub_lines);
+        base_lines.clear();
+        let mut census = NodeSet::default();
+        let mut census_lost = false;
+        for (page, old_home) in moved_log {
+            let base_line = page.0 * lines_per_page;
+            base_lines.push(base_line);
+            match self.directories.get_mut(old_home.0) {
+                Some(d) if d.resident_entries() > 0 => {
+                    let (sharers, dropped) = d.drop_page_lines(base_line, lines_per_page);
+                    self.scrub_probes += lines_per_page;
+                    census.union_with(&sharers);
+                    if dropped < lines_per_page {
+                        // Some line had no entry: its holders (if any) are
+                        // unknown, so the census no longer bounds the sweep.
+                        census_lost = true;
+                    }
+                }
+                _ => census_lost = true,
+            }
+            if let Some(l2) = self.l2s.get_mut(old_home.0) {
+                if l2.resident_lines() > 0 {
+                    l2.invalidate_page_run(base_line * line_bytes, lines_per_page);
+                    self.scrub_probes += lines_per_page;
+                }
+            }
+        }
+        base_lines.sort_unstable();
+        base_lines.dedup();
+        for (core, l1) in self.l1s.iter_mut().enumerate() {
+            if l1.resident_lines() == 0 || !(census_lost || census.contains(NodeId(core))) {
+                continue;
+            }
+            self.scrub_probes += l1.resident_lines() as u64;
+            l1.invalidate_page_set(&base_lines, lines_per_page);
+        }
+        self.scrub_lines = base_lines;
     }
 
     /// The L2 slices `pid` may currently home pages on.
     pub fn process_slices(&self, pid: ProcessId) -> Vec<SliceId> {
         self.processes[pid.0].home.allowed_slices().to_vec()
+    }
+
+    /// Borrowing variant of [`Machine::process_slices`] for per-interaction
+    /// queries that must not allocate (see `tests/zero_alloc.rs`).
+    pub fn process_slices_ref(&self, pid: ProcessId) -> &[SliceId] {
+        self.processes[pid.0].home.allowed_slices()
     }
 
     /// Restricts the memory controllers (and therefore DRAM regions) `pid`
@@ -1245,7 +1402,14 @@ impl Machine {
         }
         p.allocated_pages += 1;
         if let Some(old) = scrub_from {
-            self.scrub_page(ppn, old);
+            // Routed through the reconfiguration mode so the differential
+            // suite also covers the census-present aliasing path batched
+            // against scalar.
+            if self.reference_reconfig {
+                self.scrub_page(ppn, old);
+            } else {
+                self.scrub_pages(&[(PageId(ppn), old)]);
+            }
         }
         ppn
     }
@@ -1940,7 +2104,7 @@ mod tests {
         for p in 0..6u64 {
             m.access(NodeId(0), pid, p * 4096, false);
         }
-        let (moved, cycles) = m.set_process_slices(pid, vec![SliceId(3)]);
+        let (moved, cycles) = m.set_process_slices(pid, &[SliceId(3)]);
         assert!(moved > 0, "restricting slices must re-home pages");
         assert_eq!(cycles, moved * m.config().latency.rehome_page);
         assert_eq!(m.process_slices(pid), vec![SliceId(3)]);
@@ -1967,7 +2131,7 @@ mod tests {
         assert!(mask.count() >= 1);
         m.set_process_controllers(pid, mask);
         m.set_cluster_map(Some(map));
-        m.set_process_slices(pid, vec![SliceId(0), SliceId(1)]);
+        m.set_process_slices(pid, &[SliceId(0), SliceId(1)]);
         for p in 0..4u64 {
             m.access(NodeId(0), pid, p * 4096, false);
         }

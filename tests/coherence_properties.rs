@@ -180,7 +180,7 @@ proptest! {
                     m.purge_all_private();
                 }
                 CohOp::RestrictSlices(s) => {
-                    m.set_process_slices(pid, vec![SliceId(s), SliceId(3 - s)]);
+                    m.set_process_slices(pid, &[SliceId(s), SliceId(3 - s)]);
                 }
             }
             let invariants = check_invariants(&m);

@@ -468,8 +468,8 @@ proptest! {
                 }
                 MachineOp::RestrictSlices(s) => {
                     prop_assert_eq!(
-                        batched.set_process_slices(pid_b, vec![SliceId(*s), SliceId(3 - *s)]),
-                        scalar.set_process_slices(pid_s, vec![SliceId(*s), SliceId(3 - *s)])
+                        batched.set_process_slices(pid_b, &[SliceId(*s), SliceId(3 - *s)]),
+                        scalar.set_process_slices(pid_s, &[SliceId(*s), SliceId(3 - *s)])
                     );
                 }
             }
@@ -566,7 +566,7 @@ fn stale_caches_never_survive_pristine_reset() {
     let pid = warm.create_process("prelude", SecurityClass::Secure);
     warm.set_cluster_map(Some(ClusterMap::row_major_split(topo, 2)));
     warm.set_ipc_marker(true);
-    warm.set_process_slices(pid, vec![SliceId(1), SliceId(2)]);
+    warm.set_process_slices(pid, &[SliceId(1), SliceId(2)]);
     for core in 0..4 {
         warm.access_run(NodeId(core), pid, RefRun::new(0x30_0000, 64, 64, core % 2 == 0));
     }
@@ -594,8 +594,8 @@ fn stale_caches_never_survive_pristine_reset() {
     warm.set_ipc_marker(false);
     fresh.set_ipc_marker(false);
     assert_eq!(
-        warm.set_process_slices(pid_w, vec![SliceId(0), SliceId(3)]),
-        fresh.set_process_slices(pid_f, vec![SliceId(0), SliceId(3)])
+        warm.set_process_slices(pid_w, &[SliceId(0), SliceId(3)]),
+        fresh.set_process_slices(pid_f, &[SliceId(0), SliceId(3)])
     );
     assert_eq!(sweep(&mut warm, pid_w), sweep(&mut fresh, pid_f), "rehomed traffic");
     warm.set_cluster_map(None);

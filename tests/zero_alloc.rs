@@ -16,7 +16,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ironhide::ironhide_cache::SliceId;
-use ironhide::ironhide_mesh::{ClusterMap, MeshTopology, NodeId};
+use ironhide::ironhide_core::ClusterManager;
+use ironhide::ironhide_mesh::{ClusterId, NodeId};
 use ironhide::ironhide_sim::config::MachineConfig;
 use ironhide::ironhide_sim::machine::Machine;
 use ironhide::ironhide_sim::process::SecurityClass;
@@ -75,12 +76,16 @@ fn replay(machine: &mut Machine, pid: ironhide::ironhide_sim::process::ProcessId
 fn main() {
     let mut machine = Machine::new(MachineConfig::paper_default());
     let pid = machine.create_process("steady", SecurityClass::Insecure);
-    // Route every page to slice 0 so the streamed working set exceeds one
-    // slice's capacity, keeping L2 misses (and their write-backs) in the
-    // steady-state mix; activate clustering so the audited contained-route
-    // path is the one being measured.
-    machine.set_process_slices(pid, vec![SliceId(0)]);
-    machine.set_cluster_map(Some(ClusterMap::row_major_split(MeshTopology::new(8, 8), 32)));
+    let enclave = machine.create_process("enclave", SecurityClass::Secure);
+    // Form real clusters (the same 32/32 row-major split the manual map used
+    // to provide) so the per-interaction cluster-membership queries below go
+    // through a live ClusterManager, then route every page to slice 0 so the
+    // streamed working set exceeds one slice's capacity, keeping L2 misses
+    // (and their write-backs) in the steady-state mix; the cluster map keeps
+    // the audited contained-route path the one being measured.
+    let (manager, _) =
+        ClusterManager::form(&mut machine, enclave, pid, 32).expect("paper-scale clusters form");
+    machine.set_process_slices(pid, &[SliceId(0)]);
 
     // Warm up: two full replays allocate every page, fill the TLBs/caches and
     // touch every NoC link the pattern will ever use.
@@ -92,6 +97,14 @@ fn main() {
     let mut measured = 0u64;
     while measured < 10_000 {
         measured += replay(&mut machine, pid);
+        // The runner's per-interaction bookkeeping queries cluster
+        // membership and the process's slice restriction; the borrowing
+        // variants must stay allocation-free too.
+        let secure_cores = manager.cores_iter(ClusterId::Secure).count();
+        let first = manager.cores_iter(ClusterId::Insecure).next();
+        assert_eq!(secure_cores, 32, "cluster membership must be queryable mid-run");
+        assert!(first.is_some(), "insecure cluster must have cores");
+        assert_eq!(machine.process_slices_ref(pid), &[SliceId(0)]);
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
