@@ -17,6 +17,10 @@
 //!   [`AttackRunner`](ironhide_core::attack::AttackRunner), decodes the
 //!   received bits from the attacker's probe latencies and reports bit-error
 //!   rate, channel capacity and a per-channel verdict.
+//! * [`window`] — the reconfiguration-window attack: a self-orchestrating
+//!   channel that probes the moved slices during the stall sequence of a
+//!   cluster reconfiguration, proving the window CLOSED under the shipped
+//!   purge→rehome→scrub order and OPEN under an injected mis-ordering.
 //!
 //! The crate's headline result is **differential**: on the insecure shared
 //! baseline every channel decodes with a bit-error rate far below chance
@@ -30,6 +34,8 @@
 
 pub mod channels;
 pub mod oracle;
+pub mod window;
 
 pub use channels::{ChannelKind, StreamChannel};
 pub use oracle::{attack_grid, attack_spec, LeakageOracle};
+pub use window::{window_attack_spec, WindowAttack};

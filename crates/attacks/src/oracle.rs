@@ -170,10 +170,13 @@ pub fn decode(samples: &[u64], noise_floor: u64) -> (Vec<bool>, f64) {
     }
     let min = *samples.iter().min().expect("non-empty");
     let max = *samples.iter().max().expect("non-empty");
+    // Sum in u128: `min + max` overflows u64 for large cycle counts, and an
+    // f64 conversion of each operand keeps the midpoint exact to within one
+    // ULP even near `u64::MAX`.
+    let threshold = (min as u128 + max as u128) as f64 / 2.0;
     if max - min <= noise_floor {
-        return (vec![false; samples.len()], max as f64);
+        return (vec![false; samples.len()], threshold);
     }
-    let threshold = (min + max) as f64 / 2.0;
     (samples.iter().map(|s| (*s as f64) > threshold).collect(), threshold)
 }
 
@@ -238,6 +241,26 @@ mod tests {
         let (bits, threshold) = decode(&samples, 8);
         assert_eq!(bits, vec![false, true, false, true, false, true]);
         assert!(threshold > 120.0 && threshold < 880.0);
+    }
+
+    #[test]
+    fn decode_midpoint_survives_near_u64_max_samples() {
+        // `min + max` would wrap in u64 arithmetic; the midpoint must stay
+        // between the two modes so decoding still separates them.
+        let low = u64::MAX - 1_000_000;
+        let high = u64::MAX - 8;
+        let samples = [low, high, low, high];
+        let (bits, threshold) = decode(&samples, 16);
+        assert_eq!(bits, vec![false, true, false, true]);
+        assert!(threshold > low as f64 && threshold < high as f64, "threshold {threshold}");
+
+        // A signal-free spread at the top of the range reports the same
+        // midpoint semantics instead of the raw maximum.
+        let flat = [u64::MAX - 4, u64::MAX - 2, u64::MAX - 3];
+        let (bits, threshold) = decode(&flat, 16);
+        assert!(bits.iter().all(|b| !b));
+        let expected = ((u64::MAX - 4) as u128 + (u64::MAX - 2) as u128) as f64 / 2.0;
+        assert_eq!(threshold, expected);
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The reconfiguration-window covert channel.
+//!
+//! The four [`crate::channels`] channels attack the *steady state* of an
+//! architecture; this one attacks the **stall sequence of a dynamic
+//! reconfiguration** — the only moment IRONHIDE's resources change hands.
+//! The victim dirty-writes a secret-dependent buffer spread over its secure
+//! L2 slices; the cluster then shrinks, moving some of those slices (and the
+//! victim's pages homed on them) to the insecure side; the attacker runs a
+//! timed evict-and-sweep over the moved slices at the first instant the
+//! reconfiguration lets insecure traffic flow.
+//!
+//! Under the shipped [`PurgeOrder::PurgeThenRehome`] every moved slice has
+//! been flushed and every re-homed page scrubbed *before* that instant, so
+//! the sweep finds nothing: its latency is bit-independent and the channel
+//! decodes at chance. Under the injected [`PurgeOrder::RehomeThenPurge`]
+//! the victim's stale dirty lines are still sitting in the moved slices;
+//! evicting them emits write-back packets whose link traffic the analytical
+//! NoC model turns into congestion the attacker's own sweep can time — the
+//! window is open exactly when the purge ordering is violated.
+//!
+//! The channel is self-orchestrating: unlike the stream channels it cannot
+//! be co-scheduled by the [`AttackRunner`](ironhide_core::attack::AttackRunner)
+//! because the transmission medium *is* the reconfiguration itself, driven
+//! per slot through [`ClusterManager::reconfigure_windowed`]. Under the
+//! temporally shared architectures no reconfiguration exists; the same
+//! victim-burst / attacker-sweep pair runs across the enclave boundary
+//! instead, giving the usual differential: open on the insecure baseline,
+//! closed under MI6's boundary purges.
+
+use ironhide_cache::SliceId;
+use ironhide_core::arch::{ArchParams, Architecture};
+use ironhide_core::attack::{AttackOutcome, ChannelVerdict};
+use ironhide_core::boundary::mi6_boundary_cost;
+use ironhide_core::cluster::{ClusterManager, PurgeOrder};
+use ironhide_core::isolation::IsolationAuditor;
+use ironhide_core::kernel::{AppDomain, SecureKernel};
+use ironhide_core::runner::RunError;
+use ironhide_core::speccheck::SpeculativeAccessCheck;
+use ironhide_core::sweep::AttackSpec;
+use ironhide_mesh::{ClusterId, NodeId};
+use ironhide_sim::config::MachineConfig;
+use ironhide_sim::machine::Machine;
+use ironhide_sim::process::{ProcessId, SecurityClass};
+
+use crate::oracle::{balanced_bits, binary_entropy, decode, LeakageOracle};
+
+/// Channel label under the shipped purge ordering.
+pub const SHIPPED_LABEL: &str = "reconfig-window";
+/// Channel label under the injected mis-ordering.
+pub const MISORDERED_LABEL: &str = "reconfig-window-misordered";
+
+/// Signing key of the simulated window-attack victim's author (the kernel
+/// only needs signatures to be verifiable, not secret).
+const AUTHOR_KEY: u64 = 0x0B5E_55ED_C0DE_D00D;
+
+/// Base virtual address of the victim's secret-dependent buffers.
+const VICTIM_BASE: u64 = 0x2000_0000;
+/// Base virtual address of the attacker's sweep buffers.
+const SWEEP_BASE: u64 = 0x1000_0000;
+
+/// The reconfiguration-window attack: victim, attacker and the per-slot
+/// shrink/grow reconfiguration cycle, decoded with the same unsupervised
+/// midpoint threshold as the stream channels.
+#[derive(Debug, Clone)]
+pub struct WindowAttack {
+    config: MachineConfig,
+    params: ArchParams,
+    order: PurgeOrder,
+    payload_bits: usize,
+    warmup_slots: usize,
+    noise_floor_cycles: u64,
+}
+
+/// Mutable per-run bookkeeping threaded through the slots.
+struct SlotCtx {
+    attacker: ProcessId,
+    victim: ProcessId,
+    attacker_core: NodeId,
+    victim_core: NodeId,
+    /// Secure-cluster cores between slots (and the shape grown back to).
+    wide: usize,
+    /// Secure-cluster cores during the measured window.
+    narrow: usize,
+    /// Pages of one victim secret burst.
+    victim_pages: u64,
+    /// Pages of one attacker evict-and-sweep.
+    sweep_pages: u64,
+    page_bytes: u64,
+    line_bytes: u64,
+    /// Sweeps issued so far — each slot sweeps fresh pages so every access
+    /// misses and must evict whatever the moved slices still hold.
+    sweeps: u64,
+    /// Secret bursts issued so far — each burst dirties fresh pages so the
+    /// round-robin allocator homes them across the *current* secure slices,
+    /// including the ones the next shrink moves.
+    bursts: u64,
+}
+
+impl WindowAttack {
+    /// Creates the attack for machines built from `config` under the given
+    /// purge ordering, with the smoke-scale payload (32 bits), eight warm-up
+    /// slots and the 16-cycle noise floor the stream channels use.
+    pub fn new(config: MachineConfig, order: PurgeOrder) -> Self {
+        WindowAttack {
+            config,
+            params: ArchParams::default(),
+            order,
+            payload_bits: 32,
+            warmup_slots: 8,
+            noise_floor_cycles: 16,
+        }
+    }
+
+    /// Overrides the payload length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or odd — the payload must be balanceable so
+    /// a signal-free channel decodes at exactly 50% BER.
+    pub fn with_payload_bits(mut self, bits: usize) -> Self {
+        assert!(
+            bits > 0 && bits.is_multiple_of(2),
+            "payload must be a non-zero even number of bits"
+        );
+        self.payload_bits = bits;
+        self
+    }
+
+    /// Overrides the number of unmeasured warm-up slots.
+    pub fn with_warmup(mut self, slots: usize) -> Self {
+        self.warmup_slots = slots;
+        self
+    }
+
+    /// The channel label: the mis-ordered variant reports under its own name
+    /// so verdict rows for both orderings can sit in one matrix.
+    pub fn name(&self) -> &'static str {
+        match self.order {
+            PurgeOrder::PurgeThenRehome => SHIPPED_LABEL,
+            PurgeOrder::RehomeThenPurge => MISORDERED_LABEL,
+        }
+    }
+
+    /// Runs the full attack under `arch` and decodes the transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation or a reconfiguration
+    /// fails, or if the victim cannot be attested.
+    pub fn assess(&self, arch: Architecture, seed: u64) -> Result<AttackOutcome, RunError> {
+        self.assess_recycled(arch, seed, &mut None)
+    }
+
+    /// Like [`WindowAttack::assess`], but recycles the machine in `slot`
+    /// (via `Machine::reset_pristine`) and leaves the run's machine behind
+    /// for the next assessment, exactly as the attack matrix's cell pools
+    /// expect. Byte-identical to a fresh-machine assessment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation or a reconfiguration
+    /// fails, or if the victim cannot be attested.
+    pub fn assess_recycled(
+        &self,
+        arch: Architecture,
+        seed: u64,
+        slot: &mut Option<Machine>,
+    ) -> Result<AttackOutcome, RunError> {
+        let bits = balanced_bits(seed, self.payload_bits);
+        let mut machine = match slot.take() {
+            Some(mut m) => {
+                m.reset_pristine();
+                m
+            }
+            None => Machine::new(self.config.clone()),
+        };
+        let attacker = machine.create_process("attacker", SecurityClass::Insecure);
+        let victim = machine.create_process("victim", SecurityClass::Secure);
+
+        let mut kernel = SecureKernel::new();
+        let image = format!("victim:{}", self.name()).into_bytes();
+        let signature = SecureKernel::sign(&image, AUTHOR_KEY);
+        kernel.register(victim, &image, signature, AUTHOR_KEY, AppDomain(1))?;
+        kernel.admit(victim, &image)?;
+
+        let total = self.config.cores();
+        let wide = (total / 2).max(1);
+        let narrow = (wide / 2).max(1);
+        let mut manager: Option<ClusterManager> = None;
+        let mut secure_cores = total;
+        let (attacker_core, victim_core, victim_pages, sweep_pages) = match arch {
+            Architecture::Insecure | Architecture::SgxLike => {
+                // Shared everything: the sweep must cover every slice the
+                // victim's buffers can home on.
+                (NodeId(0), NodeId(total - 1), wide as u64, total as u64)
+            }
+            Architecture::Mi6 => {
+                // MI6's static partition, as in the AttackRunner: victim on
+                // the low half of the slices, attacker on the high half.
+                let low: Vec<SliceId> = (0..wide).map(SliceId).collect();
+                let high: Vec<SliceId> = (wide..total).map(SliceId).collect();
+                machine.set_process_slices(victim, &low);
+                machine.set_process_slices(attacker, &high);
+                (NodeId(0), NodeId(total - 1), wide as u64, total as u64)
+            }
+            Architecture::Ironhide => {
+                let (m, _setup) = ClusterManager::form(&mut machine, victim, attacker, wide)?;
+                secure_cores = wide;
+                let vic = m.cores_iter(ClusterId::Secure).next().expect("non-empty cluster");
+                // The last core stays insecure at both the wide and the
+                // narrow shape, so the attacker never has to migrate.
+                let att = m.cores_iter(ClusterId::Insecure).last().expect("non-empty cluster");
+                manager = Some(m);
+                // One burst page per wide secure slice; the sweep covers
+                // every slice the insecure cluster owns at the narrow shape.
+                (att, vic, wide as u64, (total - narrow) as u64)
+            }
+        };
+
+        let mut ctx = SlotCtx {
+            attacker,
+            victim,
+            attacker_core,
+            victim_core,
+            wide,
+            narrow,
+            victim_pages,
+            sweep_pages,
+            page_bytes: machine.page_bytes(),
+            line_bytes: self.config.l2_slice.line_bytes as u64,
+            sweeps: 0,
+            bursts: 0,
+        };
+
+        // Warm up with alternating symbols so allocators, caches and the
+        // congestion estimators settle into the steady state for both.
+        for i in 0..self.warmup_slots {
+            self.slot(&mut machine, &mut manager, arch, &mut ctx, i % 2 == 0)?;
+        }
+
+        let mut probe_cycles = Vec::with_capacity(bits.len());
+        let mut payload_cycles = 0u64;
+        for &bit in &bits {
+            let (probe, slot_total) = self.slot(&mut machine, &mut manager, arch, &mut ctx, bit)?;
+            probe_cycles.push(probe);
+            payload_cycles += slot_total;
+        }
+
+        let spec = SpeculativeAccessCheck::new();
+        let isolation = IsolationAuditor::new().audit(&machine, arch, &spec);
+        *slot = Some(machine);
+
+        let (decoded, threshold) = decode(&probe_cycles, self.noise_floor_cycles);
+        let bit_errors = bits.iter().zip(&decoded).filter(|(sent, got)| sent != got).count() as u64;
+        let ber = bit_errors as f64 / bits.len() as f64;
+        let capacity_bits_per_slot = 1.0 - binary_entropy(ber);
+        let slot_cycles = payload_cycles as f64 / bits.len() as f64;
+        let capacity_bits_per_second =
+            capacity_bits_per_slot * self.config.clock_ghz * 1e9 / slot_cycles.max(1.0);
+
+        Ok(AttackOutcome {
+            channel: self.name().to_string(),
+            arch,
+            payload_bits: bits.len() as u64,
+            bit_errors,
+            ber,
+            threshold_cycles: threshold,
+            min_probe_cycles: probe_cycles.iter().copied().min().unwrap_or(0),
+            max_probe_cycles: probe_cycles.iter().copied().max().unwrap_or(0),
+            capacity_bits_per_slot,
+            capacity_bits_per_second,
+            payload_cycles,
+            secure_cores,
+            verdict: ChannelVerdict::from_ber(ber),
+            isolation,
+        })
+    }
+
+    /// One transmission slot. Returns `(probe_cycles, slot_cycles)` where
+    /// the probe is the attacker's timed sweep of the moved (or, under the
+    /// temporal architectures, shared) slices.
+    fn slot(
+        &self,
+        machine: &mut Machine,
+        manager: &mut Option<ClusterManager>,
+        arch: Architecture,
+        ctx: &mut SlotCtx,
+        bit: bool,
+    ) -> Result<(u64, u64), RunError> {
+        let mut total = 0u64;
+
+        // The secret-dependent burst: dirty-write a fresh buffer spread over
+        // the victim's current slices. A 0 transmits by staying idle.
+        if bit {
+            let base = VICTIM_BASE + ctx.bursts * ctx.victim_pages * ctx.page_bytes;
+            ctx.bursts += 1;
+            total += touch_pages(
+                machine,
+                ctx.victim_core,
+                ctx.victim,
+                base,
+                ctx.victim_pages,
+                ctx.page_bytes,
+                ctx.line_bytes,
+                true,
+            );
+        }
+
+        let sweep_base = SWEEP_BASE + ctx.sweeps * ctx.sweep_pages * ctx.page_bytes;
+        ctx.sweeps += 1;
+
+        if let Some(m) = manager.as_mut() {
+            // IRONHIDE: shrink the secure cluster under the configured purge
+            // ordering. The window callback is the first point insecure
+            // traffic can flow; the attacker's timed sweep runs there,
+            // evicting whatever the moved slices still hold.
+            let mut probe = 0u64;
+            total += m.reconfigure_windowed(
+                machine,
+                ctx.victim,
+                ctx.attacker,
+                ctx.narrow,
+                self.order,
+                |mach| {
+                    probe = touch_pages(
+                        mach,
+                        ctx.attacker_core,
+                        ctx.attacker,
+                        sweep_base,
+                        ctx.sweep_pages,
+                        ctx.page_bytes,
+                        ctx.line_bytes,
+                        false,
+                    );
+                },
+            )?;
+            total += probe;
+            // Grow back for the next slot — always under the shipped order;
+            // only the measured shrink carries the injected fault.
+            total += m.reconfigure(machine, ctx.victim, ctx.attacker, ctx.wide)?;
+            Ok((probe, total))
+        } else {
+            // Temporally shared architectures: no reconfiguration exists, so
+            // the sweep simply runs after the victim's secure phase ends.
+            total += match arch {
+                Architecture::Insecure => 0,
+                Architecture::SgxLike => {
+                    machine.clock().us_to_cycles(self.params.sgx_entry_exit_us)
+                }
+                Architecture::Mi6 => mi6_boundary_cost(machine, &self.params),
+                Architecture::Ironhide => unreachable!("IRONHIDE slots go through the manager"),
+            };
+            let probe = touch_pages(
+                machine,
+                ctx.attacker_core,
+                ctx.attacker,
+                sweep_base,
+                ctx.sweep_pages,
+                ctx.page_bytes,
+                ctx.line_bytes,
+                false,
+            );
+            total += probe;
+            Ok((probe, total))
+        }
+    }
+}
+
+/// Touches every line of `pages` consecutive pages from `base`, returning
+/// the summed access latencies (the attacker sees nothing a real attacker
+/// could not time on its own loads).
+#[allow(clippy::too_many_arguments)]
+fn touch_pages(
+    machine: &mut Machine,
+    core: NodeId,
+    pid: ProcessId,
+    base: u64,
+    pages: u64,
+    page_bytes: u64,
+    line_bytes: u64,
+    write: bool,
+) -> u64 {
+    let mut cycles = 0u64;
+    for p in 0..pages {
+        let page = base + p * page_bytes;
+        for l in 0..(page_bytes / line_bytes) {
+            cycles += machine.access(core, pid, page + l * line_bytes, write);
+        }
+    }
+    cycles
+}
+
+/// Wraps the window attack as an attack-matrix channel spec under the given
+/// purge ordering, with the payload length following the scale label.
+pub fn window_attack_spec(order: PurgeOrder) -> AttackSpec {
+    let label = match order {
+        PurgeOrder::PurgeThenRehome => SHIPPED_LABEL,
+        PurgeOrder::RehomeThenPurge => MISORDERED_LABEL,
+    };
+    AttackSpec::new(label, move |config: &MachineConfig, arch, scale, seed, machine| {
+        WindowAttack::new(config.clone(), order)
+            .with_payload_bits(LeakageOracle::payload_for_scale(scale.label()))
+            .assess_recycled(arch, seed, machine)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbench() -> MachineConfig {
+        MachineConfig::attack_testbench()
+    }
+
+    #[test]
+    fn shipped_ordering_closes_the_window_on_ironhide() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::PurgeThenRehome);
+        let outcome = attack.assess(Architecture::Ironhide, 7).unwrap();
+        assert!(
+            outcome.is_closed(),
+            "shipped purge order must close the window: BER {} (probes {}..{})",
+            outcome.ber,
+            outcome.min_probe_cycles,
+            outcome.max_probe_cycles
+        );
+        assert!((outcome.ber - 0.5).abs() <= 0.05, "BER {}", outcome.ber);
+        assert!(outcome.isolation.is_clean(), "violations: {:?}", outcome.isolation.violations);
+        assert_eq!(outcome.secure_cores, testbench().cores() / 2);
+    }
+
+    #[test]
+    fn injected_misordering_opens_the_window_on_ironhide() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::RehomeThenPurge);
+        let outcome = attack.assess(Architecture::Ironhide, 7).unwrap();
+        assert!(
+            outcome.is_open(),
+            "rehome-before-purge must leak through the window: BER {} (probes {}..{})",
+            outcome.ber,
+            outcome.min_probe_cycles,
+            outcome.max_probe_cycles
+        );
+        assert_eq!(outcome.channel, MISORDERED_LABEL);
+    }
+
+    #[test]
+    fn window_is_open_on_the_insecure_baseline() {
+        // No clusters, no purges: the same evict-and-sweep decodes the
+        // victim's dirty footprint directly from the shared L2.
+        let attack = WindowAttack::new(testbench(), PurgeOrder::PurgeThenRehome);
+        let outcome = attack.assess(Architecture::Insecure, 7).unwrap();
+        assert!(outcome.is_open(), "insecure baseline must leak: BER {}", outcome.ber);
+    }
+
+    #[test]
+    fn mi6_boundary_purges_close_the_window() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::PurgeThenRehome);
+        let outcome = attack.assess(Architecture::Mi6, 7).unwrap();
+        assert!(outcome.is_closed(), "MI6 static partition must not leak: BER {}", outcome.ber);
+        assert!(outcome.isolation.is_clean(), "violations: {:?}", outcome.isolation.violations);
+    }
+
+    #[test]
+    fn recycled_assessment_is_byte_identical() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::RehomeThenPurge);
+        let fresh = attack.assess(Architecture::Ironhide, 11).unwrap();
+        let mut pool = None;
+        // Dirty the pool with a different-seed run first, then re-assess.
+        attack.assess_recycled(Architecture::Ironhide, 5, &mut pool).unwrap();
+        let recycled = attack.assess_recycled(Architecture::Ironhide, 11, &mut pool).unwrap();
+        assert_eq!(fresh.ber, recycled.ber);
+        assert_eq!(fresh.min_probe_cycles, recycled.min_probe_cycles);
+        assert_eq!(fresh.max_probe_cycles, recycled.max_probe_cycles);
+        assert_eq!(fresh.payload_cycles, recycled.payload_cycles);
+    }
+
+    #[test]
+    fn spec_labels_follow_the_order() {
+        assert_eq!(window_attack_spec(PurgeOrder::PurgeThenRehome).label(), SHIPPED_LABEL);
+        assert_eq!(window_attack_spec(PurgeOrder::RehomeThenPurge).label(), MISORDERED_LABEL);
+    }
+}

@@ -55,6 +55,27 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// The ordering of the purge and re-home steps of a reconfiguration.
+///
+/// The paper's protocol purges the moved tiles' private state and the moved
+/// L2 slices (and drains controllers that change sides) **before** the pages
+/// are re-homed and scrubbed — so by the time any other party can issue a
+/// memory access, no moved resource holds a stale copy. The violated order
+/// exists purely as an injectable fault for the reconfiguration-window
+/// attack: it re-homes the pages first and leaves their stale cached copies
+/// in place through the window, deferring scrub and purges until after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PurgeOrder {
+    /// The shipped protocol: purge moved private state and slices, drain
+    /// changed controllers, then re-home and scrub. Nothing stale survives
+    /// into the window.
+    PurgeThenRehome,
+    /// The injected mis-ordering: re-home first with scrubbing deferred, run
+    /// the window over the stale residue, then scrub and purge. An attacker
+    /// active during the window can observe the victim's footprint.
+    RehomeThenPurge,
+}
+
 /// A cluster resource binding: how many cores (and their slices) each cluster
 /// owns and which memory controllers serve it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,8 +160,10 @@ impl ClusterManager {
         // Dedicate controllers proportionally to the cluster sizes, but never
         // fewer than one per cluster. The secure cluster occupies the low
         // (north) rows, so it takes the low-index controllers, mirroring the
-        // prototype's `pos = 0b0011` / `pos = 0b1100` masks.
-        let share = (controllers as f64 * secure_cores as f64 / total as f64).round() as usize;
+        // prototype's `pos = 0b0011` / `pos = 0b1100` masks. Round half up in
+        // exact integer arithmetic — this feeds checksum-bearing storm runs,
+        // so the share must not depend on f64 rounding.
+        let share = (2 * controllers * secure_cores + total) / (2 * total);
         let secure_count = share.clamp(1, controllers - 1);
         ClusterConfig {
             secure_cores,
@@ -222,6 +245,40 @@ impl ClusterManager {
         insecure_pid: ProcessId,
         new_secure_cores: usize,
     ) -> Result<u64, ClusterError> {
+        self.reconfigure_windowed(
+            machine,
+            secure_pid,
+            insecure_pid,
+            new_secure_cores,
+            PurgeOrder::PurgeThenRehome,
+            |_| {},
+        )
+    }
+
+    /// Like [`ClusterManager::reconfigure`], but with an explicit
+    /// [`PurgeOrder`] and a `window` callback that runs at the point of the
+    /// stall sequence where other parties could first issue traffic. Under
+    /// the shipped [`PurgeOrder::PurgeThenRehome`] every moved resource has
+    /// been purged and every re-homed page scrubbed before the window opens,
+    /// so the callback sees a clean machine and `reconfigure` is exactly
+    /// this call with a no-op window. Under the injected
+    /// [`PurgeOrder::RehomeThenPurge`] the window opens between the re-home
+    /// and the (deferred) scrub-and-purge — the reconfiguration-window
+    /// attack probes exactly this interval.
+    ///
+    /// # Errors
+    ///
+    /// Fails for shapes that would leave a cluster empty or violate
+    /// containment.
+    pub fn reconfigure_windowed(
+        &mut self,
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+        new_secure_cores: usize,
+        order: PurgeOrder,
+        mut window: impl FnMut(&mut Machine),
+    ) -> Result<u64, ClusterError> {
         let total = machine.config().cores();
         let new_map = Self::build_map(machine.topology(), new_secure_cores, total)?;
         // Tiles whose cluster changes must have their private state purged and
@@ -239,17 +296,42 @@ impl ClusterManager {
         self.scratch.moved_nodes.extend(moved.iter());
         self.scratch.moved_slices.clear();
         self.scratch.moved_slices.extend(moved.iter().map(|n| SliceId(n.0)));
-        let mut cycles = machine.purge_private(&self.scratch.moved_nodes);
-        cycles += machine.purge_slices(&self.scratch.moved_slices);
-        // Drain the controllers that change sides as well.
         let old_secure_mask = self.config.secure_controllers;
         self.map = new_map;
         self.config = Self::controller_split(machine.config().controllers, new_secure_cores, total);
-        if old_secure_mask != self.config.secure_controllers {
-            let changed = ControllerMask(old_secure_mask.0 ^ self.config.secure_controllers.0);
-            cycles += machine.purge_controllers(changed);
-        }
-        cycles += self.apply(machine, secure_pid, insecure_pid);
+        let changed_controllers = if old_secure_mask != self.config.secure_controllers {
+            Some(ControllerMask(old_secure_mask.0 ^ self.config.secure_controllers.0))
+        } else {
+            None
+        };
+        let cycles = match order {
+            PurgeOrder::PurgeThenRehome => {
+                let mut cycles = machine.purge_private(&self.scratch.moved_nodes);
+                cycles += machine.purge_slices(&self.scratch.moved_slices);
+                // Drain the controllers that change sides as well.
+                if let Some(changed) = changed_controllers {
+                    cycles += machine.purge_controllers(changed);
+                }
+                cycles += self.apply(machine, secure_pid, insecure_pid);
+                window(machine);
+                cycles
+            }
+            PurgeOrder::RehomeThenPurge => {
+                // The fault: re-home with scrubbing deferred, expose the
+                // stale residue to the window, only then scrub and purge.
+                machine.set_scrub_deferred(true);
+                let mut cycles = self.apply(machine, secure_pid, insecure_pid);
+                machine.set_scrub_deferred(false);
+                window(machine);
+                machine.flush_deferred_scrub();
+                cycles += machine.purge_private(&self.scratch.moved_nodes);
+                cycles += machine.purge_slices(&self.scratch.moved_slices);
+                if let Some(changed) = changed_controllers {
+                    cycles += machine.purge_controllers(changed);
+                }
+                cycles
+            }
+        };
         self.reconfigurations += 1;
         Ok(cycles)
     }
@@ -290,6 +372,28 @@ mod tests {
         assert!(mgr.config().secure_controllers.count() >= 1);
         assert!(mgr.config().insecure_controllers.count() >= 1);
         assert!(!mgr.config().secure_controllers.overlaps(mgr.config().insecure_controllers));
+    }
+
+    #[test]
+    fn controller_split_is_pinned_for_every_storm_shape() {
+        // The churn storm sweeps these secure-cluster shapes on the 64-core,
+        // 4-controller paper machine. The share is round-half-up, clamped so
+        // each cluster keeps at least one controller; these values are part of
+        // the pinned storm checksum and must never move.
+        for (shape, secure_mcs) in [(8, 1), (16, 1), (24, 2), (32, 2), (40, 3), (56, 3)] {
+            let cfg = ClusterManager::controller_split(4, shape, 64);
+            assert_eq!(
+                cfg.secure_controllers.count(),
+                secure_mcs,
+                "secure controller share changed for shape {shape}"
+            );
+            assert_eq!(cfg.secure_controllers.count() + cfg.insecure_controllers.count(), 4);
+            assert!(!cfg.secure_controllers.overlaps(cfg.insecure_controllers));
+        }
+        // Half-way cases round up before the clamp: 2·24/64 rounds to 2,
+        // 4·56/64 rounds to 4 and clamps to 3.
+        assert_eq!(ClusterManager::controller_split(2, 24, 64).secure_controllers.count(), 1);
+        assert_eq!(ClusterManager::controller_split(8, 4, 64).secure_controllers.count(), 1);
     }
 
     #[test]

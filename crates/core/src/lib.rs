@@ -40,6 +40,11 @@
 //!   whole {app × architecture × re-allocation policy × scale} grids,
 //!   collects the reports into a serialisable [`sweep::SweepMatrix`] and
 //!   exposes the paper's Figure 6/7/8 orderings as queryable summaries.
+//! * [`tenancy`] — the multi-tenant churn subsystem: a seed-deterministic
+//!   open-loop arrival generator (one tenant = one attested secure-cluster
+//!   allocation), exact-sample per-tenant SLO accounting and pluggable
+//!   admission control (Deny / Queue / ShrinkNeighbours), swept as its own
+//!   {policy × load} grid through the [`sweep::SweepRunner`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -56,6 +61,7 @@ pub mod realloc;
 pub mod runner;
 pub mod speccheck;
 pub mod sweep;
+pub mod tenancy;
 
 pub use app::{Interaction, InteractiveApp, MemRef, ProcessProfile, RefRun, RefStream, WorkUnit};
 pub use arch::{ArchParams, Architecture};
@@ -63,7 +69,7 @@ pub use attack::{
     AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
 };
 pub use boundary::mi6_boundary_cost;
-pub use cluster::{ClusterConfig, ClusterManager};
+pub use cluster::{ClusterConfig, ClusterManager, PurgeOrder};
 pub use ipc::SharedIpcBuffer;
 pub use isolation::{IsolationAuditor, IsolationSummary};
 pub use kernel::{AttestationError, Measurement, SecureKernel, TrustRelation};
@@ -74,4 +80,9 @@ pub use sweep::{
     AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, AttackSweepError,
     CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepError, SweepGrid, SweepMatrix,
     SweepRunner,
+};
+pub use tenancy::{
+    AdmissionPolicy, Arrival, ArrivalGenerator, LoadPoint, SloAccount, StormConfig, StormReport,
+    TenancyCell, TenancyCellKey, TenancyGrid, TenancyMatrix, TenancyStorm, TenancySweepError,
+    TenantProfile,
 };

@@ -289,6 +289,21 @@ impl SweepRunner {
         derive_cell_seed(self.master_seed, key)
     }
 
+    /// The master seed (for sibling grid runners in this crate).
+    pub(crate) fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The configured worker thread count (for sibling grid runners).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The machine configuration cells simulate (for sibling grid runners).
+    pub(crate) fn machine_config(&self) -> &MachineConfig {
+        &self.machine
+    }
+
     /// Runs every cell of `grid` and collects the reports in grid order.
     ///
     /// # Errors
@@ -356,13 +371,13 @@ impl SweepRunner {
 /// The pools live for one `run`/`run_attacks` call, which also guarantees
 /// every pooled machine was built from that call's `MachineConfig` (the
 /// contract `run_recycled` requires).
-struct WorkerPools {
+pub(crate) struct WorkerPools {
     shards: Vec<Mutex<Vec<Machine>>>,
 }
 
 impl WorkerPools {
     /// Creates one shard per worker (at least one, for the serial path).
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         WorkerPools { shards: (0..workers.max(1)).map(|_| Mutex::new(Vec::new())).collect() }
     }
 
@@ -376,12 +391,12 @@ impl WorkerPools {
     }
 
     /// Pops a recycled machine from the calling worker's shard.
-    fn take(&self) -> Option<Machine> {
+    pub(crate) fn take(&self) -> Option<Machine> {
         self.shard().lock().ok().and_then(|mut shard| shard.pop())
     }
 
     /// Returns a machine to the calling worker's shard for the next cell.
-    fn give(&self, machine: Machine) {
+    pub(crate) fn give(&self, machine: Machine) {
         if let Ok(mut shard) = self.shard().lock() {
             shard.push(machine);
         }
@@ -394,10 +409,10 @@ fn derive_cell_seed(master_seed: u64, key: &CellKey) -> u64 {
     derive_seed(master_seed, &key.to_string())
 }
 
-/// Seed derivation shared by the performance and attack grids: FNV-1a over
-/// the rendered key, then a SplitMix64 finalisation so related keys map to
-/// well-separated seeds.
-fn derive_seed(master_seed: u64, key: &str) -> u64 {
+/// Seed derivation shared by the performance, attack and tenancy grids:
+/// FNV-1a over the rendered key, then a SplitMix64 finalisation so related
+/// keys map to well-separated seeds.
+pub(crate) fn derive_seed(master_seed: u64, key: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in key.bytes() {
         hash ^= byte as u64;
@@ -1023,7 +1038,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 // must be byte-stable anyway).
 // ---------------------------------------------------------------------------
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -1039,7 +1054,7 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_f64(out: &mut String, v: f64) {
+pub(crate) fn json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // Rust's shortest-roundtrip rendering is deterministic and re-parses
         // to the same bits; integral values print without a fraction, which
@@ -1069,6 +1084,7 @@ macro_rules! json_fields {
         $out.push('}');
     }};
 }
+pub(crate) use json_fields;
 
 fn cache_stats_json(out: &mut String, s: &ironhide_cache::CacheStats) {
     json_fields!(out, {

@@ -21,7 +21,16 @@ impl ControllerMask {
     }
 
     /// A mask selecting controllers `[start, start + count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > 32` — the range would silently shift
+    /// selected bits off the top of the mask otherwise.
     pub fn range(start: usize, count: usize) -> Self {
+        assert!(
+            start.checked_add(count).is_some_and(|end| end <= 32),
+            "controller range [{start}, {start} + {count}) exceeds the 32-controller mask"
+        );
         ControllerMask(ControllerMask::first(count).0 << start)
     }
 
@@ -168,6 +177,19 @@ mod tests {
         assert!(!ControllerMask::first(2).contains(2));
         assert_eq!(ControllerMask::first(4).count(), 4);
         assert_eq!(ControllerMask::range(1, 3).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn range_at_the_top_of_the_mask_is_exact() {
+        assert_eq!(ControllerMask::range(28, 4).0, 0xF000_0000);
+        assert_eq!(ControllerMask::range(0, 32).0, u32::MAX);
+        assert_eq!(ControllerMask::range(31, 1).iter().collect::<Vec<_>>(), vec![31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-controller mask")]
+    fn range_past_the_top_is_rejected() {
+        let _ = ControllerMask::range(30, 3);
     }
 
     #[test]

@@ -795,6 +795,15 @@ pub struct Machine {
     /// Reusable moved-page log for [`Machine::set_process_slices`], so a
     /// reconfiguration storm allocates once instead of per call.
     rehome_log: Vec<(PageId, SliceId)>,
+    /// When set, pages re-homed by [`Machine::set_process_slices`] are *not*
+    /// scrubbed immediately; their (page, old-home) pairs accumulate in
+    /// `deferred_scrub_log` until [`Machine::flush_deferred_scrub`] runs.
+    /// This is the injectable protocol mis-ordering (re-home before scrub)
+    /// the reconfiguration-window attack exploits — the shipped protocol
+    /// never defers. Cleared by [`Machine::reset_pristine`].
+    scrub_deferred: bool,
+    /// Moved pages whose scrub has been deferred (see `scrub_deferred`).
+    deferred_scrub_log: Vec<(PageId, SliceId)>,
     /// Reusable sorted page-base-line scratch for [`Machine::scrub_pages`].
     scrub_lines: Vec<u64>,
     /// Cache/directory probes issued while scrubbing re-homed pages. A pure
@@ -852,6 +861,8 @@ impl Machine {
             route_epoch: 0,
             reference_reconfig: false,
             rehome_log: Vec::new(),
+            scrub_deferred: false,
+            deferred_scrub_log: Vec::new(),
             scrub_lines: Vec::new(),
             scrub_probes: 0,
         }
@@ -903,6 +914,8 @@ impl Machine {
         self.latency_trace = None;
         self.batch.key = None;
         self.route_epoch += 1;
+        self.scrub_deferred = false;
+        self.deferred_scrub_log.clear();
         self.scrub_probes = 0;
     }
 
@@ -1081,7 +1094,11 @@ impl Machine {
         p.home.set_allowed(slices.iter().copied());
         let moved = p.home.rehome_all_logged(&mut log).unwrap_or(0);
         self.pages_rehomed += moved;
-        self.scrub_pages(&log);
+        if self.scrub_deferred {
+            self.deferred_scrub_log.extend_from_slice(&log);
+        } else {
+            self.scrub_pages(&log);
+        }
         self.rehome_log = log;
         (moved, moved * self.config.latency.rehome_page)
     }
@@ -1096,8 +1113,12 @@ impl Machine {
         let mut moved_log: Vec<(PageId, SliceId)> = Vec::new();
         let moved = p.home.rehome_all_logged_reference(&mut moved_log).unwrap_or(0);
         self.pages_rehomed += moved;
-        for (page, old_home) in moved_log {
-            self.scrub_page(page.0, old_home);
+        if self.scrub_deferred {
+            self.deferred_scrub_log.extend_from_slice(&moved_log);
+        } else {
+            for (page, old_home) in moved_log {
+                self.scrub_page(page.0, old_home);
+            }
         }
         (moved, moved * self.config.latency.rehome_page)
     }
@@ -1112,6 +1133,42 @@ impl Machine {
     /// counter outside [`MachineStats`]; see the field docs).
     pub fn scrub_probes(&self) -> u64 {
         self.scrub_probes
+    }
+
+    /// Defers (or restores) page scrubbing at re-home time. While deferred,
+    /// [`Machine::set_process_slices`] re-homes pages but leaves their stale
+    /// cached copies in place, logging them until
+    /// [`Machine::flush_deferred_scrub`] — the injectable protocol
+    /// mis-ordering the reconfiguration-window attack exploits. The shipped
+    /// reconfiguration protocol never sets this.
+    pub fn set_scrub_deferred(&mut self, deferred: bool) {
+        self.scrub_deferred = deferred;
+    }
+
+    /// Number of re-homed pages whose scrub is currently deferred.
+    pub fn deferred_scrub_pages(&self) -> usize {
+        self.deferred_scrub_log.len()
+    }
+
+    /// Scrubs every page whose scrub was deferred (see
+    /// [`Machine::set_scrub_deferred`]) and returns how many pages were
+    /// flushed. Uses the same batched/scalar scrub the immediate path would
+    /// have used, so deferring and flushing with an empty window in between
+    /// is architecturally identical to not deferring at all.
+    pub fn flush_deferred_scrub(&mut self) -> u64 {
+        let log = std::mem::take(&mut self.deferred_scrub_log);
+        let pages = log.len() as u64;
+        if self.reference_reconfig {
+            for (page, old_home) in &log {
+                self.scrub_page(page.0, *old_home);
+            }
+        } else {
+            self.scrub_pages(&log);
+        }
+        let mut log = log;
+        log.clear();
+        self.deferred_scrub_log = log;
+        pages
     }
 
     /// Scrubs one re-homed physical page — the full unmap/flush/remap of the

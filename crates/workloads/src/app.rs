@@ -3,6 +3,7 @@
 
 use ironhide_core::app::{Interaction, InteractiveApp, ProcessProfile, WorkUnit};
 use ironhide_core::sweep::{AppSpec, ScalePoint, SweepGrid};
+use ironhide_core::tenancy::TenantProfile;
 use ironhide_core::{Architecture, ReallocPolicy};
 use ironhide_sim::process::SecurityClass;
 
@@ -185,6 +186,26 @@ impl AppId {
         })
     }
 
+    /// The tenant class this application represents in the multi-tenant
+    /// churn workload: its secure-core demand and mean service requirement
+    /// (in core·cycles). The shapes are heterogeneous on purpose — the
+    /// vision CNNs are wide and long-lived, the query/web services narrow
+    /// and bursty — so an arrival mix exercises every admission path.
+    pub fn tenant_profile(self) -> TenantProfile {
+        let (demand_cores, service_units) = match self {
+            AppId::SsspGraph => (8, 120_000),
+            AppId::PrGraph => (12, 160_000),
+            AppId::TcGraph => (16, 220_000),
+            AppId::AbcVision => (4, 60_000),
+            AppId::AlexnetVision => (24, 300_000),
+            AppId::SqznetVision => (12, 140_000),
+            AppId::QueryAes => (4, 40_000),
+            AppId::MemcachedOs => (8, 80_000),
+            AppId::LighttpdOs => (4, 50_000),
+        };
+        TenantProfile::new(self.label(), demand_cores, service_units)
+    }
+
     /// Builds the application at the requested scale.
     pub fn instantiate(self, scale: &ScaleFactor) -> Box<dyn InteractiveApp> {
         let scale = *scale;
@@ -223,6 +244,12 @@ pub fn sweep_grid(
         grid = grid.with_scale(scale.sweep_point());
     }
     grid
+}
+
+/// The tenant-profile mix for a set of applications, ready for a tenancy
+/// storm's [`StormConfig`](ironhide_core::tenancy::StormConfig).
+pub fn tenant_profiles(apps: &[AppId]) -> Vec<TenantProfile> {
+    apps.iter().map(|a| a.tenant_profile()).collect()
 }
 
 // ---------------------------------------------------------------------------

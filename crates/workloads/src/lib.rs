@@ -39,7 +39,7 @@ pub mod recorder;
 pub mod services;
 pub mod vision;
 
-pub use app::{sweep_grid, AppId, ScaleFactor};
+pub use app::{sweep_grid, tenant_profiles, AppId, ScaleFactor};
 pub use recorder::{AccessRecorder, Region};
 
 // Re-export the trait and supporting types so downstream users can name them

@@ -41,7 +41,9 @@ pub use ironhide_workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use ironhide_attacks::{attack_grid, attack_spec, ChannelKind, LeakageOracle};
+    pub use ironhide_attacks::{
+        attack_grid, attack_spec, window_attack_spec, ChannelKind, LeakageOracle, WindowAttack,
+    };
     pub use ironhide_core::app::{
         Interaction, InteractiveApp, MemRef, ProcessProfile, RefRun, RefStream, WorkUnit,
     };
@@ -49,14 +51,20 @@ pub mod prelude {
     pub use ironhide_core::attack::{
         AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
     };
+    pub use ironhide_core::cluster::{ClusterManager, PurgeOrder};
     pub use ironhide_core::realloc::ReallocPolicy;
     pub use ironhide_core::runner::{CompletionReport, ExperimentRunner};
     pub use ironhide_core::sweep::{
         AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, CellKey, Fig6Row,
         Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix, SweepRunner,
     };
+    pub use ironhide_core::tenancy::{
+        AdmissionPolicy, Arrival, ArrivalGenerator, LoadPoint, SloAccount, StormConfig,
+        StormReport, TenancyCell, TenancyCellKey, TenancyGrid, TenancyMatrix, TenancyStorm,
+        TenantProfile,
+    };
     pub use ironhide_mesh::{ClusterId, MeshTopology, NodeId, RoutingAlgorithm};
     pub use ironhide_sim::config::MachineConfig;
     pub use ironhide_sim::process::SecurityClass;
-    pub use ironhide_workloads::app::{sweep_grid, AppId, ScaleFactor};
+    pub use ironhide_workloads::app::{sweep_grid, tenant_profiles, AppId, ScaleFactor};
 }

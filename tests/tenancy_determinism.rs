@@ -1,0 +1,145 @@
+//! Determinism and conservation properties of the multi-tenant churn
+//! subsystem, plus the cross-process pin that ties the facade's view of the
+//! tenancy grid to the `tenancy` bench binary's.
+
+use ironhide::prelude::*;
+use proptest::prelude::*;
+
+/// The `tenancy` binary's master seed; the cross-process pin below only
+/// holds against the grid that binary actually sweeps.
+const BENCH_MASTER_SEED: u64 = 11;
+
+/// The smoke tenancy checksum the `tenancy --smoke` binary reports (and CI
+/// pins). Recomputing it here, in a different process from a different crate,
+/// proves the matrix is a pure function of (seed, grid) — not of process
+/// layout, ASLR, linkage order or thread scheduling.
+const BENCH_SMOKE_CHECKSUM: u64 = 17845519074244044958;
+
+/// The `tenancy` binary's smoke load, replicated field for field.
+fn bench_smoke_config() -> StormConfig {
+    StormConfig {
+        tenants: 40,
+        mean_interarrival_cycles: 30_000,
+        mean_service_scale: 1,
+        host_reserve_cores: 8,
+        profiles: tenant_profiles(&AppId::ALL),
+    }
+}
+
+fn bench_smoke_grid() -> TenancyGrid {
+    let mut grid = TenancyGrid::new().with_load(LoadPoint::new("Smoke", bench_smoke_config()));
+    for policy in AdmissionPolicy::ALL {
+        grid = grid.with_policy(policy);
+    }
+    grid
+}
+
+fn run(seed: u64, threads: usize) -> TenancyMatrix {
+    SweepRunner::new(MachineConfig::paper_default())
+        .with_seed(seed)
+        .with_threads(threads)
+        .run_tenancy(&bench_smoke_grid())
+        .expect("tenancy sweep runs")
+}
+
+/// The serialised matrix must be byte-identical at 1, 2 and 8 worker
+/// threads — the same contract the performance and attack sweeps carry.
+#[test]
+fn tenancy_matrix_is_byte_identical_across_thread_counts() {
+    let baseline = run(BENCH_MASTER_SEED, 1).to_json();
+    for threads in [2usize, 8] {
+        let json = run(BENCH_MASTER_SEED, threads).to_json();
+        assert_eq!(baseline, json, "thread count {threads} changed the tenancy matrix");
+    }
+}
+
+/// Recomputes the `tenancy --smoke` checksum from this test process. If this
+/// moves, either the storm semantics changed (update the bench pin too, with
+/// a changelog entry) or the matrix silently depends on ambient process
+/// state (a determinism bug).
+#[test]
+fn tenancy_checksum_matches_the_bench_binary_pin() {
+    let matrix = run(BENCH_MASTER_SEED, 2);
+    assert_eq!(
+        matrix.checksum(),
+        BENCH_SMOKE_CHECKSUM,
+        "tenancy smoke checksum moved — bench/CI pins must move with it"
+    );
+}
+
+/// SLO percentile fields come from exact sorted samples, so they must be
+/// identical cell-for-cell across independent sweeps (fresh machines, fresh
+/// thread pools), not merely across thread counts.
+#[test]
+fn slo_percentiles_are_reproducible_across_independent_sweeps() {
+    let a = run(BENCH_MASTER_SEED, 4);
+    let b = run(BENCH_MASTER_SEED, 4);
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.key, cb.key);
+        assert_eq!(ca.report.slo.checksum(), cb.report.slo.checksum(), "cell {}", ca.key);
+        for (num, den) in [(1u64, 2u64), (99, 100), (999, 1000)] {
+            assert_eq!(
+                ca.report.slo.completion_percentile(num, den),
+                cb.report.slo.completion_percentile(num, den),
+                "cell {} completion p{num}/{den}",
+                ca.key
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The arrival stream is a pure function of its seed: redrawing is
+    /// byte-identical, reseeding moves it, and arrival cycles never go
+    /// backwards.
+    #[test]
+    fn arrival_streams_are_seed_pure(seed in 0u64..1_000_000) {
+        let generator = ArrivalGenerator::new(20_000, 1, tenant_profiles(&AppId::ALL));
+        let a = generator.draw(seed, 64);
+        let b = generator.draw(seed, 64);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        let c = generator.draw(seed.wrapping_add(1), 64);
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Every admission policy conserves tenants (admitted + denied + queued
+    /// == arrived), attests every arrival, and fully drains its queue, for
+    /// arbitrary seeds — not just the pinned one.
+    #[test]
+    fn policies_conserve_tenants(seed in 0u64..1_000_000) {
+        let config = bench_smoke_config();
+        let mut machine = ironhide::ironhide_sim::machine::Machine::new(
+            MachineConfig::paper_default(),
+        );
+        for policy in AdmissionPolicy::ALL {
+            let report = TenancyStorm::new(&config, policy)
+                .run(&mut machine, seed)
+                .expect("storm runs");
+            prop_assert!(report.conserves_tenants(), "{policy}: conservation violated");
+            prop_assert_eq!(report.attested, report.arrived);
+            prop_assert_eq!(report.queued, 0, "{}: queue must drain", policy);
+            prop_assert_eq!(report.slo.completions() as u64, report.admitted);
+        }
+    }
+}
+
+/// The reconfiguration-window golden rows, end to end through the facade:
+/// shipped purge ordering closes the channel on IRONHIDE with a clean audit;
+/// the injected rehome-before-purge mis-ordering opens it.
+#[test]
+fn window_channel_verdicts_are_golden() {
+    let config = MachineConfig::attack_testbench();
+    let shipped = WindowAttack::new(config.clone(), PurgeOrder::PurgeThenRehome)
+        .assess(Architecture::Ironhide, 7)
+        .expect("shipped-order assessment runs");
+    assert_eq!(shipped.verdict, ChannelVerdict::Closed, "shipped order: BER {}", shipped.ber);
+    assert!(shipped.isolation.is_clean(), "violations: {:?}", shipped.isolation.violations);
+
+    let misordered = WindowAttack::new(config, PurgeOrder::RehomeThenPurge)
+        .assess(Architecture::Ironhide, 7)
+        .expect("misordered assessment runs");
+    assert_eq!(misordered.verdict, ChannelVerdict::Open, "misordered: BER {}", misordered.ber);
+}
