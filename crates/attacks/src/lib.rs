@@ -38,4 +38,4 @@ pub mod window;
 
 pub use channels::{ChannelKind, StreamChannel};
 pub use oracle::{attack_grid, attack_spec, LeakageOracle};
-pub use window::{window_attack_spec, WindowAttack};
+pub use window::{window_attack_spec, FaultAudit, FaultMode, WindowAttack};

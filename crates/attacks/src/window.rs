@@ -48,6 +48,10 @@ use crate::oracle::{balanced_bits, binary_entropy, decode, LeakageOracle};
 pub const SHIPPED_LABEL: &str = "reconfig-window";
 /// Channel label under the injected mis-ordering.
 pub const MISORDERED_LABEL: &str = "reconfig-window-misordered";
+/// Channel label with dropped purge packets caught by the scrub audit.
+pub const AUDITED_DROP_LABEL: &str = "reconfig-window-dropped-purge-audited";
+/// Channel label with dropped purge packets and no audit (negative control).
+pub const UNAUDITED_DROP_LABEL: &str = "reconfig-window-dropped-purge";
 
 /// Signing key of the simulated window-attack victim's author (the kernel
 /// only needs signatures to be verifiable, not secret).
@@ -58,6 +62,42 @@ const VICTIM_BASE: u64 = 0x2000_0000;
 /// Base virtual address of the attacker's sweep buffers.
 const SWEEP_BASE: u64 = 0x1000_0000;
 
+/// How a run interacts with an injected dropped-scrub (partial purge
+/// completion) fault — the differential axis of the fault campaign's
+/// security gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// No fault injected (the original channel).
+    #[default]
+    None,
+    /// Purge packets drop, and the scrub audit detects and replays them at
+    /// the start of every reconfiguration window — recovery must keep the
+    /// channel closed.
+    DroppedPurgeAudited,
+    /// Purge packets drop and nobody audits: stale dirty lines survive into
+    /// the window, which must pin the channel open.
+    DroppedPurgeUnaudited,
+}
+
+/// What the scrub audit saw across one faulted assessment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultAudit {
+    /// Dropped scrub packets the audit detected.
+    pub dropped_detected: u64,
+    /// Dropped scrub packets replayed back to a clean state.
+    pub dropped_recovered: u64,
+    /// Dropped scrub packets still unrecovered when the run ended.
+    pub dropped_unrecovered: u64,
+}
+
+impl FaultAudit {
+    /// A clean audit: everything detected was recovered and nothing was left
+    /// behind — the recovery obligation is fully discharged.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_detected == self.dropped_recovered && self.dropped_unrecovered == 0
+    }
+}
+
 /// The reconfiguration-window attack: victim, attacker and the per-slot
 /// shrink/grow reconfiguration cycle, decoded with the same unsupervised
 /// midpoint threshold as the stream channels.
@@ -66,6 +106,8 @@ pub struct WindowAttack {
     config: MachineConfig,
     params: ArchParams,
     order: PurgeOrder,
+    fault: FaultMode,
+    drop_rate_per_mille: u32,
     payload_bits: usize,
     warmup_slots: usize,
     noise_floor_cycles: u64,
@@ -94,6 +136,10 @@ struct SlotCtx {
     /// round-robin allocator homes them across the *current* secure slices,
     /// including the ones the next shrink moves.
     bursts: u64,
+    /// Dropped scrub packets the audit detected across all slots.
+    dropped_detected: u64,
+    /// Dropped scrub packets replayed across all slots.
+    dropped_recovered: u64,
 }
 
 impl WindowAttack {
@@ -105,10 +151,21 @@ impl WindowAttack {
             config,
             params: ArchParams::default(),
             order,
+            fault: FaultMode::None,
+            drop_rate_per_mille: 0,
             payload_bits: 32,
             warmup_slots: 8,
             noise_floor_cycles: 16,
         }
+    }
+
+    /// Injects a dropped-scrub fault: every scrub packet a reconfiguration
+    /// emits drops with probability `rate_per_mille`/1000 (seed-pure per
+    /// page), handled per `mode`.
+    pub fn with_fault(mut self, mode: FaultMode, rate_per_mille: u32) -> Self {
+        self.fault = mode;
+        self.drop_rate_per_mille = rate_per_mille;
+        self
     }
 
     /// Overrides the payload length.
@@ -132,12 +189,14 @@ impl WindowAttack {
         self
     }
 
-    /// The channel label: the mis-ordered variant reports under its own name
-    /// so verdict rows for both orderings can sit in one matrix.
+    /// The channel label: the mis-ordered and faulted variants report under
+    /// their own names so every verdict row can sit in one matrix.
     pub fn name(&self) -> &'static str {
-        match self.order {
-            PurgeOrder::PurgeThenRehome => SHIPPED_LABEL,
-            PurgeOrder::RehomeThenPurge => MISORDERED_LABEL,
+        match (self.fault, self.order) {
+            (FaultMode::DroppedPurgeAudited, _) => AUDITED_DROP_LABEL,
+            (FaultMode::DroppedPurgeUnaudited, _) => UNAUDITED_DROP_LABEL,
+            (FaultMode::None, PurgeOrder::PurgeThenRehome) => SHIPPED_LABEL,
+            (FaultMode::None, PurgeOrder::RehomeThenPurge) => MISORDERED_LABEL,
         }
     }
 
@@ -166,6 +225,24 @@ impl WindowAttack {
         seed: u64,
         slot: &mut Option<Machine>,
     ) -> Result<AttackOutcome, RunError> {
+        self.assess_faulted(arch, seed, slot).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`WindowAttack::assess_recycled`], but also returns the scrub
+    /// audit's tally — the campaign's differential gate reads it to check
+    /// that audited recovery was complete (and that the unaudited negative
+    /// control really left residue behind).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if cluster formation or a reconfiguration
+    /// fails, or if the victim cannot be attested.
+    pub fn assess_faulted(
+        &self,
+        arch: Architecture,
+        seed: u64,
+        slot: &mut Option<Machine>,
+    ) -> Result<(AttackOutcome, FaultAudit), RunError> {
         let bits = balanced_bits(seed, self.payload_bits);
         let mut machine = match slot.take() {
             Some(mut m) => {
@@ -217,6 +294,14 @@ impl WindowAttack {
             }
         };
 
+        // The fault arms only after formation: drops model packets lost
+        // during live reconfigurations, not during machine bring-up. The
+        // drop predicate is pure in (seed, page), so the faulted page set is
+        // replayable regardless of scrub batching.
+        if self.fault != FaultMode::None {
+            machine.set_scrub_drop_fault(seed ^ 0xFA17_5EED, self.drop_rate_per_mille);
+        }
+
         let mut ctx = SlotCtx {
             attacker,
             victim,
@@ -230,6 +315,8 @@ impl WindowAttack {
             line_bytes: self.config.l2_slice.line_bytes as u64,
             sweeps: 0,
             bursts: 0,
+            dropped_detected: 0,
+            dropped_recovered: 0,
         };
 
         // Warm up with alternating symbols so allocators, caches and the
@@ -246,6 +333,26 @@ impl WindowAttack {
             payload_cycles += slot_total;
         }
 
+        // Wrap up the fault: a final audit pass (the grow after the last
+        // measured window can still drop packets), then lift the fault so
+        // the machine goes back into the pool clean.
+        let mut audit = FaultAudit::default();
+        if self.fault != FaultMode::None {
+            if self.fault == FaultMode::DroppedPurgeAudited {
+                let detected =
+                    (machine.dropped_scrub_log().len() + machine.dropped_purge_log().len()) as u64;
+                if detected > 0 {
+                    ctx.dropped_detected += detected;
+                    ctx.dropped_recovered += machine.recover_dropped_scrubs();
+                }
+            }
+            audit = FaultAudit {
+                dropped_detected: ctx.dropped_detected,
+                dropped_recovered: ctx.dropped_recovered,
+                dropped_unrecovered: machine.clear_scrub_drop_fault() as u64,
+            };
+        }
+
         let spec = SpeculativeAccessCheck::new();
         let isolation = IsolationAuditor::new().audit(&machine, arch, &spec);
         *slot = Some(machine);
@@ -258,22 +365,25 @@ impl WindowAttack {
         let capacity_bits_per_second =
             capacity_bits_per_slot * self.config.clock_ghz * 1e9 / slot_cycles.max(1.0);
 
-        Ok(AttackOutcome {
-            channel: self.name().to_string(),
-            arch,
-            payload_bits: bits.len() as u64,
-            bit_errors,
-            ber,
-            threshold_cycles: threshold,
-            min_probe_cycles: probe_cycles.iter().copied().min().unwrap_or(0),
-            max_probe_cycles: probe_cycles.iter().copied().max().unwrap_or(0),
-            capacity_bits_per_slot,
-            capacity_bits_per_second,
-            payload_cycles,
-            secure_cores,
-            verdict: ChannelVerdict::from_ber(ber),
-            isolation,
-        })
+        Ok((
+            AttackOutcome {
+                channel: self.name().to_string(),
+                arch,
+                payload_bits: bits.len() as u64,
+                bit_errors,
+                ber,
+                threshold_cycles: threshold,
+                min_probe_cycles: probe_cycles.iter().copied().min().unwrap_or(0),
+                max_probe_cycles: probe_cycles.iter().copied().max().unwrap_or(0),
+                capacity_bits_per_slot,
+                capacity_bits_per_second,
+                payload_cycles,
+                secure_cores,
+                verdict: ChannelVerdict::from_ber(ber),
+                isolation,
+            },
+            audit,
+        ))
     }
 
     /// One transmission slot. Returns `(probe_cycles, slot_cycles)` where
@@ -314,7 +424,10 @@ impl WindowAttack {
             // ordering. The window callback is the first point insecure
             // traffic can flow; the attacker's timed sweep runs there,
             // evicting whatever the moved slices still hold.
+            let audited = self.fault == FaultMode::DroppedPurgeAudited;
             let mut probe = 0u64;
+            let mut detected = 0u64;
+            let mut recovered = 0u64;
             total += m.reconfigure_windowed(
                 machine,
                 ctx.victim,
@@ -322,6 +435,15 @@ impl WindowAttack {
                 ctx.narrow,
                 self.order,
                 |mach| {
+                    // The audited discipline runs the scrub audit at the top
+                    // of every window — dropped purge packets are detected
+                    // and replayed *before* any insecure access can time the
+                    // residue they left behind.
+                    if audited {
+                        detected = (mach.dropped_scrub_log().len() + mach.dropped_purge_log().len())
+                            as u64;
+                        recovered = mach.recover_dropped_scrubs();
+                    }
                     probe = touch_pages(
                         mach,
                         ctx.attacker_core,
@@ -334,6 +456,8 @@ impl WindowAttack {
                     );
                 },
             )?;
+            ctx.dropped_detected += detected;
+            ctx.dropped_recovered += recovered;
             total += probe;
             // Grow back for the next slot — always under the shipped order;
             // only the measured shrink carries the injected fault.
@@ -440,6 +564,41 @@ mod tests {
             outcome.max_probe_cycles
         );
         assert_eq!(outcome.channel, MISORDERED_LABEL);
+    }
+
+    #[test]
+    fn audited_dropped_purge_recovery_keeps_the_window_closed() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::PurgeThenRehome)
+            .with_fault(FaultMode::DroppedPurgeAudited, 800);
+        let (outcome, audit) = attack.assess_faulted(Architecture::Ironhide, 7, &mut None).unwrap();
+        assert!(
+            outcome.is_closed(),
+            "audited recovery must keep the window closed: BER {} (probes {}..{})",
+            outcome.ber,
+            outcome.min_probe_cycles,
+            outcome.max_probe_cycles
+        );
+        assert!((outcome.ber - 0.5).abs() <= 0.05, "BER {}", outcome.ber);
+        assert_eq!(outcome.channel, AUDITED_DROP_LABEL);
+        assert!(audit.dropped_detected > 0, "the fault must actually drop packets");
+        assert!(audit.is_clean(), "recovery must be complete: {audit:?}");
+    }
+
+    #[test]
+    fn unaudited_dropped_purge_pins_the_window_open() {
+        let attack = WindowAttack::new(testbench(), PurgeOrder::PurgeThenRehome)
+            .with_fault(FaultMode::DroppedPurgeUnaudited, 800);
+        let (outcome, audit) = attack.assess_faulted(Architecture::Ironhide, 7, &mut None).unwrap();
+        assert!(
+            outcome.is_open(),
+            "unaudited drops must leak through the window: BER {} (probes {}..{})",
+            outcome.ber,
+            outcome.min_probe_cycles,
+            outcome.max_probe_cycles
+        );
+        assert_eq!(outcome.channel, UNAUDITED_DROP_LABEL);
+        assert_eq!(audit.dropped_detected, 0, "nobody audited");
+        assert!(audit.dropped_unrecovered > 0, "residue must remain: {audit:?}");
     }
 
     #[test]

@@ -74,15 +74,46 @@ pub struct DirectoryConfig {
     pub ways: usize,
 }
 
+/// A zero-dimension directory geometry, reported as a value so campaign
+/// harnesses can log the bad configuration instead of aborting mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryConfigError {
+    /// Requested set count.
+    pub sets: usize,
+    /// Requested ways per set.
+    pub ways: usize,
+}
+
+impl std::fmt::Display for DirectoryConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "directory geometry must be non-zero (sets = {}, ways = {})",
+            self.sets, self.ways
+        )
+    }
+}
+
+impl std::error::Error for DirectoryConfigError {}
+
 impl DirectoryConfig {
     /// Creates a directory geometry.
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero; fallible callers use
+    /// [`DirectoryConfig::try_new`].
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && ways > 0, "directory geometry must be non-zero");
-        DirectoryConfig { sets, ways }
+        DirectoryConfig::try_new(sets, ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a directory geometry, reporting a zero dimension as a typed
+    /// [`DirectoryConfigError`] instead of panicking.
+    pub fn try_new(sets: usize, ways: usize) -> Result<Self, DirectoryConfigError> {
+        if sets == 0 || ways == 0 {
+            return Err(DirectoryConfigError { sets, ways });
+        }
+        Ok(DirectoryConfig { sets, ways })
     }
 
     /// The conventional sizing for a home slice of geometry `l2`: one
@@ -679,6 +710,21 @@ mod tests {
         assert_eq!(a.evicted, b.evicted);
         assert_eq!(d.stats(), fresh.stats());
         assert_eq!(d.resident_entries(), fresh.resident_entries());
+    }
+
+    #[test]
+    fn zero_geometry_is_a_typed_error() {
+        assert_eq!(DirectoryConfig::try_new(4, 2), Ok(DirectoryConfig { sets: 4, ways: 2 }));
+        let err = DirectoryConfig::try_new(0, 2).unwrap_err();
+        assert_eq!(err, DirectoryConfigError { sets: 0, ways: 2 });
+        assert!(format!("{err}").contains("must be non-zero"));
+        assert!(DirectoryConfig::try_new(4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_geometry_panics_through_the_infallible_constructor() {
+        let _ = DirectoryConfig::new(0, 0);
     }
 
     #[test]

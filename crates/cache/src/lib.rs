@@ -54,7 +54,8 @@ pub mod tlb;
 
 pub use config::{CacheConfig, TlbConfig};
 pub use directory::{
-    DirOutcome, Directory, DirectoryConfig, DirectoryStats, EvictedEntry, MesiState,
+    DirOutcome, Directory, DirectoryConfig, DirectoryConfigError, DirectoryStats, EvictedEntry,
+    MesiState,
 };
 pub use homing::{HomeMap, HomePolicy, PageId, SliceId};
 pub use replacement::ReplacementPolicy;

@@ -55,6 +55,61 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// A typed reconfiguration failure under degraded capacity: either the
+/// underlying cluster-shape error, or the quarantine set leaves too little
+/// healthy hardware for the requested shape. Returned as a value so storm
+/// harnesses can retry with backoff instead of aborting mid-campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The underlying cluster-shape error (empty cluster, containment,
+    /// controller count).
+    Cluster(ClusterError),
+    /// The requested shape needs more healthy tiles than the quarantine set
+    /// leaves available.
+    DegradedCapacity {
+        /// Secure cores requested.
+        requested: usize,
+        /// Healthy (non-quarantined) tiles available machine-wide.
+        healthy: usize,
+    },
+    /// Quarantining the tile would leave its cluster with no healthy tile.
+    ClusterExhausted {
+        /// The cluster that would be left without healthy capacity.
+        cluster: ClusterId,
+    },
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::Cluster(e) => write!(f, "{e}"),
+            ReconfigError::DegradedCapacity { requested, healthy } => write!(
+                f,
+                "requested {requested} secure cores but only {healthy} healthy tiles remain outside quarantine"
+            ),
+            ReconfigError::ClusterExhausted { cluster } => {
+                write!(f, "quarantine would leave the {cluster:?} cluster with no healthy tile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<ClusterError> for ReconfigError {
+    fn from(e: ClusterError) -> Self {
+        ReconfigError::Cluster(e)
+    }
+}
+
+/// Adds two stall-cycle quantities, panicking with a clear message on u64
+/// overflow instead of silently wrapping a checksum-bearing total.
+fn add_stall(total: u64, add: u64) -> u64 {
+    total
+        .checked_add(add)
+        .unwrap_or_else(|| panic!("reconfiguration stall cycles overflowed u64 ({total} + {add})"))
+}
+
 /// The ordering of the purge and re-home steps of a reconfiguration.
 ///
 /// The paper's protocol purges the moved tiles' private state and the moved
@@ -109,6 +164,11 @@ pub struct ClusterManager {
     config: ClusterConfig,
     reconfigurations: u64,
     scratch: ReconfigScratch,
+    /// Tiles quarantined after a failure: their slices are filtered out of
+    /// every allowed set [`ClusterManager::apply`] installs, so no process
+    /// homes pages on failed hardware. Empty on a healthy machine, where the
+    /// filter is the identity and the no-op reconfigure rule is preserved.
+    quarantined: NodeSet,
 }
 
 impl ClusterManager {
@@ -138,6 +198,7 @@ impl ClusterManager {
             config,
             reconfigurations: 0,
             scratch: ReconfigScratch::default(),
+            quarantined: NodeSet::default(),
         };
         let cycles = manager.apply(machine, secure_pid, insecure_pid);
         Ok((manager, cycles))
@@ -180,13 +241,19 @@ impl ClusterManager {
         insecure_pid: ProcessId,
     ) -> u64 {
         self.scratch.secure_slices.clear();
-        self.scratch
-            .secure_slices
-            .extend(self.map.nodes_iter(ClusterId::Secure).map(|n| SliceId(n.0)));
+        self.scratch.secure_slices.extend(
+            self.map
+                .nodes_iter(ClusterId::Secure)
+                .filter(|n| !self.quarantined.contains(*n))
+                .map(|n| SliceId(n.0)),
+        );
         self.scratch.insecure_slices.clear();
-        self.scratch
-            .insecure_slices
-            .extend(self.map.nodes_iter(ClusterId::Insecure).map(|n| SliceId(n.0)));
+        self.scratch.insecure_slices.extend(
+            self.map
+                .nodes_iter(ClusterId::Insecure)
+                .filter(|n| !self.quarantined.contains(*n))
+                .map(|n| SliceId(n.0)),
+        );
         let (_, secure_cycles) =
             machine.set_process_slices(secure_pid, &self.scratch.secure_slices);
         let (_, insecure_cycles) =
@@ -194,7 +261,7 @@ impl ClusterManager {
         machine.set_process_controllers(secure_pid, self.config.secure_controllers);
         machine.set_process_controllers(insecure_pid, self.config.insecure_controllers);
         machine.set_cluster_map(Some(self.map.clone()));
-        secure_cycles + insecure_cycles
+        add_stall(secure_cycles, insecure_cycles)
     }
 
     /// The current cluster map.
@@ -223,6 +290,92 @@ impl ClusterManager {
     /// `tests/zero_alloc.rs`).
     pub fn cores_iter(&self, cluster: ClusterId) -> impl Iterator<Item = NodeId> + '_ {
         self.map.nodes_iter(cluster)
+    }
+
+    // ----- graceful degradation --------------------------------------------
+
+    /// Tiles currently quarantined after failures.
+    pub fn quarantined(&self) -> &NodeSet {
+        &self.quarantined
+    }
+
+    /// Healthy (non-quarantined) tiles of `cluster` under the current map.
+    pub fn healthy_cores_of(&self, cluster: ClusterId) -> usize {
+        self.map.nodes_iter(cluster).filter(|n| !self.quarantined.contains(*n)).count()
+    }
+
+    /// Quarantines a failed tile and re-pins both processes around it: the
+    /// tile's private state is purged, its L2 slice and directory are flushed
+    /// via the existing scrub/purge primitives, and the allowed-slice sets are
+    /// re-applied without the failed slice — which re-homes (and scrubs) every
+    /// page it homed and bumps `route_epoch`, so no route or pin references
+    /// the dead tile afterwards. Returns the stall cycles charged; a tile
+    /// already in quarantine costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError::ClusterExhausted`] if the tile is the last healthy
+    /// member of its cluster — the quarantine is not recorded in that case,
+    /// because evicting the cluster's only slice would strand its pages.
+    pub fn quarantine(
+        &mut self,
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+        node: NodeId,
+    ) -> Result<u64, ReconfigError> {
+        if self.quarantined.contains(node) {
+            return Ok(0);
+        }
+        let cluster = self.map.cluster_of(node);
+        if self.healthy_cores_of(cluster) <= 1 {
+            return Err(ReconfigError::ClusterExhausted { cluster });
+        }
+        self.quarantined.insert(node);
+        // Failure protocol, in the shipped purge-then-rehome order: dead
+        // private state first, then the dead slice, then the re-pin whose
+        // scrub erases every re-homed page's residue.
+        let mut cycles = machine.purge_private(&[node]);
+        cycles = add_stall(cycles, machine.purge_slices(&[SliceId(node.0)]));
+        cycles = add_stall(cycles, self.apply(machine, secure_pid, insecure_pid));
+        Ok(cycles)
+    }
+
+    /// Like [`ClusterManager::reconfigure`], but checking the request against
+    /// the quarantine set first: shapes that need more healthy tiles than
+    /// remain are rejected with [`ReconfigError::DegradedCapacity`] so the
+    /// caller can back off and retry, rather than forming a cluster whose
+    /// nominal capacity includes dead hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError::DegradedCapacity`] when quarantine leaves fewer
+    /// healthy tiles than the shape needs (both clusters must keep at least
+    /// one); [`ReconfigError::Cluster`] for the underlying shape errors.
+    pub fn reconfigure_degraded(
+        &mut self,
+        machine: &mut Machine,
+        secure_pid: ProcessId,
+        insecure_pid: ProcessId,
+        new_secure_cores: usize,
+    ) -> Result<u64, ReconfigError> {
+        let total = machine.config().cores();
+        let healthy = total - self.quarantined.len();
+        if new_secure_cores >= healthy {
+            return Err(ReconfigError::DegradedCapacity { requested: new_secure_cores, healthy });
+        }
+        // The row-major split assigns the first `new_secure_cores` tiles to
+        // the secure cluster; either region consisting entirely of
+        // quarantined tiles would strand that cluster's pages.
+        let q_secure = self.quarantined.iter().filter(|n| n.0 < new_secure_cores).count();
+        if q_secure >= new_secure_cores {
+            return Err(ReconfigError::ClusterExhausted { cluster: ClusterId::Secure });
+        }
+        if self.quarantined.len() - q_secure >= total - new_secure_cores {
+            return Err(ReconfigError::ClusterExhausted { cluster: ClusterId::Insecure });
+        }
+        let cycles = self.reconfigure(machine, secure_pid, insecure_pid, new_secure_cores)?;
+        Ok(cycles)
     }
 
     /// Re-balances the clusters to `new_secure_cores` secure tiles: stalls the
@@ -307,12 +460,12 @@ impl ClusterManager {
         let cycles = match order {
             PurgeOrder::PurgeThenRehome => {
                 let mut cycles = machine.purge_private(&self.scratch.moved_nodes);
-                cycles += machine.purge_slices(&self.scratch.moved_slices);
+                cycles = add_stall(cycles, machine.purge_slices(&self.scratch.moved_slices));
                 // Drain the controllers that change sides as well.
                 if let Some(changed) = changed_controllers {
-                    cycles += machine.purge_controllers(changed);
+                    cycles = add_stall(cycles, machine.purge_controllers(changed));
                 }
-                cycles += self.apply(machine, secure_pid, insecure_pid);
+                cycles = add_stall(cycles, self.apply(machine, secure_pid, insecure_pid));
                 window(machine);
                 cycles
             }
@@ -324,10 +477,10 @@ impl ClusterManager {
                 machine.set_scrub_deferred(false);
                 window(machine);
                 machine.flush_deferred_scrub();
-                cycles += machine.purge_private(&self.scratch.moved_nodes);
-                cycles += machine.purge_slices(&self.scratch.moved_slices);
+                cycles = add_stall(cycles, machine.purge_private(&self.scratch.moved_nodes));
+                cycles = add_stall(cycles, machine.purge_slices(&self.scratch.moved_slices));
                 if let Some(changed) = changed_controllers {
-                    cycles += machine.purge_controllers(changed);
+                    cycles = add_stall(cycles, machine.purge_controllers(changed));
                 }
                 cycles
             }
@@ -435,6 +588,68 @@ mod tests {
         assert!(mgr.reconfigure(&mut m, sec, ins, 0).is_err());
         assert_eq!(mgr.config().secure_cores, 32);
         assert_eq!(mgr.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn quarantine_evicts_the_failed_slice_and_repins_around_it() {
+        let (mut m, sec, ins) = machine();
+        let (mut mgr, _) = ClusterManager::form(&mut m, sec, ins, 32).unwrap();
+        for p in 0..64u64 {
+            m.access(NodeId(0), sec, p * 4096, true);
+        }
+        let epoch_before = m.route_epoch();
+        let cycles = mgr.quarantine(&mut m, sec, ins, NodeId(3)).unwrap();
+        assert!(cycles > 0);
+        assert!(mgr.quarantined().contains(NodeId(3)));
+        assert_eq!(mgr.healthy_cores_of(ClusterId::Secure), 31);
+        assert!(!m.process_slices(sec).contains(&SliceId(3)));
+        assert_eq!(m.process_slices(sec).len(), 31);
+        assert!(m.route_epoch() > epoch_before, "re-pin must recompute routes");
+        // Idempotent: re-quarantining the same tile is free.
+        assert_eq!(mgr.quarantine(&mut m, sec, ins, NodeId(3)).unwrap(), 0);
+    }
+
+    #[test]
+    fn stall_accumulation_sums_up_to_the_boundary() {
+        assert_eq!(add_stall(u64::MAX - 3, 3), u64::MAX);
+        assert_eq!(add_stall(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reconfiguration stall cycles overflowed u64")]
+    fn stall_accumulation_overflow_is_loud_not_wrapped() {
+        add_stall(u64::MAX, 1);
+    }
+
+    #[test]
+    fn quarantine_refuses_to_exhaust_a_cluster() {
+        let (mut m, sec, ins) = machine();
+        let (mut mgr, _) = ClusterManager::form(&mut m, sec, ins, 2).unwrap();
+        mgr.quarantine(&mut m, sec, ins, NodeId(0)).unwrap();
+        assert_eq!(
+            mgr.quarantine(&mut m, sec, ins, NodeId(1)),
+            Err(ReconfigError::ClusterExhausted { cluster: ClusterId::Secure })
+        );
+        assert_eq!(mgr.quarantined().len(), 1, "the refused quarantine must not be recorded");
+    }
+
+    #[test]
+    fn degraded_reconfigure_rejects_shapes_beyond_healthy_capacity() {
+        let (mut m, sec, ins) = machine();
+        let (mut mgr, _) = ClusterManager::form(&mut m, sec, ins, 32).unwrap();
+        mgr.quarantine(&mut m, sec, ins, NodeId(5)).unwrap();
+        mgr.quarantine(&mut m, sec, ins, NodeId(40)).unwrap();
+        let err = mgr.reconfigure_degraded(&mut m, sec, ins, 62).unwrap_err();
+        assert_eq!(err, ReconfigError::DegradedCapacity { requested: 62, healthy: 62 });
+        assert!(format!("{err}").contains("healthy tiles"));
+        // A shape the healthy capacity can carry still reconfigures, and the
+        // new binding keeps excluding the quarantined slices.
+        let cycles = mgr.reconfigure_degraded(&mut m, sec, ins, 16).unwrap();
+        assert!(cycles > 0);
+        assert!(!m.process_slices(sec).contains(&SliceId(5)));
+        assert!(!m.process_slices(ins).contains(&SliceId(40)));
+        assert_eq!(m.process_slices(sec).len(), 15);
+        assert_eq!(m.process_slices(ins).len(), 47);
     }
 
     #[test]

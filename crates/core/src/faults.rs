@@ -1,0 +1,703 @@
+//! Deterministic fault injection with quarantine-and-remap degradation.
+//!
+//! A security architecture that only holds on a healthy machine is not a
+//! security architecture — real deployments lose tiles, links, and memory
+//! controllers, and the purge traffic IRONHIDE's isolation leans on can
+//! itself be dropped by a failing NoC. This module makes failure a
+//! first-class, *replayable* input:
+//!
+//! * [`FaultSchedule`] draws a fault event stream from the vendored `rand`
+//!   ([`StdRng`]): which arrival index each fault fires at and which tile it
+//!   hits are pure functions of the schedule seed, so every campaign cell is
+//!   byte-replayable across thread counts and processes.
+//! * [`FaultKind`] covers the taxonomy: whole-tile failures (quarantined and
+//!   re-pinned around via
+//!   [`ClusterManager::quarantine`](crate::cluster::ClusterManager::quarantine)),
+//!   NoC link degradation (per-link penalty cycles), memory-controller stalls,
+//!   and *partial-completion* faults that drop a seed-chosen fraction of
+//!   scrub/purge packets mid-reconfiguration.
+//! * [`FaultArch`] is the differential axis: the audited discipline detects
+//!   dropped scrubs and replays them (channels stay CLOSED), the unaudited
+//!   one fails open and is pinned OPEN as the negative control.
+//! * [`BackoffPolicy`] bounds the exponential retry a storm charges when it
+//!   re-admits tenants or reconfigures against degraded capacity.
+//! * [`FaultGrid`] / [`FaultMatrix`] sweep {kind × rate × arch} through
+//!   [`SweepRunner`](crate::sweep::SweepRunner) under the same determinism
+//!   contract as every other matrix in the tree.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use ironhide_sim::machine::Machine;
+
+use crate::cluster::ClusterError;
+use crate::sweep::{derive_seed, json_fields, json_string};
+use crate::tenancy::{AdmissionPolicy, StormConfig, StormReport, TenancyStorm};
+
+// ---------------------------------------------------------------------------
+// Fault taxonomy
+// ---------------------------------------------------------------------------
+
+/// The kinds of injected failure the campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A tile dies: its slice is quarantined, scrubbed and routed around.
+    TileFailure,
+    /// A NoC link degrades: every flit crossing it pays a penalty.
+    LinkDegradation,
+    /// A memory controller develops a fixed per-request stall.
+    ControllerStall,
+    /// Partial completion: a fraction of scrub/purge packets is dropped
+    /// mid-reconfiguration (the fault the scrub audit exists to catch).
+    DroppedScrub,
+}
+
+impl FaultKind {
+    /// Every kind, in canonical sweep order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TileFailure,
+        FaultKind::LinkDegradation,
+        FaultKind::ControllerStall,
+        FaultKind::DroppedScrub,
+    ];
+
+    /// Stable label — feeds cell-seed derivation and JSON, so it must never
+    /// change once a checksum is pinned.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TileFailure => "tile-failure",
+            FaultKind::LinkDegradation => "link-degradation",
+            FaultKind::ControllerStall => "controller-stall",
+            FaultKind::DroppedScrub => "dropped-scrub",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The degradation discipline under test — the differential axis of the
+/// campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultArch {
+    /// IRONHIDE's discipline: quarantine failed tiles, audit the scrub log
+    /// after every reconfiguration, replay dropped packets, re-admit evicted
+    /// tenants with bounded backoff.
+    Ironhide,
+    /// The fail-open baseline: no scrub audit, no recovery — evicted tenants
+    /// vanish and dropped purge traffic leaves attacker-observable residue.
+    Insecure,
+}
+
+impl FaultArch {
+    /// Both disciplines, in canonical sweep order.
+    pub const ALL: [FaultArch; 2] = [FaultArch::Ironhide, FaultArch::Insecure];
+
+    /// Stable label (same contract as [`FaultKind::label`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultArch::Ironhide => "IRONHIDE",
+            FaultArch::Insecure => "Insecure",
+        }
+    }
+
+    /// Whether this discipline audits and recovers dropped scrub traffic.
+    pub fn audited(self) -> bool {
+        matches!(self, FaultArch::Ironhide)
+    }
+}
+
+impl fmt::Display for FaultArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff and schedule
+// ---------------------------------------------------------------------------
+
+/// Bounded exponential backoff, in simulated cycles, for retries against
+/// degraded capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay of the first retry.
+    pub base_cycles: u64,
+    /// Retries stop (and the request is refused) after this many attempts.
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// The delay charged for retry number `attempt` (0-based):
+    /// `base_cycles << attempt`, saturating instead of overflowing.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_cycles.saturating_mul(factor)
+    }
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy { base_cycles: 2_000, max_attempts: 6 }
+    }
+}
+
+/// Parameters one [`FaultSchedule`] is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Fault intensity in per-mille: per-arrival firing probability for
+    /// discrete kinds, per-page drop probability for
+    /// [`FaultKind::DroppedScrub`].
+    pub rate_per_mille: u32,
+    /// Kind-specific magnitude: link penalty cycles or controller stall
+    /// cycles (unused for tile failures and dropped scrubs).
+    pub magnitude: u64,
+    /// How long (simulated cycles) a tile failure leaves capacity degraded —
+    /// re-admissions retry with backoff until this window closes.
+    pub repair_cycles: u64,
+    /// Retry policy against degraded capacity.
+    pub backoff: BackoffPolicy,
+}
+
+impl FaultConfig {
+    /// The campaign's default parameters for `kind` at `rate_per_mille`.
+    pub fn for_kind(kind: FaultKind, rate_per_mille: u32) -> Self {
+        let magnitude = match kind {
+            FaultKind::TileFailure | FaultKind::DroppedScrub => 0,
+            FaultKind::LinkDegradation => 48,
+            FaultKind::ControllerStall => 250,
+        };
+        FaultConfig {
+            kind,
+            rate_per_mille,
+            magnitude,
+            repair_cycles: 150_000,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// One drawn fault: it fires when the storm consumes arrival `at_event`, on
+/// tile `target` (reduced modulo whatever population the consumer targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Arrival index the fault is pinned to.
+    pub at_event: u64,
+    /// Raw tile draw.
+    pub target: usize,
+}
+
+/// A seed-pure, replayable fault event stream.
+///
+/// Two schedules drawn with equal `(config, seed, horizon, targets)` are
+/// byte-identical; there is no hidden draw counter, so replaying a schedule
+/// never depends on who consumed it first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    config: FaultConfig,
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Draws the schedule: for each of `horizon_events` arrival indices, one
+    /// firing draw against `rate_per_mille` and one target draw over
+    /// `targets` tiles (both always consumed, so the stream shape is
+    /// independent of the rate). [`FaultKind::DroppedScrub`] is a continuous
+    /// fault — it draws identically but schedules no discrete events; its
+    /// rate applies per scrubbed page inside the machine instead.
+    pub fn draw(config: FaultConfig, seed: u64, horizon_events: u64, targets: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for at_event in 0..horizon_events {
+            let fire = (rng.next_u64() % 1000) as u32;
+            let target = (rng.next_u64() % targets.max(1) as u64) as usize;
+            if config.kind != FaultKind::DroppedScrub && fire < config.rate_per_mille {
+                events.push(FaultEvent { at_event, target });
+            }
+        }
+        FaultSchedule { config, seed, events }
+    }
+
+    /// The parameters the schedule was drawn from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The seed the schedule was drawn with (also seeds the machine's
+    /// per-page scrub-drop predicate for dropped-scrub campaigns).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The drawn events, ascending by arrival index.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// FNV-1a over the config and every drawn event — the number the
+    /// seed-purity property test compares across replays.
+    pub fn checksum(&self) -> u64 {
+        let mut c: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                c ^= byte as u64;
+                c = c.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.config.rate_per_mille as u64);
+        eat(self.config.magnitude);
+        eat(self.seed);
+        for ev in &self.events {
+            eat(ev.at_event);
+            eat(ev.target as u64);
+        }
+        c
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault grid and matrix
+// ---------------------------------------------------------------------------
+
+/// The {kind × rate × arch} fault campaign grid swept by
+/// [`SweepRunner::run_faults`](crate::sweep::SweepRunner::run_faults), over a
+/// single storm load and admission policy.
+#[derive(Debug, Clone)]
+pub struct FaultGrid {
+    /// Fault kinds to sweep.
+    pub kinds: Vec<FaultKind>,
+    /// Fault rates (per-mille) to sweep; include 0 for the healthy baseline
+    /// cell each degradation gate compares against.
+    pub rates_per_mille: Vec<u32>,
+    /// Degradation disciplines to sweep.
+    pub arches: Vec<FaultArch>,
+    /// The tenant load every cell replays.
+    pub storm: StormConfig,
+    /// The admission policy every cell runs under.
+    pub policy: AdmissionPolicy,
+}
+
+impl FaultGrid {
+    /// Creates an empty grid over one (load, policy) combination.
+    pub fn new(storm: StormConfig, policy: AdmissionPolicy) -> Self {
+        FaultGrid {
+            kinds: Vec::new(),
+            rates_per_mille: Vec::new(),
+            arches: Vec::new(),
+            storm,
+            policy,
+        }
+    }
+
+    /// Adds a fault kind.
+    pub fn with_kind(mut self, kind: FaultKind) -> Self {
+        self.kinds.push(kind);
+        self
+    }
+
+    /// Adds a fault rate (per-mille).
+    pub fn with_rate(mut self, rate_per_mille: u32) -> Self {
+        self.rates_per_mille.push(rate_per_mille);
+        self
+    }
+
+    /// Adds a degradation discipline.
+    pub fn with_arch(mut self, arch: FaultArch) -> Self {
+        self.arches.push(arch);
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.kinds.len() * self.rates_per_mille.len() * self.arches.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical cell expansion: kind-major, then rate, then arch.
+    pub fn keys(&self) -> Vec<FaultCellKey> {
+        let mut keys = Vec::with_capacity(self.len());
+        for kind in &self.kinds {
+            for rate in &self.rates_per_mille {
+                for arch in &self.arches {
+                    keys.push(FaultCellKey { kind: *kind, rate_per_mille: *rate, arch: *arch });
+                }
+            }
+        }
+        keys
+    }
+}
+
+/// Identity of one fault-campaign cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCellKey {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// How often (per-mille).
+    pub rate_per_mille: u32,
+    /// Which discipline responds.
+    pub arch: FaultArch,
+}
+
+impl fmt::Display for FaultCellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The "faults" prefix namespaces fault-cell seeds away from every
+        // other grid's.
+        write!(f, "faults | {} | {} | {}", self.kind, self.rate_per_mille, self.arch)
+    }
+}
+
+/// A fault-sweep failure: the failing cell plus the cluster error.
+#[derive(Debug, Clone)]
+pub struct FaultSweepError {
+    /// The cell that failed.
+    pub cell: FaultCellKey,
+    /// Why it failed.
+    pub error: ClusterError,
+}
+
+impl fmt::Display for FaultSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault cell [{}] failed: {}", self.cell, self.error)
+    }
+}
+
+impl std::error::Error for FaultSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One completed fault cell.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// The cell's identity.
+    pub key: FaultCellKey,
+    /// The seed the storm ran with.
+    pub seed: u64,
+    /// Discrete fault events the schedule drew for this cell.
+    pub scheduled_events: u64,
+    /// The storm's outcome under injected faults.
+    pub report: StormReport,
+}
+
+/// The completed fault campaign, in canonical order, with a deterministic
+/// JSON rendering (same byte-stability contract as the other matrices).
+#[derive(Debug, Clone)]
+pub struct FaultMatrix {
+    /// The master seed the sweep ran with.
+    pub master_seed: u64,
+    /// Completed cells in grid order (kind-major, then rate, then arch).
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultMatrix {
+    /// Looks up one cell.
+    pub fn get(&self, kind: FaultKind, rate_per_mille: u32, arch: FaultArch) -> Option<&FaultCell> {
+        self.cells.iter().find(|c| {
+            c.key.kind == kind && c.key.rate_per_mille == rate_per_mille && c.key.arch == arch
+        })
+    }
+
+    /// FNV-1a over the serialised matrix — the single number CI pins for the
+    /// whole campaign.
+    pub fn checksum(&self) -> u64 {
+        let mut c: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json().as_bytes() {
+            c ^= *byte as u64;
+            c = c.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        c
+    }
+
+    /// Renders the campaign as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.cells.len() * 640);
+        out.push_str("{\n  \"master_seed\": ");
+        out.push_str(&self.master_seed.to_string());
+        out.push_str(",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            fault_cell_json(&mut out, cell);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn fault_cell_json(out: &mut String, cell: &FaultCell) {
+    let r = &cell.report;
+    json_fields!(out, {
+        "kind": json_string(out, cell.key.kind.label()),
+        "rate_per_mille": out.push_str(&cell.key.rate_per_mille.to_string()),
+        "arch": json_string(out, cell.key.arch.label()),
+        "seed": out.push_str(&cell.seed.to_string()),
+        "scheduled_events": out.push_str(&cell.scheduled_events.to_string()),
+        "arrived": out.push_str(&r.arrived.to_string()),
+        "admitted": out.push_str(&r.admitted.to_string()),
+        "denied": out.push_str(&r.denied.to_string()),
+        "queued": out.push_str(&r.queued.to_string()),
+        "failed_recovered": out.push_str(&r.failed_recovered.to_string()),
+        "conserved": out.push_str(if r.conserves_tenants() { "true" } else { "false" }),
+        "faults_injected": out.push_str(&r.faults_injected.to_string()),
+        "quarantined_tiles": out.push_str(&r.quarantined_tiles.to_string()),
+        "backoff_retries": out.push_str(&r.backoff_retries.to_string()),
+        "dropped_scrubs_detected": out.push_str(&r.dropped_scrubs_detected.to_string()),
+        "dropped_scrubs_recovered": out.push_str(&r.dropped_scrubs_recovered.to_string()),
+        "dropped_scrubs_unrecovered": out.push_str(&r.dropped_scrubs_unrecovered.to_string()),
+        "completion_p50_cycles": out.push_str(&r.slo.completion_percentile(1, 2).to_string()),
+        "completion_p99_cycles": out.push_str(&r.slo.completion_percentile(99, 100).to_string()),
+        "stall_p99_cycles": out.push_str(&r.slo.stall_percentile(99, 100).to_string()),
+        "total_stall_cycles": out.push_str(&r.slo.total_stall_cycles().to_string()),
+        "reconfigurations": out.push_str(&r.reconfigurations.to_string()),
+        "pages_rehomed": out.push_str(&r.pages_rehomed.to_string()),
+        "final_cycle": out.push_str(&r.final_cycle.to_string()),
+        "slo_checksum": out.push_str(&r.slo.checksum().to_string()),
+    });
+}
+
+impl crate::sweep::SweepRunner {
+    /// The seed a given fault cell would run with.
+    pub fn fault_cell_seed(&self, key: &FaultCellKey) -> u64 {
+        derive_seed(self.master_seed(), &key.to_string())
+    }
+
+    /// Runs every cell of the fault `grid` in parallel and collects the
+    /// reports in grid order, under the same determinism contract as every
+    /// other sweep: the serialised [`FaultMatrix`] is byte-identical at any
+    /// thread count because each cell's schedule and storm depend only on the
+    /// cell's derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in grid order) [`FaultSweepError`] if any cell
+    /// fails; partial results are discarded.
+    pub fn run_faults(&self, grid: &FaultGrid) -> Result<FaultMatrix, FaultSweepError> {
+        let cells = grid.keys();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads())
+            .build()
+            .expect("fault thread pool builds");
+        let machine_pools = crate::sweep::WorkerPools::new(pool.current_num_threads());
+        let horizon = grid.storm.tenants as u64;
+        let targets = self.machine_config().cores();
+        let results: Vec<Result<FaultCell, FaultSweepError>> = pool.install(|| {
+            cells
+                .par_iter()
+                .map(|key| {
+                    let seed = self.fault_cell_seed(key);
+                    let config = FaultConfig::for_kind(key.kind, key.rate_per_mille);
+                    // The schedule gets its own derived seed so fault draws
+                    // never alias the arrival stream's.
+                    let schedule = FaultSchedule::draw(
+                        config,
+                        derive_seed(seed, "fault-schedule"),
+                        horizon,
+                        targets,
+                    );
+                    let mut machine = machine_pools
+                        .take()
+                        .unwrap_or_else(|| Machine::new(self.machine_config().clone()));
+                    let storm =
+                        TenancyStorm::with_faults(&grid.storm, grid.policy, &schedule, key.arch);
+                    let result = storm.run(&mut machine, seed);
+                    machine_pools.give(machine);
+                    let report =
+                        result.map_err(|error| FaultSweepError { cell: key.clone(), error })?;
+                    Ok(FaultCell {
+                        key: key.clone(),
+                        seed,
+                        scheduled_events: schedule.events().len() as u64,
+                        report,
+                    })
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        Ok(FaultMatrix { master_seed: self.master_seed(), cells: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepRunner;
+    use crate::tenancy::TenantProfile;
+    use ironhide_sim::config::MachineConfig;
+
+    fn test_storm() -> StormConfig {
+        StormConfig {
+            tenants: 40,
+            mean_interarrival_cycles: 30_000,
+            mean_service_scale: 1,
+            host_reserve_cores: 8,
+            profiles: vec![
+                TenantProfile::new("small", 4, 40_000),
+                TenantProfile::new("medium", 12, 120_000),
+                TenantProfile::new("large", 24, 250_000),
+            ],
+        }
+    }
+
+    fn test_grid() -> FaultGrid {
+        FaultGrid::new(test_storm(), AdmissionPolicy::Queue)
+            .with_kind(FaultKind::TileFailure)
+            .with_kind(FaultKind::DroppedScrub)
+            .with_rate(0)
+            .with_rate(120)
+            .with_arch(FaultArch::Ironhide)
+            .with_arch(FaultArch::Insecure)
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let backoff = BackoffPolicy { base_cycles: 1_000, max_attempts: 8 };
+        assert_eq!(backoff.delay(0), 1_000);
+        assert_eq!(backoff.delay(1), 2_000);
+        assert_eq!(backoff.delay(5), 32_000);
+        assert_eq!(backoff.delay(200), u64::MAX);
+    }
+
+    #[test]
+    fn fault_schedules_are_seed_pure() {
+        let config = FaultConfig::for_kind(FaultKind::TileFailure, 500);
+        let a = FaultSchedule::draw(config, 42, 64, 64);
+        let b = FaultSchedule::draw(config, 42, 64, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.checksum(), b.checksum());
+        assert!(!a.events().is_empty(), "a 50% rate over 64 draws must fire");
+        let c = FaultSchedule::draw(config, 43, 64, 64);
+        assert_ne!(a.events(), c.events(), "different seeds must draw different streams");
+    }
+
+    #[test]
+    fn zero_rate_schedules_are_inert() {
+        // The crucial golden-preservation property: a storm carrying an empty
+        // schedule is byte-identical to a storm with no schedule at all.
+        let storm_config = test_storm();
+        let mut machine = Machine::new(MachineConfig::paper_default());
+        let baseline = TenancyStorm::new(&storm_config, AdmissionPolicy::Queue)
+            .run(&mut machine, 11)
+            .expect("baseline storm");
+        for kind in FaultKind::ALL {
+            let config = FaultConfig::for_kind(kind, 0);
+            let schedule = FaultSchedule::draw(config, 7, 40, 64);
+            assert!(schedule.events().is_empty());
+            let faulted = TenancyStorm::with_faults(
+                &storm_config,
+                AdmissionPolicy::Queue,
+                &schedule,
+                FaultArch::Ironhide,
+            )
+            .run(&mut machine, 11)
+            .expect("zero-rate storm");
+            assert_eq!(baseline.slo.checksum(), faulted.slo.checksum(), "{kind}");
+            assert_eq!(baseline.admitted, faulted.admitted, "{kind}");
+            assert_eq!(faulted.faults_injected, 0, "{kind}");
+            assert_eq!(faulted.failed_recovered, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn tile_failures_quarantine_and_still_conserve_tenants() {
+        let storm_config = test_storm();
+        let config = FaultConfig::for_kind(FaultKind::TileFailure, 200);
+        let schedule = FaultSchedule::draw(config, 1234, 40, 64);
+        assert!(!schedule.events().is_empty());
+        let mut machine = Machine::new(MachineConfig::paper_default());
+        for policy in AdmissionPolicy::ALL {
+            let report =
+                TenancyStorm::with_faults(&storm_config, policy, &schedule, FaultArch::Ironhide)
+                    .run(&mut machine, 11)
+                    .expect("faulted storm");
+            assert!(report.conserves_tenants(), "{policy}: conservation violated under faults");
+            assert!(report.faults_injected > 0, "{policy}: no fault fired");
+            assert!(report.quarantined_tiles > 0, "{policy}: no tile quarantined");
+        }
+    }
+
+    #[test]
+    fn audited_drops_recover_while_unaudited_leave_residue() {
+        let storm_config = test_storm();
+        let config = FaultConfig::for_kind(FaultKind::DroppedScrub, 500);
+        let schedule = FaultSchedule::draw(config, 99, 40, 64);
+        let mut machine = Machine::new(MachineConfig::paper_default());
+        let audited = TenancyStorm::with_faults(
+            &storm_config,
+            AdmissionPolicy::Queue,
+            &schedule,
+            FaultArch::Ironhide,
+        )
+        .run(&mut machine, 11)
+        .expect("audited storm");
+        assert!(audited.dropped_scrubs_detected > 0, "the audit must see drops");
+        assert_eq!(audited.dropped_scrubs_recovered, audited.dropped_scrubs_detected);
+        assert_eq!(audited.dropped_scrubs_unrecovered, 0, "audited recovery must be complete");
+        assert!(audited.conserves_tenants());
+
+        let unaudited = TenancyStorm::with_faults(
+            &storm_config,
+            AdmissionPolicy::Queue,
+            &schedule,
+            FaultArch::Insecure,
+        )
+        .run(&mut machine, 11)
+        .expect("unaudited storm");
+        assert_eq!(unaudited.dropped_scrubs_detected, 0);
+        assert!(
+            unaudited.dropped_scrubs_unrecovered > 0,
+            "failing open must leave attacker-observable residue"
+        );
+        assert!(unaudited.conserves_tenants());
+    }
+
+    #[test]
+    fn fault_matrix_is_byte_identical_across_thread_counts() {
+        let grid = test_grid();
+        let baseline = SweepRunner::new(MachineConfig::paper_default())
+            .with_seed(7)
+            .with_threads(1)
+            .run_faults(&grid)
+            .expect("fault sweep")
+            .to_json();
+        for threads in [2usize, 4] {
+            let json = SweepRunner::new(MachineConfig::paper_default())
+                .with_seed(7)
+                .with_threads(threads)
+                .run_faults(&grid)
+                .expect("fault sweep")
+                .to_json();
+            assert_eq!(baseline, json, "thread count {threads} changed the fault matrix");
+        }
+    }
+
+    #[test]
+    fn fault_seeds_are_namespaced_per_cell() {
+        let runner = SweepRunner::new(MachineConfig::paper_default()).with_seed(7);
+        let keys = test_grid().keys();
+        let seeds: Vec<u64> = keys.iter().map(|k| runner.fault_cell_seed(k)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "cell seeds must be distinct");
+    }
+}

@@ -45,6 +45,12 @@
 //!   allocation), exact-sample per-tenant SLO accounting and pluggable
 //!   admission control (Deny / Queue / ShrinkNeighbours), swept as its own
 //!   {policy × load} grid through the [`sweep::SweepRunner`].
+//! * [`faults`] — deterministic fault injection with quarantine-and-remap
+//!   degradation: seed-pure [`faults::FaultSchedule`]s (tile failures, link
+//!   degradation, controller stalls, dropped scrub packets) replayed through
+//!   the tenancy storm, with bounded-backoff recovery and a
+//!   {kind × rate × arch} campaign grid whose differential verdicts show the
+//!   scrub audit keeping channels closed *through* failure.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -54,6 +60,7 @@ pub mod arch;
 pub mod attack;
 pub mod boundary;
 pub mod cluster;
+pub mod faults;
 pub mod ipc;
 pub mod isolation;
 pub mod kernel;
@@ -69,7 +76,11 @@ pub use attack::{
     AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
 };
 pub use boundary::mi6_boundary_cost;
-pub use cluster::{ClusterConfig, ClusterManager, PurgeOrder};
+pub use cluster::{ClusterConfig, ClusterManager, PurgeOrder, ReconfigError};
+pub use faults::{
+    BackoffPolicy, FaultArch, FaultCell, FaultCellKey, FaultConfig, FaultEvent, FaultGrid,
+    FaultKind, FaultMatrix, FaultSchedule, FaultSweepError,
+};
 pub use ipc::SharedIpcBuffer;
 pub use isolation::{IsolationAuditor, IsolationSummary};
 pub use kernel::{AttestationError, Measurement, SecureKernel, TrustRelation};

@@ -11,7 +11,7 @@
 //! * [`ArrivalGenerator`] draws an open-loop, Poisson-style arrival stream
 //!   (exponential inter-arrival and service draws through the vendored
 //!   `rand`) — one tenant is one attested secure-cluster allocation, attested
-//!   through the [`SecureKernel`](crate::kernel::SecureKernel) before any
+//!   through the [`SecureKernel`] before any
 //!   cores are granted.
 //! * [`TenancyStorm`] replays the stream against one simulated machine under
 //!   an [`AdmissionPolicy`], resizing the secure cluster through
@@ -36,7 +36,8 @@ use ironhide_mesh::NodeId;
 use ironhide_sim::machine::Machine;
 use ironhide_sim::process::SecurityClass;
 
-use crate::cluster::{ClusterError, ClusterManager};
+use crate::cluster::{ClusterError, ClusterManager, ReconfigError};
+use crate::faults::{FaultArch, FaultKind, FaultSchedule};
 use crate::kernel::{AppDomain, SecureKernel};
 use crate::sweep::{derive_seed, json_fields, json_string};
 
@@ -243,8 +244,17 @@ impl SloAccount {
     }
 
     /// Sum of all stall cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total would overflow `u64` — a wrapped stall total would
+    /// silently corrupt the checksummed SLO report, so the overflow is loud
+    /// (same discipline as the `Region` address arithmetic).
     pub fn total_stall_cycles(&self) -> u64 {
-        self.stall_cycles.iter().fold(0u64, |a, s| a.wrapping_add(*s))
+        self.stall_cycles.iter().fold(0u64, |a, s| {
+            a.checked_add(*s)
+                .unwrap_or_else(|| panic!("SLO stall total overflowed u64 ({a} + {s})"))
+        })
     }
 
     /// FNV-1a over the completion samples then the stall samples (in
@@ -328,13 +338,31 @@ pub struct StormReport {
     pub pages_rehomed: u64,
     /// The cycle the last event completed at.
     pub final_cycle: u64,
+    /// Tenants that lost their tile to an injected fault and were re-admitted
+    /// through the admission machinery (0 on every fault-free run).
+    pub failed_recovered: u64,
+    /// Injected fault events that fired during the storm.
+    pub faults_injected: u64,
+    /// Tiles quarantined in response to tile failures.
+    pub quarantined_tiles: u64,
+    /// Bounded-exponential-backoff retries charged against degraded capacity.
+    pub backoff_retries: u64,
+    /// Dropped scrub packets the audit detected (audited discipline only).
+    pub dropped_scrubs_detected: u64,
+    /// Dropped scrub packets replayed back to a clean state.
+    pub dropped_scrubs_recovered: u64,
+    /// Dropped scrub packets never recovered (unaudited discipline: the storm
+    /// fails open and this count is the attack surface it leaves behind).
+    pub dropped_scrubs_unrecovered: u64,
 }
 
 impl StormReport {
-    /// The conservation identity every policy must satisfy:
-    /// admitted + denied + queued == arrived.
+    /// The conservation identity every policy must satisfy, extended for
+    /// fault injection: admitted + denied + queued + failed-recovered ==
+    /// arrived. On fault-free runs `failed_recovered` is zero and this is the
+    /// original three-bucket identity.
     pub fn conserves_tenants(&self) -> bool {
-        self.admitted + self.denied + self.queued == self.arrived
+        self.admitted + self.denied + self.queued + self.failed_recovered == self.arrived
     }
 }
 
@@ -345,12 +373,26 @@ impl StormReport {
 pub struct TenancyStorm<'a> {
     config: &'a StormConfig,
     policy: AdmissionPolicy,
+    faults: Option<(&'a FaultSchedule, FaultArch)>,
 }
 
 impl<'a> TenancyStorm<'a> {
     /// Creates a storm for one (policy, config) combination.
     pub fn new(config: &'a StormConfig, policy: AdmissionPolicy) -> Self {
-        TenancyStorm { config, policy }
+        TenancyStorm { config, policy, faults: None }
+    }
+
+    /// Creates a storm that replays `schedule` against the tenant stream,
+    /// responding with `arch`'s degradation discipline. An empty schedule is
+    /// inert: the storm is byte-identical to a fault-free [`TenancyStorm::new`]
+    /// run with the same seed.
+    pub fn with_faults(
+        config: &'a StormConfig,
+        policy: AdmissionPolicy,
+        schedule: &'a FaultSchedule,
+        arch: FaultArch,
+    ) -> Self {
+        TenancyStorm { config, policy, faults: Some((schedule, arch)) }
     }
 
     /// Runs the storm on `machine` (recycled to pristine first) with the
@@ -405,6 +447,33 @@ impl<'a> TenancyStorm<'a> {
         let mut denied = 0u64;
         let mut attested = 0u64;
 
+        // Fault-injection state. All of it is inert (and costs nothing on the
+        // hot path) when the storm runs without a schedule or the schedule is
+        // empty, which is what keeps fault-free storms byte-identical to the
+        // pinned golden checksums.
+        let audited = self.faults.is_none_or(|(_, arch)| arch.audited());
+        let mut fault_cursor = 0usize;
+        let mut effective_capacity = capacity;
+        let mut failed_recovered = 0u64;
+        let mut faults_injected = 0u64;
+        let mut quarantined_tiles = 0u64;
+        let mut backoff_retries = 0u64;
+        let mut dropped_detected = 0u64;
+        let mut dropped_recovered = 0u64;
+        // Tenants evicted by a tile failure and parked in the FIFO: their
+        // eventual admission counts as a recovery, not a fresh admission.
+        let mut evicted_ids: Vec<u64> = Vec::new();
+        let drop_fault_installed = match self.faults {
+            Some((schedule, _))
+                if schedule.config().kind == FaultKind::DroppedScrub
+                    && schedule.config().rate_per_mille > 0 =>
+            {
+                machine.set_scrub_drop_fault(schedule.seed(), schedule.config().rate_per_mille);
+                true
+            }
+            _ => false,
+        };
+
         loop {
             // Earliest completion among active tenants; ties broken by
             // arrival order for determinism.
@@ -447,16 +516,145 @@ impl<'a> TenancyStorm<'a> {
                 // Departures admit queued tenants strictly FIFO.
                 while let Some(front) = fifo.first() {
                     let used: usize = active.iter().map(|t| t.granted).sum();
-                    if used + front.demand_cores > capacity {
+                    if used + front.demand_cores > effective_capacity {
                         break;
                     }
                     let a = fifo.remove(0);
-                    admitted += 1;
+                    if let Some(pos) = evicted_ids.iter().position(|t| *t == a.tenant) {
+                        evicted_ids.swap_remove(pos);
+                        failed_recovered += 1;
+                    } else {
+                        admitted += 1;
+                    }
                     self.admit(machine, secure, &a, &mut active);
                 }
             } else {
                 let a = arrivals[next_arrival].clone();
                 next_arrival += 1;
+
+                // Fire every scheduled fault pinned to this arrival index.
+                // All fault handling is a pure function of the cell seed, so
+                // the storm stays replayable at any thread count.
+                if let Some((schedule, arch)) = self.faults {
+                    let events = schedule.events();
+                    while fault_cursor < events.len()
+                        && events[fault_cursor].at_event < next_arrival as u64
+                    {
+                        let ev = events[fault_cursor];
+                        fault_cursor += 1;
+                        match schedule.config().kind {
+                            FaultKind::TileFailure => {
+                                faults_injected += 1;
+                                let node = NodeId(ev.target % total);
+                                // A quarantine that would exhaust a cluster is
+                                // refused and the tile limps on in service.
+                                if let Ok(stall) = manager.quarantine(machine, secure, host, node) {
+                                    if stall > 0 {
+                                        quarantined_tiles += 1;
+                                        effective_capacity = effective_capacity.saturating_sub(1);
+                                        slo.record_stall(stall);
+                                        now = now.saturating_add(stall);
+                                        // The repair window this failure
+                                        // opens; re-admission retries back
+                                        // off until it closes.
+                                        let degraded_until =
+                                            now.saturating_add(schedule.config().repair_cycles);
+                                        if !active.is_empty() {
+                                            let idx = ev.target % active.len();
+                                            let victim = active.remove(idx);
+                                            admitted -= 1;
+                                            if arch.audited() {
+                                                // Retry against degraded
+                                                // capacity with bounded
+                                                // exponential backoff, charged
+                                                // as simulated stall cycles.
+                                                let backoff = schedule.config().backoff;
+                                                let mut attempt = 0u32;
+                                                while now < degraded_until
+                                                    && attempt < backoff.max_attempts
+                                                {
+                                                    let delay = backoff.delay(attempt);
+                                                    attempt += 1;
+                                                    backoff_retries += 1;
+                                                    slo.record_stall(delay);
+                                                    now = now.saturating_add(delay);
+                                                }
+                                                let used: usize =
+                                                    active.iter().map(|t| t.granted).sum();
+                                                if now >= degraded_until
+                                                    && used + victim.granted <= effective_capacity
+                                                {
+                                                    failed_recovered += 1;
+                                                    active.push(victim);
+                                                } else {
+                                                    match self.policy {
+                                                        AdmissionPolicy::Deny => denied += 1,
+                                                        AdmissionPolicy::Queue => {
+                                                            evicted_ids.push(victim.tenant);
+                                                            fifo.push(Arrival {
+                                                                tenant: victim.tenant,
+                                                                at_cycle: victim.arrived_at,
+                                                                profile: 0,
+                                                                demand_cores: victim.granted,
+                                                                service_units: victim
+                                                                    .remaining_units
+                                                                    .max(1),
+                                                            });
+                                                        }
+                                                        AdmissionPolicy::ShrinkNeighbours => {
+                                                            if shrink_neighbours(
+                                                                &mut active,
+                                                                victim.granted,
+                                                                effective_capacity,
+                                                            ) {
+                                                                failed_recovered += 1;
+                                                                active.push(victim);
+                                                            } else {
+                                                                denied += 1;
+                                                            }
+                                                        }
+                                                    }
+                                                }
+                                            } else {
+                                                // Unaudited discipline fails
+                                                // open: the tenant vanishes
+                                                // and is billed as denied so
+                                                // conservation still holds.
+                                                denied += 1;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            FaultKind::LinkDegradation => {
+                                faults_injected += 1;
+                                let from = ev.target % total;
+                                let to = if from % width + 1 < width {
+                                    from + 1
+                                } else {
+                                    from.saturating_sub(1)
+                                };
+                                if from != to {
+                                    let penalty = schedule.config().magnitude;
+                                    machine.set_link_fault(NodeId(from), NodeId(to), penalty);
+                                    machine.set_link_fault(NodeId(to), NodeId(from), penalty);
+                                }
+                            }
+                            FaultKind::ControllerStall => {
+                                faults_injected += 1;
+                                let controllers = machine.config().controllers;
+                                machine.set_controller_fault_stall(
+                                    ev.target % controllers.max(1),
+                                    schedule.config().magnitude,
+                                );
+                            }
+                            // Continuous fault: installed before the loop,
+                            // audited after every reconfiguration below.
+                            FaultKind::DroppedScrub => {}
+                        }
+                    }
+                }
+
                 // One tenant = one attested allocation: measurement-based
                 // attestation happens before any admission decision.
                 let image =
@@ -475,9 +673,9 @@ impl<'a> TenancyStorm<'a> {
                 kernel.admit(pid, image.as_bytes()).expect("tenant measurement is stable");
                 attested += 1;
 
-                let demand = a.demand_cores.min(capacity);
+                let demand = a.demand_cores.min(effective_capacity);
                 let used: usize = active.iter().map(|t| t.granted).sum();
-                if used + demand <= capacity {
+                if used + demand <= effective_capacity {
                     admitted += 1;
                     self.admit(machine, secure, &a, &mut active);
                 } else {
@@ -485,7 +683,7 @@ impl<'a> TenancyStorm<'a> {
                         AdmissionPolicy::Deny => denied += 1,
                         AdmissionPolicy::Queue => fifo.push(a),
                         AdmissionPolicy::ShrinkNeighbours => {
-                            if shrink_neighbours(&mut active, demand, capacity) {
+                            if shrink_neighbours(&mut active, demand, effective_capacity) {
                                 admitted += 1;
                                 self.admit(machine, secure, &a, &mut active);
                             } else {
@@ -503,11 +701,74 @@ impl<'a> TenancyStorm<'a> {
             let used: usize = active.iter().map(|t| t.granted).sum();
             let new_shape = (used.max(1).div_ceil(width) * width).clamp(min_shape, max_shape);
             if new_shape != shape {
-                let stall = manager.reconfigure(machine, secure, host, new_shape)?;
-                shape = new_shape;
-                slo.record_stall(stall);
-                now = now.saturating_add(stall);
+                if let Some((schedule, _)) = self.faults {
+                    // Degraded-capacity reconfiguration: shrink the request
+                    // toward what the healthy tiles can host, with bounded
+                    // exponential backoff between attempts. Exhausting the
+                    // attempts keeps the previous shape.
+                    let backoff = schedule.config().backoff;
+                    let mut attempt = 0u32;
+                    let mut request = new_shape;
+                    loop {
+                        match manager.reconfigure_degraded(machine, secure, host, request) {
+                            Ok(stall) => {
+                                shape = request;
+                                slo.record_stall(stall);
+                                now = now.saturating_add(stall);
+                                break;
+                            }
+                            Err(ReconfigError::Cluster(error)) => return Err(error),
+                            Err(_) if attempt < backoff.max_attempts => {
+                                let delay = backoff.delay(attempt);
+                                attempt += 1;
+                                backoff_retries += 1;
+                                slo.record_stall(delay);
+                                now = now.saturating_add(delay);
+                                let healthy = total - manager.quarantined().len();
+                                let healthy_shape =
+                                    (healthy.saturating_sub(1) / width * width).max(min_shape);
+                                request = request.min(healthy_shape);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                } else {
+                    let stall = manager.reconfigure(machine, secure, host, new_shape)?;
+                    shape = new_shape;
+                    slo.record_stall(stall);
+                    now = now.saturating_add(stall);
+                }
             }
+
+            // Scrub audit: detect dropped purge traffic and replay it to a
+            // clean state before any tenant can observe the residue. The
+            // unaudited discipline skips this — that is exactly the negative
+            // control the fault-window attack pins OPEN.
+            if drop_fault_installed && audited {
+                let detected =
+                    (machine.dropped_scrub_log().len() + machine.dropped_purge_log().len()) as u64;
+                if detected > 0 {
+                    dropped_detected += detected;
+                    let recovered = machine.recover_dropped_scrubs();
+                    dropped_recovered += recovered;
+                    let cost = recovered.saturating_mul(machine.config().latency.rehome_page);
+                    slo.record_stall(cost);
+                    now = now.saturating_add(cost);
+                }
+            }
+        }
+
+        let mut dropped_unrecovered = 0u64;
+        if drop_fault_installed {
+            if audited {
+                let detected =
+                    (machine.dropped_scrub_log().len() + machine.dropped_purge_log().len()) as u64;
+                if detected > 0 {
+                    dropped_detected += detected;
+                    dropped_recovered += machine.recover_dropped_scrubs();
+                }
+            }
+            dropped_unrecovered = machine.clear_scrub_drop_fault() as u64;
         }
 
         Ok(StormReport {
@@ -520,6 +781,13 @@ impl<'a> TenancyStorm<'a> {
             reconfigurations: manager.reconfigurations(),
             pages_rehomed: machine.stats().pages_rehomed,
             final_cycle: now,
+            failed_recovered,
+            faults_injected,
+            quarantined_tiles,
+            backoff_retries,
+            dropped_scrubs_detected: dropped_detected,
+            dropped_scrubs_recovered: dropped_recovered,
+            dropped_scrubs_unrecovered: dropped_unrecovered,
         })
     }
 
@@ -908,6 +1176,23 @@ mod tests {
         assert!(!shrink_neighbours(&mut active, 16, 16));
         let after: Vec<usize> = active.iter().map(|t| t.granted).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stall_totals_near_the_boundary_still_sum() {
+        let mut slo = SloAccount::new();
+        slo.record_stall(u64::MAX - 5);
+        slo.record_stall(5);
+        assert_eq!(slo.total_stall_cycles(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO stall total overflowed u64")]
+    fn stall_total_overflow_is_loud_not_wrapped() {
+        let mut slo = SloAccount::new();
+        slo.record_stall(u64::MAX);
+        slo.record_stall(1);
+        let _ = slo.total_stall_cycles();
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct MemoryController {
     config: DramConfig,
     open_rows: Vec<Option<u64>>,
     queue_occupancy: f64,
+    /// Injected fault stall: extra cycles charged on every request while the
+    /// controller is degraded (0 on a healthy controller).
+    fault_stall_cycles: u64,
     stats: MemStats,
 }
 
@@ -75,8 +78,22 @@ impl MemoryController {
             config,
             open_rows: vec![None; config.banks],
             queue_occupancy: 0.0,
+            fault_stall_cycles: 0,
             stats: MemStats::new(),
         }
+    }
+
+    /// Degrades (or, with 0, repairs) the controller: every subsequent request
+    /// is charged `cycles` extra, modelling a controller stalling on retries
+    /// after an internal fault. Used by the fault-injection layer.
+    pub fn set_fault_stall(&mut self, cycles: u64) {
+        self.fault_stall_cycles = cycles;
+    }
+
+    /// The injected per-request fault stall currently in effect (0 when
+    /// healthy).
+    pub fn fault_stall(&self) -> u64 {
+        self.fault_stall_cycles
     }
 
     /// This controller's index.
@@ -122,7 +139,7 @@ impl MemoryController {
             (self.queue_occupancy.round() as u64) * self.config.queue_cycles_per_entry;
 
         let device = if row_hit { self.config.row_hit_cycles } else { self.config.row_miss_cycles };
-        let total = device + queue_delay;
+        let total = device + queue_delay + self.fault_stall_cycles;
 
         self.stats.requests += 1;
         if write {
@@ -147,6 +164,7 @@ impl MemoryController {
             *r = None;
         }
         self.queue_occupancy = 0.0;
+        self.fault_stall_cycles = 0;
         self.stats.reset();
     }
 
@@ -235,6 +253,24 @@ mod tests {
         let after = mc.access(0x80, false, 0);
         assert!(after >= hit_before);
         assert_eq!(mc.queue_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn fault_stall_charges_every_request_until_repaired() {
+        let mut healthy = MemoryController::new(0, DramConfig::default());
+        let mut degraded = MemoryController::new(1, DramConfig::default());
+        degraded.set_fault_stall(123);
+        assert_eq!(degraded.fault_stall(), 123);
+        for i in 0..10u64 {
+            let h = healthy.access(i * 64, false, 4);
+            let d = degraded.access(i * 64, false, 4);
+            assert_eq!(d, h + 123, "request {i}");
+        }
+        degraded.set_fault_stall(0);
+        assert_eq!(degraded.access(0x4000, false, 4), healthy.access(0x4000, false, 4));
+        degraded.set_fault_stall(7);
+        degraded.reset_pristine();
+        assert_eq!(degraded.fault_stall(), 0, "pristine reset must repair the controller");
     }
 
     #[test]

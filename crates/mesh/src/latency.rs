@@ -100,12 +100,15 @@ impl LinkLoad {
 pub struct LatencyModel {
     config: NocLatencyConfig,
     load: LinkLoad,
+    /// Extra per-traversal cycles charged on degraded links (directional).
+    /// Empty on a healthy network, so the no-fault hot path pays nothing.
+    link_faults: FxHashMap<(NodeId, NodeId), u64>,
 }
 
 impl LatencyModel {
     /// Creates a latency model with the given parameters.
     pub fn new(config: NocLatencyConfig) -> Self {
-        LatencyModel { config, load: LinkLoad::new() }
+        LatencyModel { config, load: LinkLoad::new(), link_faults: FxHashMap::default() }
     }
 
     /// The configuration in use.
@@ -116,6 +119,37 @@ impl LatencyModel {
     /// Read-only access to the link-load tracker.
     pub fn load(&self) -> &LinkLoad {
         &self.load
+    }
+
+    /// Marks the directional link `(from, to)` as degraded: every packet
+    /// crossing it is charged `penalty_cycles` on top of the healthy-link
+    /// cost. A penalty of zero removes the fault. Fault injection sets both
+    /// directions when a physical link (rather than one channel of it) fails.
+    pub fn set_link_fault(&mut self, from: NodeId, to: NodeId, penalty_cycles: u64) {
+        if penalty_cycles == 0 {
+            self.link_faults.remove(&(from, to));
+        } else {
+            self.link_faults.insert((from, to), penalty_cycles);
+        }
+    }
+
+    /// The degradation penalty currently charged on `(from, to)` (0 if the
+    /// link is healthy).
+    pub fn link_fault(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link_faults.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Number of directional links currently marked degraded.
+    pub fn faulted_links(&self) -> usize {
+        self.link_faults.len()
+    }
+
+    /// Clears every link fault, restoring a healthy network. Unlike
+    /// [`LatencyModel::reset_load`], this is *not* part of a network purge —
+    /// purging queues does not repair hardware — so only machine-level resets
+    /// call it.
+    pub fn clear_link_faults(&mut self) {
+        self.link_faults.clear();
     }
 
     /// The contention-free cost of a route: per-hop router + link cycles plus
@@ -136,14 +170,19 @@ impl LatencyModel {
             return 0;
         }
         let mut contention = 0.0;
+        let mut fault_penalty = 0u64;
+        let faulted = !self.link_faults.is_empty();
         for (from, to) in route.links() {
             let util = self.load.observe_and_record(from, to, flits, self.config.load_ema);
             // Saturating logistic-ish penalty: util is in flits/packet, a link
             // carrying full data packets every cycle approaches the max.
             let norm = (util / 5.0).min(1.0);
             contention += norm * self.config.max_contention_cycles as f64;
+            if faulted {
+                fault_penalty += self.link_faults.get(&(from, to)).copied().unwrap_or(0);
+            }
         }
-        self.base_latency(hops, flits) + contention.round() as u64
+        self.base_latency(hops, flits) + contention.round() as u64 + fault_penalty
     }
 
     /// Latency of a packet of `flits` flits over a route whose links were
@@ -160,12 +199,17 @@ impl LatencyModel {
             return 0;
         }
         let mut contention = 0.0;
+        let mut fault_penalty = 0u64;
+        let faulted = !self.link_faults.is_empty();
         for (from, to) in links {
             let util = self.load.observe_and_record(*from, *to, flits, self.config.load_ema);
             let norm = (util / 5.0).min(1.0);
             contention += norm * self.config.max_contention_cycles as f64;
+            if faulted {
+                fault_penalty += self.link_faults.get(&(*from, *to)).copied().unwrap_or(0);
+            }
         }
-        self.base_latency(links.len(), flits) + contention.round() as u64
+        self.base_latency(links.len(), flits) + contention.round() as u64 + fault_penalty
     }
 
     /// Latency of a route with no load bookkeeping (used for what-if queries
@@ -262,6 +306,47 @@ mod tests {
         assert!(hot > cold, "repeated traffic on a link must raise latency ({hot} <= {cold})");
         model.reset_load();
         assert_eq!(model.traverse(r, 5), cold);
+    }
+
+    #[test]
+    fn link_faults_charge_identically_through_both_entry_points() {
+        let m = MeshTopology::new(8, 8);
+        let mut a = LatencyModel::default();
+        let mut b = LatencyModel::default();
+        let r = m.route_iter(NodeId(2), NodeId(45), RoutingAlgorithm::XY);
+        let links: Vec<(NodeId, NodeId)> = r.links().collect();
+        let (from, to) = links[1];
+        a.set_link_fault(from, to, 37);
+        b.set_link_fault(from, to, 37);
+        for i in 0..100 {
+            let flits = if i % 3 == 0 { 5 } else { 1 };
+            assert_eq!(a.traverse(r, flits), b.traverse_links(&links, flits), "packet {i}");
+        }
+        // Off-route faults cost nothing; clearing restores the healthy cost.
+        let mut healthy = LatencyModel::default();
+        let mut elsewhere = LatencyModel::default();
+        elsewhere.set_link_fault(NodeId(60), NodeId(61), 1_000);
+        assert_eq!(elsewhere.traverse(r, 5), healthy.traverse(r, 5));
+        a.clear_link_faults();
+        assert_eq!(a.faulted_links(), 0);
+    }
+
+    #[test]
+    fn link_fault_raises_traversal_cost_by_its_penalty() {
+        let m = MeshTopology::new(8, 8);
+        let mut model = LatencyModel::default();
+        let r = m.route_iter(NodeId(0), NodeId(7), RoutingAlgorithm::XY);
+        let mut faulted = LatencyModel::default();
+        faulted.set_link_fault(NodeId(0), NodeId(1), 50);
+        faulted.set_link_fault(NodeId(3), NodeId(4), 9);
+        assert_eq!(faulted.traverse(r, 5), model.traverse(r, 5) + 59);
+        assert_eq!(faulted.link_fault(NodeId(0), NodeId(1)), 50);
+        // A zero penalty removes the fault entry entirely.
+        faulted.set_link_fault(NodeId(0), NodeId(1), 0);
+        assert_eq!(faulted.faulted_links(), 1);
+        // reset_load (a network purge) must NOT repair the hardware.
+        faulted.reset_load();
+        assert_eq!(faulted.link_fault(NodeId(3), NodeId(4)), 9);
     }
 
     #[test]

@@ -4,6 +4,46 @@ use ironhide_cache::{CacheConfig, DirectoryConfig, TlbConfig};
 use ironhide_mem::DramConfig;
 use ironhide_mesh::NocLatencyConfig;
 
+/// An inconsistency in a [`MachineConfig`], reported as a value so campaign
+/// harnesses can log the bad geometry and move on instead of aborting
+/// mid-sweep. `expect`/`panic!` on it only at bin entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The mesh has zero tiles (`mesh_width * mesh_height == 0`).
+    ZeroCores,
+    /// More tiles than the directory sharer sets can track.
+    TooManyCores {
+        /// Requested tile count.
+        cores: usize,
+        /// Maximum trackable tile count.
+        max: usize,
+    },
+    /// No memory controllers.
+    ZeroControllers,
+    /// A zero or negative clock frequency.
+    NonPositiveClock,
+    /// A zero-byte DRAM region.
+    EmptyDramRegion,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "machine must have at least one core"),
+            ConfigError::TooManyCores { cores, max } => {
+                write!(f, "directory sharer sets support up to {max} cores, got {cores}")
+            }
+            ConfigError::ZeroControllers => {
+                write!(f, "machine must have at least one memory controller")
+            }
+            ConfigError::NonPositiveClock => write!(f, "clock frequency must be positive"),
+            ConfigError::EmptyDramRegion => write!(f, "DRAM regions must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Fixed latencies of the machine, in core cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyConfig {
@@ -145,22 +185,29 @@ impl MachineConfig {
         self.mesh_width * self.mesh_height
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (zero cores, zero
-    /// controllers, or a non-positive clock).
-    pub fn validate(&self) {
-        assert!(self.cores() > 0, "machine must have at least one core");
-        assert!(
-            self.cores() <= ironhide_mesh::NodeSet::MAX_NODES,
-            "directory sharer sets support up to {} cores",
-            ironhide_mesh::NodeSet::MAX_NODES
-        );
-        assert!(self.controllers > 0, "machine must have at least one memory controller");
-        assert!(self.clock_ghz > 0.0, "clock frequency must be positive");
-        assert!(self.dram_region_bytes > 0, "DRAM regions must be non-empty");
+    /// Validates internal consistency, reporting the first inconsistency
+    /// found (zero cores, zero controllers, a non-positive clock, …) as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores() == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.cores() > ironhide_mesh::NodeSet::MAX_NODES {
+            return Err(ConfigError::TooManyCores {
+                cores: self.cores(),
+                max: ironhide_mesh::NodeSet::MAX_NODES,
+            });
+        }
+        if self.controllers == 0 {
+            return Err(ConfigError::ZeroControllers);
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err(ConfigError::NonPositiveClock);
+        }
+        if self.dram_region_bytes == 0 {
+            return Err(ConfigError::EmptyDramRegion);
+        }
+        Ok(())
     }
 }
 
@@ -177,7 +224,7 @@ mod tests {
     #[test]
     fn paper_machine_shape() {
         let c = MachineConfig::paper_default();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.cores(), 64);
         assert_eq!(c.controllers, 4);
         assert!(c.clock_ghz > 1.0);
@@ -186,14 +233,14 @@ mod tests {
     #[test]
     fn small_machine_is_valid() {
         let c = MachineConfig::small_test();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.cores(), 4);
     }
 
     #[test]
     fn attack_testbench_geometry() {
         let c = MachineConfig::attack_testbench();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.cores(), 8);
         assert_eq!(c.controllers, 2);
         // One page fills one slice exactly: the occupancy-channel contract.
@@ -203,11 +250,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
-    fn zero_core_machine_rejected() {
+    fn bad_geometry_reported_as_typed_errors() {
         let mut c = MachineConfig::small_test();
         c.mesh_width = 0;
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCores));
+        assert!(format!("{}", ConfigError::ZeroCores).contains("at least one core"));
+
+        let mut c = MachineConfig::small_test();
+        c.controllers = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroControllers));
+
+        let mut c = MachineConfig::small_test();
+        c.clock_ghz = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveClock));
+
+        let mut c = MachineConfig::small_test();
+        c.dram_region_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::EmptyDramRegion));
+
+        let mut c = MachineConfig::small_test();
+        c.mesh_width = 1_000;
+        c.mesh_height = 1_000;
+        assert!(matches!(c.validate(), Err(ConfigError::TooManyCores { .. })));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod stream;
 pub mod time;
 pub mod trace;
 
-pub use config::{LatencyConfig, MachineConfig};
+pub use config::{ConfigError, LatencyConfig, MachineConfig};
 pub use machine::{AccessPath, Machine};
 pub use process::{ProcessId, SecurityClass};
 pub use stats::{MachineStats, ProcessStats};

@@ -812,12 +812,55 @@ pub struct Machine {
     /// implementation detail the scalar/batched byte-identity contract must
     /// not observe.
     scrub_probes: u64,
+    /// Injected partial-completion fault: while set, each page scrub is
+    /// silently dropped with probability `rate_per_mille`/1000, decided as a
+    /// pure function of `(seed, ppn)` so the scalar and batched scrub paths
+    /// drop the identical page set regardless of processing order. Dropped
+    /// pages are logged for the scrub audit; `None` (the healthy machine)
+    /// costs nothing. Cleared by [`Machine::reset_pristine`].
+    scrub_drop: Option<ScrubDropFault>,
+}
+
+/// State of an injected dropped-scrub fault (see [`Machine::set_scrub_drop_fault`]).
+#[derive(Debug, Default)]
+struct ScrubDropFault {
+    seed: u64,
+    rate_per_mille: u32,
+    dropped: Vec<(PageId, SliceId)>,
+    dropped_purges: Vec<SliceId>,
+}
+
+/// Decorrelates the per-slice purge-drop predicate from the per-page scrub
+/// predicate drawn from the same fault seed.
+const PURGE_DROP_SALT: u64 = 0x51AB_C0DE_0DD5_EED5;
+
+/// Whether the injected fault eats the scrub of physical page `ppn`: a
+/// SplitMix64 finalisation over the `(seed, ppn)` pair, reduced per-mille.
+/// Pure in its inputs — no draw counter — so the decision is identical no
+/// matter which scrub path reaches the page, or in what order.
+fn scrub_drop_hits(seed: u64, ppn: u64, rate_per_mille: u32) -> bool {
+    let mut z = seed ^ ppn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % 1000 < rate_per_mille as u64
 }
 
 impl Machine {
     /// Builds a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent; campaign harnesses that
+    /// must survive bad geometry use [`Machine::try_new`] instead.
     pub fn new(config: MachineConfig) -> Self {
-        config.validate();
+        Machine::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a machine from a configuration, reporting an inconsistent
+    /// configuration as a typed [`ConfigError`](crate::config::ConfigError) instead of panicking.
+    pub fn try_new(config: MachineConfig) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
         let topology = MeshTopology::new(config.mesh_width, config.mesh_height);
         let cores = config.cores();
         let l1s = (0..cores).map(|_| SetAssocCache::new(config.l1)).collect();
@@ -832,7 +875,7 @@ impl Machine {
         let hop_table = HopTable::new(&topology);
         let regions = RegionMap::paper_layout(config.controllers, config.dram_region_bytes);
         let clock = Clock::new(config.clock_ghz);
-        Machine {
+        Ok(Machine {
             noc: LatencyModel::new(config.noc),
             noc_stats: NocStats::new(),
             xlate_mru: vec![XlateMru::default(); cores],
@@ -865,7 +908,8 @@ impl Machine {
             deferred_scrub_log: Vec::new(),
             scrub_lines: Vec::new(),
             scrub_probes: 0,
-        }
+            scrub_drop: None,
+        })
     }
 
     /// The machine configuration.
@@ -917,6 +961,8 @@ impl Machine {
         self.scrub_deferred = false;
         self.deferred_scrub_log.clear();
         self.scrub_probes = 0;
+        self.scrub_drop = None;
+        self.noc.clear_link_faults();
     }
 
     /// The mesh topology.
@@ -1135,6 +1181,13 @@ impl Machine {
         self.scrub_probes
     }
 
+    /// The current route epoch — bumped by every mutation that can change
+    /// route selection or page homing. A diagnostic: reconfiguration and
+    /// quarantine tests assert the bump that invalidates cached routes.
+    pub fn route_epoch(&self) -> u64 {
+        self.route_epoch
+    }
+
     /// Defers (or restores) page scrubbing at re-home time. While deferred,
     /// [`Machine::set_process_slices`] re-homes pages but leaves their stale
     /// cached copies in place, logging them until
@@ -1171,6 +1224,95 @@ impl Machine {
         pages
     }
 
+    // ----- fault injection -------------------------------------------------
+
+    /// Installs a partial-completion fault: until cleared, each page scrub is
+    /// silently dropped with probability `rate_per_mille`/1000, the drop
+    /// decided purely by `(seed, ppn)` — no draw counter — so the scalar and
+    /// batched scrub paths drop the identical page set. Whole slice-purge
+    /// commands drop the same way (pure in `(seed, slice)`). Dropped work
+    /// accumulates in audit logs; the affected state keeps its stale cached
+    /// copies until [`Machine::recover_dropped_scrubs`] replays it.
+    pub fn set_scrub_drop_fault(&mut self, seed: u64, rate_per_mille: u32) {
+        self.scrub_drop = Some(ScrubDropFault {
+            seed,
+            rate_per_mille,
+            dropped: Vec::new(),
+            dropped_purges: Vec::new(),
+        });
+    }
+
+    /// Removes the dropped-scrub fault, returning how many dropped packets
+    /// (page scrubs plus slice purges) were still unrecovered — a non-zero
+    /// return from a teardown path means stale state survived, the failure
+    /// the scrub audit exists to catch.
+    pub fn clear_scrub_drop_fault(&mut self) -> usize {
+        self.scrub_drop.take().map_or(0, |f| f.dropped.len() + f.dropped_purges.len())
+    }
+
+    /// The scrub audit: pages whose scrub the injected fault dropped and that
+    /// have not been recovered yet. Empty on a healthy machine *and* on a
+    /// faulted machine whose drops have all been replayed — a clean audit is
+    /// exactly the recovery obligation being discharged.
+    pub fn dropped_scrub_log(&self) -> &[(PageId, SliceId)] {
+        self.scrub_drop.as_ref().map_or(&[], |f| &f.dropped)
+    }
+
+    /// The purge half of the scrub audit: slices whose wholesale purge the
+    /// injected fault dropped and that have not been recovered yet (same
+    /// clean-audit contract as [`Machine::dropped_scrub_log`]).
+    pub fn dropped_purge_log(&self) -> &[SliceId] {
+        self.scrub_drop.as_ref().map_or(&[], |f| &f.dropped_purges)
+    }
+
+    /// Detection-then-recovery for dropped scrubs: replays every audited
+    /// drop — dropped slice purges first, then dropped page scrubs — through
+    /// the ordinary purge/scrub machinery (batched or scalar per the
+    /// reference flag) and clears the audit logs. Returns the number of
+    /// packets (slices + pages) recovered. The fault stays installed —
+    /// recovery repairs state, not hardware — but a replayed packet cannot
+    /// be re-dropped: the replay runs with the fault lifted, modelling a
+    /// firmware-audited retry that is verified to completion.
+    pub fn recover_dropped_scrubs(&mut self) -> u64 {
+        let Some(mut fault) = self.scrub_drop.take() else {
+            return 0;
+        };
+        let purges = std::mem::take(&mut fault.dropped_purges);
+        let log = std::mem::take(&mut fault.dropped);
+        let packets = purges.len() as u64 + log.len() as u64;
+        self.purge_slices(&purges);
+        if self.reference_reconfig {
+            for (page, old_home) in &log {
+                self.scrub_page(page.0, *old_home);
+            }
+        } else {
+            self.scrub_pages(&log);
+        }
+        self.scrub_drop = Some(fault);
+        packets
+    }
+
+    /// Degrades the directional NoC link `(from, to)` by `penalty_cycles`
+    /// per traversal (0 repairs it); see [`LatencyModel::set_link_fault`].
+    pub fn set_link_fault(&mut self, from: NodeId, to: NodeId, penalty_cycles: u64) {
+        self.noc.set_link_fault(from, to, penalty_cycles);
+    }
+
+    /// Repairs every degraded NoC link.
+    pub fn clear_link_faults(&mut self) {
+        self.noc.clear_link_faults();
+    }
+
+    /// Degrades (or, with 0, repairs) memory controller `mc`: every request
+    /// it services is charged `cycles` extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` is out of range.
+    pub fn set_controller_fault_stall(&mut self, mc: usize, cycles: u64) {
+        self.controllers[mc].set_fault_stall(cycles);
+    }
+
     /// Scrubs one re-homed physical page — the full unmap/flush/remap of the
     /// prototype: the page's cached copies are invalidated out of the
     /// private L1s, its lines are flushed from the *old* home's L2 slice
@@ -1192,6 +1334,12 @@ impl Machine {
     /// no-op, so the two paths are observably identical whenever both are
     /// possible.
     fn scrub_page(&mut self, ppn: u64, old_home: SliceId) {
+        if let Some(fault) = &mut self.scrub_drop {
+            if scrub_drop_hits(fault.seed, ppn, fault.rate_per_mille) {
+                fault.dropped.push((PageId(ppn), old_home));
+                return;
+            }
+        }
         let line_bytes = self.config.l1.line_bytes as u64;
         let lines_per_page = (self.page_bytes() / line_bytes).max(1);
         let base_line = ppn * lines_per_page;
@@ -1256,6 +1404,23 @@ impl Machine {
     /// invalidating those is a stat-free no-op — which is why the two paths
     /// are observably identical (proven by `tests/reconfig_equivalence.rs`).
     fn scrub_pages(&mut self, moved_log: &[(PageId, SliceId)]) {
+        // The fault filter allocates, but only on the (cold) faulted path;
+        // a healthy machine takes the borrow below untouched.
+        let kept_scratch: Vec<(PageId, SliceId)>;
+        let moved_log: &[(PageId, SliceId)] = if let Some(fault) = &mut self.scrub_drop {
+            let mut kept = Vec::with_capacity(moved_log.len());
+            for &(page, old_home) in moved_log {
+                if scrub_drop_hits(fault.seed, page.0, fault.rate_per_mille) {
+                    fault.dropped.push((page, old_home));
+                } else {
+                    kept.push((page, old_home));
+                }
+            }
+            kept_scratch = kept;
+            &kept_scratch
+        } else {
+            moved_log
+        };
         if moved_log.is_empty() {
             return;
         }
@@ -2016,6 +2181,20 @@ impl Machine {
         let mut worst = 0;
         for s in slices {
             if s.0 < self.l2s.len() {
+                // An injected partial-completion fault can eat the purge
+                // command itself: the slice keeps its contents (and charges
+                // nothing — the packet never arrived) until the audit
+                // replays it. Pure in (seed, slice), like the page scrubs.
+                if let Some(fault) = &mut self.scrub_drop {
+                    if scrub_drop_hits(
+                        fault.seed ^ PURGE_DROP_SALT,
+                        s.0 as u64,
+                        fault.rate_per_mille,
+                    ) {
+                        fault.dropped_purges.push(*s);
+                        continue;
+                    }
+                }
                 let resident = self.l2s[s.0].resident_lines() as u64;
                 self.l2s[s.0].purge();
                 self.directories[s.0].purge();
@@ -2203,6 +2382,81 @@ mod tests {
         let cycles = m.purge_controllers(ControllerMask::first(2));
         assert!(cycles > 0);
         assert_eq!(m.stats().mem.purges, 2);
+    }
+
+    #[test]
+    fn dropped_scrub_fault_is_detected_then_recovery_restores_the_clean_state() {
+        // Twin machines run the identical workload; one suffers a
+        // drop-everything scrub fault during its reconfiguration, audits it,
+        // and recovers. After recovery every architectural observation must
+        // match the healthy twin cycle for cycle.
+        let mut healthy = machine();
+        let mut faulted = machine();
+        faulted.set_scrub_drop_fault(0xFA_017, 1000);
+        for m in [&mut healthy, &mut faulted] {
+            let pid = m.create_process("p", SecurityClass::Insecure);
+            for p in 0..6u64 {
+                m.access(NodeId(0), pid, p * 4096, false);
+            }
+        }
+        let pid = ProcessId(0);
+        let (moved_h, _) = healthy.set_process_slices(pid, &[SliceId(3)]);
+        let (moved_f, _) = faulted.set_process_slices(pid, &[SliceId(3)]);
+        assert_eq!(moved_h, moved_f);
+        assert!(moved_f > 0);
+        // Detection: the audit names every page whose flush the fault ate.
+        assert_eq!(faulted.dropped_scrub_log().len(), moved_f as usize);
+        assert_eq!(healthy.dropped_scrub_log().len(), 0);
+        // Recovery replays the drops; the audit comes back clean.
+        assert_eq!(faulted.recover_dropped_scrubs(), moved_f);
+        assert!(faulted.dropped_scrub_log().is_empty());
+        assert_eq!(faulted.recover_dropped_scrubs(), 0);
+        for p in 0..6u64 {
+            for core in [NodeId(0), NodeId(2)] {
+                let h = healthy.access(core, pid, p * 4096, false);
+                let f = faulted.access(core, pid, p * 4096, false);
+                assert_eq!(h, f, "page {p} core {core:?} diverged after recovery");
+            }
+        }
+        assert_eq!(faulted.clear_scrub_drop_fault(), 0);
+    }
+
+    #[test]
+    fn scalar_and_batched_scrub_paths_drop_the_identical_page_set() {
+        let mut batched = machine();
+        let mut scalar = machine();
+        scalar.set_reconfig_reference(true);
+        for m in [&mut batched, &mut scalar] {
+            m.set_scrub_drop_fault(99, 500);
+            let pid = m.create_process("p", SecurityClass::Insecure);
+            for p in 0..32u64 {
+                m.access(NodeId(1), pid, p * 4096, true);
+            }
+            m.set_process_slices(pid, &[SliceId(2)]);
+        }
+        assert_eq!(batched.dropped_scrub_log(), scalar.dropped_scrub_log());
+        assert!(
+            !batched.dropped_scrub_log().is_empty(),
+            "a 50% drop rate over 32 pages must eat something"
+        );
+    }
+
+    #[test]
+    fn pristine_reset_repairs_every_injected_fault() {
+        let mut m = machine();
+        m.set_scrub_drop_fault(7, 1000);
+        m.set_link_fault(NodeId(0), NodeId(1), 77);
+        m.set_controller_fault_stall(0, 55);
+        let pid = m.create_process("p", SecurityClass::Insecure);
+        for p in 0..4u64 {
+            m.access(NodeId(0), pid, p * 4096, false);
+        }
+        m.set_process_slices(pid, &[SliceId(1)]);
+        assert!(!m.dropped_scrub_log().is_empty());
+        m.reset_pristine();
+        assert!(m.dropped_scrub_log().is_empty());
+        assert_eq!(m.noc.faulted_links(), 0);
+        assert_eq!(m.controllers[0].fault_stall(), 0);
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use ironhide_workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use ironhide_attacks::{
-        attack_grid, attack_spec, window_attack_spec, ChannelKind, LeakageOracle, WindowAttack,
+        attack_grid, attack_spec, window_attack_spec, ChannelKind, FaultAudit, FaultMode,
+        LeakageOracle, WindowAttack,
     };
     pub use ironhide_core::app::{
         Interaction, InteractiveApp, MemRef, ProcessProfile, RefRun, RefStream, WorkUnit,
@@ -52,6 +53,10 @@ pub mod prelude {
         AttackOutcome, AttackRunner, AttackTrace, ChannelPlacement, ChannelVerdict, CovertChannel,
     };
     pub use ironhide_core::cluster::{ClusterManager, PurgeOrder};
+    pub use ironhide_core::faults::{
+        BackoffPolicy, FaultArch, FaultCell, FaultCellKey, FaultConfig, FaultEvent, FaultGrid,
+        FaultKind, FaultMatrix, FaultSchedule, FaultSweepError,
+    };
     pub use ironhide_core::realloc::ReallocPolicy;
     pub use ironhide_core::runner::{CompletionReport, ExperimentRunner};
     pub use ironhide_core::sweep::{

@@ -1,0 +1,151 @@
+//! Determinism, conservation and recovery properties of the fault-injection
+//! campaign, plus the cross-process pin that ties the facade's view of the
+//! fault grid to the `faults` bench binary's.
+
+use ironhide::prelude::*;
+use proptest::prelude::*;
+
+/// The `faults` binary's master seed; the cross-process pin below only holds
+/// against the grid that binary actually sweeps.
+const BENCH_MASTER_SEED: u64 = 11;
+
+/// The smoke campaign checksum the `faults --smoke` binary reports (and CI
+/// pins). Recomputing it here, in a different process from a different
+/// crate, proves the fault matrix is a pure function of (seed, grid) — not
+/// of process layout, ASLR, linkage order or thread scheduling.
+const BENCH_SMOKE_CHECKSUM: u64 = 12360661825985589235;
+
+/// The `faults` binary's smoke campaign, replicated field for field.
+fn bench_smoke_grid() -> FaultGrid {
+    let storm = StormConfig {
+        tenants: 40,
+        mean_interarrival_cycles: 30_000,
+        mean_service_scale: 1,
+        host_reserve_cores: 8,
+        profiles: tenant_profiles(&AppId::ALL),
+    };
+    let mut grid = FaultGrid::new(storm, AdmissionPolicy::Queue);
+    for kind in FaultKind::ALL {
+        grid = grid.with_kind(kind);
+    }
+    for rate in [0u32, 200] {
+        grid = grid.with_rate(rate);
+    }
+    for arch in FaultArch::ALL {
+        grid = grid.with_arch(arch);
+    }
+    grid
+}
+
+fn run(seed: u64, threads: usize) -> FaultMatrix {
+    SweepRunner::new(MachineConfig::paper_default())
+        .with_seed(seed)
+        .with_threads(threads)
+        .run_faults(&bench_smoke_grid())
+        .expect("fault sweep runs")
+}
+
+/// The serialised campaign must be byte-identical at 1, 2 and 8 worker
+/// threads — the same contract the performance, attack and tenancy sweeps
+/// carry, now under injected failure.
+#[test]
+fn fault_matrix_is_byte_identical_across_thread_counts() {
+    let baseline = run(BENCH_MASTER_SEED, 1).to_json();
+    for threads in [2usize, 8] {
+        let json = run(BENCH_MASTER_SEED, threads).to_json();
+        assert_eq!(baseline, json, "thread count {threads} changed the fault matrix");
+    }
+}
+
+/// Recomputes the `faults --smoke` campaign checksum from this test process.
+/// If this moves, either the fault/storm semantics changed (update the bench
+/// pin too, with a changelog entry) or the matrix silently depends on
+/// ambient process state (a determinism bug).
+#[test]
+fn fault_checksum_matches_the_bench_binary_pin() {
+    let matrix = run(BENCH_MASTER_SEED, 2);
+    assert_eq!(
+        matrix.checksum(),
+        BENCH_SMOKE_CHECKSUM,
+        "fault smoke campaign checksum moved — bench/CI pins must move with it"
+    );
+}
+
+/// Every cell of the pinned campaign conserves tenants and, when audited,
+/// discharges its recovery obligation completely.
+#[test]
+fn pinned_campaign_conserves_and_recovers() {
+    let matrix = run(BENCH_MASTER_SEED, 4);
+    for cell in &matrix.cells {
+        let r = &cell.report;
+        assert!(r.conserves_tenants(), "cell [{}] lost tenants", cell.key);
+        if cell.key.arch.audited() {
+            assert_eq!(
+                r.dropped_scrubs_unrecovered, 0,
+                "audited cell [{}] left packets unrecovered",
+                cell.key
+            );
+            assert_eq!(
+                r.dropped_scrubs_recovered, r.dropped_scrubs_detected,
+                "audited cell [{}] detected more than it replayed",
+                cell.key
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fault schedule is a pure function of its (config, seed, horizon,
+    /// targets) inputs: redrawing is byte-identical for any seed, rate and
+    /// kind — there is no hidden draw counter to desynchronise a replay.
+    #[test]
+    fn fault_schedules_are_seed_pure_for_any_seed(
+        seed in any::<u64>(),
+        rate in 0u32..=1000,
+        kind_idx in 0usize..FaultKind::ALL.len(),
+    ) {
+        let config = FaultConfig::for_kind(FaultKind::ALL[kind_idx], rate);
+        let a = FaultSchedule::draw(config, seed, 64, 64);
+        let b = FaultSchedule::draw(config, seed, 64, 64);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.checksum(), b.checksum());
+        prop_assert!(a.events().iter().all(|e| e.at_event < 64 && e.target < 64));
+        prop_assert!(a.events().windows(2).all(|w| w[0].at_event < w[1].at_event));
+    }
+}
+
+proptest! {
+    // Each case runs two full (small) campaigns; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The campaign JSON is byte-identical across thread counts for
+    /// arbitrary master seeds, not just the pinned one: per-cell seeds are
+    /// derived from the cell key, so scheduling order can never leak in.
+    #[test]
+    fn fault_campaigns_are_thread_invariant_for_any_seed(seed in 0u64..1_000_000) {
+        let storm = StormConfig {
+            tenants: 16,
+            mean_interarrival_cycles: 30_000,
+            mean_service_scale: 1,
+            host_reserve_cores: 8,
+            profiles: tenant_profiles(&AppId::ALL),
+        };
+        let grid = FaultGrid::new(storm, AdmissionPolicy::Queue)
+            .with_kind(FaultKind::TileFailure)
+            .with_kind(FaultKind::DroppedScrub)
+            .with_rate(250)
+            .with_arch(FaultArch::Ironhide)
+            .with_arch(FaultArch::Insecure);
+        let sweep = |threads: usize| {
+            SweepRunner::new(MachineConfig::paper_default())
+                .with_seed(seed)
+                .with_threads(threads)
+                .run_faults(&grid)
+                .expect("fault sweep runs")
+                .to_json()
+        };
+        prop_assert_eq!(sweep(1), sweep(4));
+    }
+}

@@ -98,6 +98,57 @@ proptest! {
         prop_assert_eq!(observe(&v1), observe(&v2));
     }
 
+    /// The purge invariant above must *survive failure*: a
+    /// partial-completion fault that eats a fraction of the purge packets
+    /// (whole slice purges and page scrubs alike) still leaves zero
+    /// attacker-observable victim residue once the audited recovery replays
+    /// the dropped packets. The faulted-then-recovered machine is
+    /// byte-identical, through the attacker's latency probe, to a healthy
+    /// machine that purged cleanly — for any victim trace, drop rate and
+    /// fault seed — and the teardown audit confirms nothing stayed behind.
+    #[test]
+    fn audited_purge_recovery_erases_all_attacker_observable_victim_residue(
+        victim_trace in prop::collection::vec(0u64..0x80_0000, 0..48),
+        probe in prop::collection::vec(0u64..0x80_0000, 1..32),
+        fault_seed in any::<u64>(),
+        rate in 1u32..=1000,
+    ) {
+        let observe = |faulted: bool| -> Vec<u64> {
+            let mut m = Machine::new(MachineConfig::small_test());
+            let cores = m.config().cores();
+            let victim = m.create_process("victim", SecurityClass::Secure);
+            let attacker = m.create_process("attacker", SecurityClass::Insecure);
+            for (i, v) in victim_trace.iter().enumerate() {
+                m.access(NodeId(i % cores), victim, *v, v % 3 == 0);
+            }
+            if faulted {
+                m.set_scrub_drop_fault(fault_seed, rate);
+            }
+            let all: Vec<NodeId> = (0..cores).map(NodeId).collect();
+            m.purge_private(&all);
+            m.purge_slices(&(0..cores).map(ironhide::ironhide_cache::SliceId).collect::<Vec<_>>());
+            m.purge_controllers(ironhide::ironhide_mem::ControllerMask::first(
+                m.config().controllers,
+            ));
+            m.purge_network();
+            if faulted {
+                // Detection, then recovery, then proof of completion: the
+                // audit names every dropped packet, the replay discharges
+                // them, and teardown asserts the logs drained.
+                let detected = (m.dropped_purge_log().len() + m.dropped_scrub_log().len()) as u64;
+                let recovered = m.recover_dropped_scrubs();
+                assert_eq!(detected, recovered, "audit/recovery mismatch");
+                assert_eq!(m.clear_scrub_drop_fault(), 0, "unrecovered packets after replay");
+            }
+            m.enable_latency_trace(probe.len());
+            for (i, p) in probe.iter().enumerate() {
+                m.access(NodeId(i % cores), attacker, *p, p % 5 == 0);
+            }
+            m.latency_trace().expect("trace attached").iter().collect()
+        };
+        prop_assert_eq!(observe(true), observe(false));
+    }
+
     /// A report produced under IRONHIDE never contains non-IPC cross-cluster
     /// traffic, for any (valid) static secure-cluster size.
     #[test]
