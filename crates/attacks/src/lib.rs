@@ -21,6 +21,10 @@
 //!   channel that probes the moved slices during the stall sequence of a
 //!   cluster reconfiguration, proving the window CLOSED under the shipped
 //!   purge→rehome→scrub order and OPEN under an injected mis-ordering.
+//! * [`ablation`] — the defence-ablation grid for the `TemporalFence`
+//!   architecture: the full channel arsenal swept against a ladder of flush
+//!   subsets, answering which erasure closes which channel at what switch
+//!   cost (the fence.t.s experiment, in the simulator).
 //!
 //! The crate's headline result is **differential**: on the insecure shared
 //! baseline every channel decodes with a bit-error rate far below chance
@@ -32,10 +36,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ablation;
 pub mod channels;
 pub mod oracle;
 pub mod window;
 
+pub use ablation::{
+    ablation_channels, ablation_grid, ablation_subsets, all_but_predictor, smoke_subsets,
+};
 pub use channels::{ChannelKind, StreamChannel};
 pub use oracle::{attack_grid, attack_spec, LeakageOracle};
 pub use window::{window_attack_spec, FaultAudit, FaultMode, WindowAttack};

@@ -266,9 +266,10 @@ impl WindowAttack {
         let mut manager: Option<ClusterManager> = None;
         let mut secure_cores = total;
         let (attacker_core, victim_core, victim_pages, sweep_pages) = match arch {
-            Architecture::Insecure | Architecture::SgxLike => {
+            Architecture::Insecure | Architecture::SgxLike | Architecture::TemporalFence => {
                 // Shared everything: the sweep must cover every slice the
-                // victim's buffers can home on.
+                // victim's buffers can home on. The temporal fence shares
+                // like the insecure baseline; its flush happens per slot.
                 (NodeId(0), NodeId(total - 1), wide as u64, total as u64)
             }
             Architecture::Mi6 => {
@@ -473,6 +474,13 @@ impl WindowAttack {
                 }
                 Architecture::Mi6 => mi6_boundary_cost(machine, &self.params),
                 Architecture::Ironhide => unreachable!("IRONHIDE slots go through the manager"),
+                // The temporal fence's domain switch: erase the configured
+                // flush set, charge its state-independent worst-case cost.
+                Architecture::TemporalFence => {
+                    let fence = self.config.temporal_fence;
+                    machine.temporal_flush(fence.set);
+                    fence.switch_cost(&self.config)
+                }
             };
             let probe = touch_pages(
                 machine,

@@ -299,7 +299,10 @@ impl AttackRunner {
         let total = self.config.cores();
         let mut secure_cores = total;
         let (attacker_core, victim_core) = match arch {
-            Architecture::Insecure | Architecture::SgxLike => {
+            // The temporal fence places like the insecure baseline — every
+            // resource shared — and defends only at the slot's boundary
+            // crossings (see AttackRunner::boundary).
+            Architecture::Insecure | Architecture::SgxLike | Architecture::TemporalFence => {
                 (NodeId(0), self.temporal_victim_core(channel))
             }
             Architecture::Mi6 => {
@@ -425,6 +428,15 @@ impl AttackRunner {
             Architecture::Insecure | Architecture::Ironhide => 0,
             Architecture::SgxLike => clock.us_to_cycles(self.params.sgx_entry_exit_us),
             Architecture::Mi6 => mi6_boundary_cost(machine, &self.params),
+            // The temporal fence's domain switch: erase the configured flush
+            // set and charge its state-independent worst-case cost. The
+            // policy comes from the runner's config (the per-cell ablation
+            // config), never the recycled machine's stored copy.
+            Architecture::TemporalFence => {
+                let fence = self.config.temporal_fence;
+                machine.temporal_flush(fence.set);
+                fence.switch_cost(&self.config)
+            }
         }
     }
 }

@@ -7,7 +7,12 @@
 //!   an insecure baseline, an SGX-like enclave model (constant entry/exit
 //!   cost, no strong isolation), the multicore MI6 baseline (strong isolation
 //!   through static partitioning plus purging at every enclave boundary) and
-//!   IRONHIDE (strong isolation through spatially isolated clusters).
+//!   IRONHIDE (strong isolation through spatially isolated clusters) — plus a
+//!   fifth, configurable defence family, the temporal-isolation
+//!   [`arch::Architecture::TemporalFence`] (fence.t / SIMF / time
+//!   protection), which flushes a chosen subset of shared state at every
+//!   domain switch and is swept by its own {flush subset × channel}
+//!   [`sweep::AblationGrid`].
 //! * [`kernel`] — the light-weight secure kernel: measurement-based
 //!   attestation and the mutually-trusting / mutually-distrusting process
 //!   rules of Section III.
@@ -88,6 +93,7 @@ pub use realloc::{ReallocDecision, ReallocPolicy};
 pub use runner::{CompletionReport, ExperimentRunner, RunError};
 pub use speccheck::{SpecCheckOutcome, SpeculativeAccessCheck};
 pub use sweep::{
+    AblationCell, AblationCellKey, AblationGrid, AblationMatrix, AblationSpec, AblationSweepError,
     AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, AttackSweepError,
     CellKey, Fig6Row, Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepError, SweepGrid, SweepMatrix,
     SweepRunner,

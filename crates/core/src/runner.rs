@@ -430,7 +430,10 @@ impl ExperimentRunner {
         let all_cores: Vec<NodeId> = (0..total).map(NodeId).collect();
         let mut cluster = None;
         let (secure_cores_vec, insecure_cores_vec) = match arch {
-            Architecture::Insecure | Architecture::SgxLike => {
+            // The temporal fence shares all cores and slices exactly like the
+            // insecure baseline — its defence happens at boundary crossings
+            // (see boundary_cost), not in the placement.
+            Architecture::Insecure | Architecture::SgxLike | Architecture::TemporalFence => {
                 (all_cores.clone(), all_cores.clone())
             }
             Architecture::Mi6 => {
@@ -524,6 +527,17 @@ impl ExperimentRunner {
             // Pinned clusters interact through shared memory without enclave
             // transitions; the IPC traffic itself is already accounted for.
             Architecture::Ironhide => 0,
+            // The temporal fence: functionally erase the configured flush
+            // set, then charge the state-independent worst-case flush cost
+            // (the flush pads to capacity so its duration cannot itself leak
+            // — see ironhide_sim::fence). The policy is read from the
+            // runner's own config, never from the possibly-recycled
+            // machine's stored copy.
+            Architecture::TemporalFence => {
+                let fence = self.config.temporal_fence;
+                run.machine.temporal_flush(fence.set);
+                fence.switch_cost(&self.config)
+            }
         }
     }
 

@@ -30,6 +30,7 @@ use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 use ironhide_sim::config::MachineConfig;
+use ironhide_sim::fence::{FlushSet, TemporalFenceConfig};
 use ironhide_sim::machine::Machine;
 
 use crate::app::InteractiveApp;
@@ -773,6 +774,357 @@ impl SweepRunner {
 }
 
 // ---------------------------------------------------------------------------
+// Ablation matrix (temporal-fence flush subsets × covert channels)
+// ---------------------------------------------------------------------------
+
+/// A point on the ablation grid's flush-subset axis: a display label plus the
+/// temporal-fence configuration every cell in that row runs under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSpec {
+    label: String,
+    fence: TemporalFenceConfig,
+}
+
+impl AblationSpec {
+    /// Creates a subset spec with an explicit label (used by presets whose
+    /// identity is more than their resource list, like `"simf"`).
+    pub fn new(label: impl Into<String>, fence: TemporalFenceConfig) -> Self {
+        AblationSpec { label: label.into(), fence }
+    }
+
+    /// A selective flush of exactly `set`, labelled by the set itself
+    /// (`"none"`, `"tlb"`, `"l1+tlb+dir"`, …).
+    pub fn subset(set: FlushSet) -> Self {
+        AblationSpec::new(set.label(), TemporalFenceConfig::selective(set))
+    }
+
+    /// The SIMF preset: flush everything, one fixed (capacity-worst-case)
+    /// cost, labelled `"simf"`.
+    pub fn simf() -> Self {
+        AblationSpec::new("simf", TemporalFenceConfig::simf())
+    }
+
+    /// The subset's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The temporal-fence configuration the subset's cells run under.
+    pub fn fence(&self) -> TemporalFenceConfig {
+        self.fence
+    }
+}
+
+/// The {flush subset × channel × scale} grid of the defence-ablation sweep:
+/// every cell attacks [`Architecture::TemporalFence`] configured with the
+/// row's flush subset, reusing the attack grid's channel specs verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct AblationGrid {
+    /// Temporal-fence flush subsets to ablate.
+    pub subsets: Vec<AblationSpec>,
+    /// Covert channels to attempt against each subset.
+    pub channels: Vec<AttackSpec>,
+    /// Input scales (payload length per the channel implementation).
+    pub scales: Vec<ScalePoint>,
+}
+
+impl AblationGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        AblationGrid::default()
+    }
+
+    /// Adds a flush subset.
+    pub fn with_subset(mut self, subset: AblationSpec) -> Self {
+        self.subsets.push(subset);
+        self
+    }
+
+    /// Adds a channel.
+    pub fn with_channel(mut self, channel: AttackSpec) -> Self {
+        self.channels.push(channel);
+        self
+    }
+
+    /// Adds a scale point.
+    pub fn with_scale(mut self, scale: ScalePoint) -> Self {
+        self.scales.push(scale);
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.subsets.len() * self.channels.len() * self.scales.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into cell keys, in the canonical (scale-major, then
+    /// subset, then channel) order the matrix stores them in.
+    pub fn keys(&self) -> Vec<AblationCellKey> {
+        self.expanded().into_iter().map(|(key, _, _, _)| key).collect()
+    }
+
+    /// The single source of truth for ablation-cell ordering (mirrors
+    /// [`AttackGrid::expanded`]).
+    fn expanded(&self) -> Vec<(AblationCellKey, &AblationSpec, &AttackSpec, &ScalePoint)> {
+        let mut cells = Vec::with_capacity(self.len());
+        for scale in &self.scales {
+            for subset in &self.subsets {
+                for channel in &self.channels {
+                    let key = AblationCellKey {
+                        subset: subset.label.clone(),
+                        channel: channel.label.clone(),
+                        scale: scale.label().to_string(),
+                    };
+                    cells.push((key, subset, channel, scale));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Identity of one ablation cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationCellKey {
+    /// Flush-subset label.
+    pub subset: String,
+    /// Channel label.
+    pub channel: String,
+    /// Scale label.
+    pub scale: String,
+}
+
+impl fmt::Display for AblationCellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The "ablation" prefix namespaces these seeds away from both the
+        // performance grid's and the attack grid's, so identical channel and
+        // scale labels can never collide across matrices.
+        write!(f, "ablation | {} | {} | {}", self.subset, self.channel, self.scale)
+    }
+}
+
+/// An ablation-sweep failure: the failing cell plus the underlying run error.
+#[derive(Debug, Clone)]
+pub struct AblationSweepError {
+    /// The cell that failed.
+    pub cell: AblationCellKey,
+    /// Why it failed.
+    pub error: RunError,
+}
+
+impl fmt::Display for AblationSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ablation cell [{}] failed: {}", self.cell, self.error)
+    }
+}
+
+impl std::error::Error for AblationSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One completed ablation cell.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// The cell's identity.
+    pub key: AblationCellKey,
+    /// The seed the cell ran with.
+    pub seed: u64,
+    /// The state-independent cycles one domain switch charged under the
+    /// cell's flush subset (`TemporalFenceConfig::switch_cost` for the cell's
+    /// machine configuration) — the throughput price of the row's defence.
+    pub switch_cost: u64,
+    /// The decoded attack outcome.
+    pub outcome: AttackOutcome,
+}
+
+/// The completed ablation grid, in canonical order, with closure queries and
+/// a deterministic JSON rendering — the fence.t.s experiment as a matrix:
+/// which flush subset closes which channel at what switch cost.
+#[derive(Debug, Clone)]
+pub struct AblationMatrix {
+    /// The master seed the sweep ran with.
+    pub master_seed: u64,
+    /// Completed cells in grid order (scale-major, then subset, channel).
+    pub cells: Vec<AblationCell>,
+}
+
+impl AblationMatrix {
+    /// Looks up one cell.
+    pub fn get(&self, subset: &str, channel: &str, scale: &str) -> Option<&AblationCell> {
+        self.cells
+            .iter()
+            .find(|c| c.key.subset == subset && c.key.channel == channel && c.key.scale == scale)
+    }
+
+    /// All distinct (channel, scale) pairs, in grid order.
+    fn channel_scale_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for cell in &self.cells {
+            let pair = (cell.key.channel.clone(), cell.key.scale.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// The cheapest (lowest switch cost) subset that closes `channel` at
+    /// `scale`, if any subset does. Ties break toward grid order, which lists
+    /// smaller subsets first in the shipped grids.
+    pub fn cheapest_closed(&self, channel: &str, scale: &str) -> Option<&AblationCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.key.channel == channel && c.key.scale == scale && c.outcome.is_closed())
+            .min_by_key(|c| c.switch_cost)
+    }
+
+    /// Checks the ablation claim over every (channel, scale) pair for which
+    /// both the `none_label` row (zero flush) and the `simf_label` row are
+    /// present: the channel must demonstrably *work* when nothing is flushed
+    /// (verdict open — a zero-flush fence is the insecure baseline; the open
+    /// band admits the reconfiguration-window channel's inherent probe noise,
+    /// which sits above the stream channels'
+    /// [`AttackMatrix::BASELINE_MAX_BER`]), SIMF must close it, and at least
+    /// one selective subset must close it at a strictly lower switch cost
+    /// than SIMF. Returns a description of each violation (empty = the claim
+    /// holds).
+    pub fn differential_violations(&self, none_label: &str, simf_label: &str) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (channel, scale) in self.channel_scale_pairs() {
+            let (Some(open), Some(simf)) =
+                (self.get(none_label, &channel, &scale), self.get(simf_label, &channel, &scale))
+            else {
+                continue;
+            };
+            if !open.outcome.is_open() {
+                violations.push(format!(
+                    "{channel} @{scale}: does not decode under the zero-flush fence \
+                     (BER {:.3}, verdict {}) — the channel itself is broken",
+                    open.outcome.ber, open.outcome.verdict
+                ));
+            }
+            if !simf.outcome.is_closed() {
+                violations.push(format!(
+                    "{channel} @{scale}: SIMF leaks (BER {:.3}, verdict {})",
+                    simf.outcome.ber, simf.outcome.verdict
+                ));
+            }
+            match self.cheapest_closed(&channel, &scale) {
+                Some(best) if best.switch_cost < simf.switch_cost => {}
+                Some(best) => violations.push(format!(
+                    "{channel} @{scale}: no selective subset beats SIMF \
+                     (cheapest closed is {} at {} cycles, SIMF costs {})",
+                    best.key.subset, best.switch_cost, simf.switch_cost
+                )),
+                None => violations
+                    .push(format!("{channel} @{scale}: no subset closes the channel at all")),
+            }
+        }
+        violations
+    }
+
+    /// Renders the matrix as deterministic JSON (same contract as
+    /// [`AttackMatrix::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048 + self.cells.len() * 512);
+        out.push_str("{\n  \"master_seed\": ");
+        out.push_str(&self.master_seed.to_string());
+        out.push_str(",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            ablation_cell_json(&mut out, cell);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// FNV-1a over the serialised matrix — the single number CI pins for the
+    /// whole ablation (same scheme as the fault campaign's checksum).
+    pub fn checksum(&self) -> u64 {
+        let mut c: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json().as_bytes() {
+            c ^= *byte as u64;
+            c = c.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        c
+    }
+}
+
+impl SweepRunner {
+    /// The seed a given ablation cell would run with.
+    pub fn ablation_cell_seed(&self, key: &AblationCellKey) -> u64 {
+        derive_seed(self.master_seed, &key.to_string())
+    }
+
+    /// Runs every cell of the ablation `grid` in parallel and collects the
+    /// outcomes in grid order, under the same determinism contract as
+    /// [`SweepRunner::run_attacks`]: the serialised [`AblationMatrix`] is
+    /// byte-identical at any thread count.
+    ///
+    /// Every cell attacks [`Architecture::TemporalFence`] with the runner's
+    /// machine configuration, its `temporal_fence` field overwritten by the
+    /// cell's subset. Machines still recycle through the per-worker pools
+    /// across subsets: cell configurations differ *only* in the fence policy,
+    /// which the runners read from their own configuration at every boundary
+    /// — never from the pooled machine's stored copy — so a machine built
+    /// under one subset is byte-equivalent, after `reset_pristine`, to one
+    /// built under any other.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in grid order) [`AblationSweepError`] if any cell
+    /// fails; partial results are discarded.
+    pub fn run_ablation(&self, grid: &AblationGrid) -> Result<AblationMatrix, AblationSweepError> {
+        let cells = grid.expanded();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("ablation thread pool builds");
+        let machine_pools = WorkerPools::new(pool.current_num_threads());
+        let results: Vec<Result<AblationCell, AblationSweepError>> = pool.install(|| {
+            cells
+                .par_iter()
+                .map(|(key, subset, channel, scale)| {
+                    let seed = self.ablation_cell_seed(key);
+                    let mut cell_config = self.machine.clone();
+                    cell_config.temporal_fence = subset.fence;
+                    let switch_cost = subset.fence.switch_cost(&cell_config);
+                    let mut slot = machine_pools.take();
+                    let result = channel.execute(
+                        &cell_config,
+                        Architecture::TemporalFence,
+                        scale,
+                        seed,
+                        &mut slot,
+                    );
+                    if let Some(m) = slot {
+                        machine_pools.give(m);
+                    }
+                    let outcome =
+                        result.map_err(|error| AblationSweepError { cell: key.clone(), error })?;
+                    Ok(AblationCell { key: key.clone(), seed, switch_cost, outcome })
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        Ok(AblationMatrix { master_seed: self.master_seed, cells: out })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Matrix
 // ---------------------------------------------------------------------------
 
@@ -1233,6 +1585,17 @@ fn attack_cell_json(out: &mut String, cell: &AttackCell) {
     });
 }
 
+fn ablation_cell_json(out: &mut String, cell: &AblationCell) {
+    json_fields!(out, {
+        "subset": json_string(out, &cell.key.subset),
+        "channel": json_string(out, &cell.key.channel),
+        "scale": json_string(out, &cell.key.scale),
+        "seed": out.push_str(&cell.seed.to_string()),
+        "switch_cost": out.push_str(&cell.switch_cost.to_string()),
+        "outcome": attack_outcome_json(out, &cell.outcome),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1463,6 +1826,109 @@ mod tests {
         for violation in matrix.differential_violations() {
             assert!(violation.contains("fake-channel"));
         }
+    }
+
+    fn synthetic_ablation_grid() -> AblationGrid {
+        // Reuse the fake-channel pattern: outcomes derive purely from the
+        // cell seed, exercising subset ordering, the per-cell fence override
+        // and serialisation without simulating a machine.
+        let spec = AttackSpec::new("fake-channel", |config, arch, scale, seed, _machine| {
+            let bits = 16u64;
+            // The fake channel "closes" whenever any resource is flushed, so
+            // the matrix queries have both verdicts to work with.
+            let errors = if config.temporal_fence.set.is_empty() { seed % 2 } else { bits / 2 };
+            let ber = errors as f64 / bits as f64;
+            Ok(crate::attack::AttackOutcome {
+                channel: format!("fake-channel@{}", scale.label()),
+                arch,
+                payload_bits: bits,
+                bit_errors: errors,
+                ber,
+                threshold_cycles: 10.0,
+                min_probe_cycles: seed % 100,
+                max_probe_cycles: seed % 100 + 50,
+                capacity_bits_per_slot: 1.0 - ber,
+                capacity_bits_per_second: (1.0 - ber) * config.clock_ghz,
+                payload_cycles: 1000,
+                secure_cores: config.cores(),
+                verdict: crate::attack::ChannelVerdict::from_ber(ber),
+                isolation: crate::isolation::IsolationSummary::default(),
+            })
+        });
+        use ironhide_sim::fence::FlushResource;
+        AblationGrid::new()
+            .with_subset(AblationSpec::subset(FlushSet::EMPTY))
+            .with_subset(AblationSpec::subset(FlushSet::of(&[FlushResource::Tlb])))
+            .with_subset(AblationSpec::simf())
+            .with_channel(spec)
+            .with_scale(ScalePoint::new("Smoke"))
+    }
+
+    #[test]
+    fn ablation_grid_expansion_order_is_canonical() {
+        let grid = synthetic_ablation_grid();
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        assert!(AblationGrid::new().is_empty());
+        let keys = grid.keys();
+        assert_eq!(keys[0].subset, "none");
+        assert_eq!(keys[1].subset, "tlb");
+        assert_eq!(keys[2].subset, "simf");
+        assert!(keys[0].to_string().starts_with("ablation | "));
+    }
+
+    #[test]
+    fn ablation_seeds_are_key_pure_and_namespaced() {
+        let runner = test_runner();
+        let keys = synthetic_ablation_grid().keys();
+        assert_eq!(
+            runner.ablation_cell_seed(&keys[0]),
+            runner.ablation_cell_seed(&keys[0].clone())
+        );
+        assert_ne!(runner.ablation_cell_seed(&keys[0]), runner.ablation_cell_seed(&keys[1]));
+        // The "ablation" namespace keeps these seeds away from an attack cell
+        // that happens to render similarly.
+        let attack_key = AttackCellKey {
+            channel: keys[0].channel.clone(),
+            arch: Architecture::TemporalFence,
+            scale: keys[0].scale.clone(),
+        };
+        assert_ne!(runner.ablation_cell_seed(&keys[0]), runner.attack_cell_seed(&attack_key));
+    }
+
+    #[test]
+    fn ablation_matrix_is_thread_count_independent() {
+        let grid = synthetic_ablation_grid();
+        let baseline = test_runner().with_threads(1).run_ablation(&grid).unwrap().to_json();
+        for threads in [2, 4] {
+            let json = test_runner().with_threads(threads).run_ablation(&grid).unwrap().to_json();
+            assert_eq!(json, baseline, "thread count {threads} changed the ablation matrix");
+        }
+        assert!(baseline.contains("\"switch_cost\""));
+        assert_eq!(baseline.matches('{').count(), baseline.matches('}').count());
+    }
+
+    #[test]
+    fn ablation_matrix_queries_and_differential_check() {
+        let matrix = test_runner().run_ablation(&synthetic_ablation_grid()).unwrap();
+        assert_eq!(matrix.cells.len(), 3);
+        assert!(matrix.get("simf", "fake-channel", "Smoke").is_some());
+        assert!(matrix.get("missing", "fake-channel", "Smoke").is_none());
+        // The zero-flush row charges nothing; flushing rows charge their
+        // capacity costs, SIMF the most.
+        let none = matrix.get("none", "fake-channel", "Smoke").unwrap();
+        let tlb = matrix.get("tlb", "fake-channel", "Smoke").unwrap();
+        let simf = matrix.get("simf", "fake-channel", "Smoke").unwrap();
+        assert_eq!(none.switch_cost, 0);
+        assert!(tlb.switch_cost > 0 && tlb.switch_cost < simf.switch_cost);
+        // The fake channel closes under any flush, so the cheapest closing
+        // subset is the TLB row and the differential claim holds.
+        let best = matrix.cheapest_closed("fake-channel", "Smoke").unwrap();
+        assert_eq!(best.key.subset, "tlb");
+        assert!(matrix.differential_violations("none", "simf").is_empty());
+        // With the closing rows renamed away, the checker reports rather
+        // than crashes.
+        assert!(!matrix.differential_violations("tlb", "none").is_empty());
     }
 
     #[test]

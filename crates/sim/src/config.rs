@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use crate::fence::TemporalFenceConfig;
 use ironhide_cache::{CacheConfig, DirectoryConfig, TlbConfig};
 use ironhide_mem::DramConfig;
 use ironhide_mesh::NocLatencyConfig;
@@ -115,6 +116,11 @@ pub struct MachineConfig {
     pub latency: LatencyConfig,
     /// NoC latency parameters.
     pub noc: NocLatencyConfig,
+    /// Temporal-fence flush policy applied at domain switches when the
+    /// machine runs under the `TemporalFence` architecture (ignored by every
+    /// other architecture). Defaults to [`TemporalFenceConfig::off`], which
+    /// flushes nothing and charges nothing.
+    pub temporal_fence: TemporalFenceConfig,
 }
 
 impl MachineConfig {
@@ -135,6 +141,7 @@ impl MachineConfig {
             clock_ghz: 1.2,
             latency: LatencyConfig::default(),
             noc: NocLatencyConfig::default(),
+            temporal_fence: TemporalFenceConfig::off(),
         }
     }
 
@@ -154,6 +161,7 @@ impl MachineConfig {
             clock_ghz: 1.0,
             latency: LatencyConfig::default(),
             noc: NocLatencyConfig::default(),
+            temporal_fence: TemporalFenceConfig::off(),
         }
     }
 
@@ -177,6 +185,7 @@ impl MachineConfig {
             clock_ghz: 1.0,
             latency: LatencyConfig::default(),
             noc: NocLatencyConfig::default(),
+            temporal_fence: TemporalFenceConfig::off(),
         }
     }
 

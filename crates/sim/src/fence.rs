@@ -1,0 +1,347 @@
+//! Temporal-isolation fence configuration.
+//!
+//! The `TemporalFence` execution architecture (a fence.t / SIMF-style
+//! temporal-partitioning defence, see `ironhide-core`'s `arch` module)
+//! flushes a configurable subset of the machine's shared microarchitectural
+//! state at every domain switch. This module defines the *what* and the *how
+//! much*: the [`FlushSet`] bitset naming the resource classes erased, the
+//! [`FlushCosts`] cycle-cost table, and the [`TemporalFenceConfig`] carried
+//! by [`MachineConfig`] that the runners in
+//! `ironhide-core` read at each boundary crossing.
+//!
+//! # The cost model is capacity-based, deliberately
+//!
+//! The *erasure* a fence performs is functional and state-dependent —
+//! [`Machine::temporal_flush`](crate::machine::Machine::temporal_flush)
+//! really empties the selected structures, however full they are. The *cost
+//! charged* for it is a pure function of the machine configuration and the
+//! flush set: every resource is billed its worst-case (full-capacity) flush
+//! time. That is not a simplification but a requirement of the defence
+//! being modelled: a flush whose duration depended on how much secret-
+//! dependent state it found would itself leak that state through timing —
+//! Ge & Heiser's time-protection rule that temporal partitioning must pad
+//! to the worst case. A welcome corollary is that the charged switch cost
+//! is exactly monotone in the flush set: adding a resource can only add its
+//! (non-negative) capacity cost, which the ablation property suite pins.
+
+use crate::config::MachineConfig;
+
+/// One flushable class of shared microarchitectural state.
+///
+/// Each class maps onto an existing purge/drain primitive of the simulated
+/// machine (see [`Machine::temporal_flush`](crate::machine::Machine::temporal_flush)
+/// for the exact semantics and the coherence caveats of partial subsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushResource {
+    /// Every core's private L1 data cache.
+    L1,
+    /// Every core's private data TLB.
+    Tlb,
+    /// The shared-L2 slices together with their coherence directories (the
+    /// directory cannot be dropped coherently while the slice keeps the
+    /// tracked lines, so the class flushes both — exactly what
+    /// `Machine::purge_slices` does per slice).
+    Directory,
+    /// The NoC's per-link congestion estimate (the link-load EMA the
+    /// analytical latency model accumulates).
+    NocLoad,
+    /// The DRAM controllers' request queues and open-row state.
+    Controller,
+    /// Predictor screening state (the speculative-access check's history).
+    /// The simulator models no predictor *latency* state, so this class is
+    /// cost-only: it reserves the flush-cost slot the fence.t.s hardware
+    /// pays for branch-predictor and prefetcher erasure, and gives every
+    /// proper selective subset a strictly cheaper switch than SIMF.
+    Predictor,
+}
+
+impl FlushResource {
+    /// All resource classes, in bit order.
+    pub const ALL: [FlushResource; 6] = [
+        FlushResource::L1,
+        FlushResource::Tlb,
+        FlushResource::Directory,
+        FlushResource::NocLoad,
+        FlushResource::Controller,
+        FlushResource::Predictor,
+    ];
+
+    /// The class's short display label (used in ablation-grid cell keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushResource::L1 => "l1",
+            FlushResource::Tlb => "tlb",
+            FlushResource::Directory => "dir",
+            FlushResource::NocLoad => "noc",
+            FlushResource::Controller => "dram",
+            FlushResource::Predictor => "pred",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            FlushResource::L1 => 1 << 0,
+            FlushResource::Tlb => 1 << 1,
+            FlushResource::Directory => 1 << 2,
+            FlushResource::NocLoad => 1 << 3,
+            FlushResource::Controller => 1 << 4,
+            FlushResource::Predictor => 1 << 5,
+        }
+    }
+}
+
+/// A subset of the six [`FlushResource`] classes, as a bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlushSet(u8);
+
+impl FlushSet {
+    /// The empty set: a fence that flushes nothing (and charges nothing).
+    pub const EMPTY: FlushSet = FlushSet(0);
+    /// All six resource classes.
+    pub const FULL: FlushSet = FlushSet(0b11_1111);
+
+    /// Builds a set from the listed resources.
+    pub fn of(resources: &[FlushResource]) -> Self {
+        let mut set = FlushSet::EMPTY;
+        for r in resources {
+            set = set.with(*r);
+        }
+        set
+    }
+
+    /// This set plus `resource`.
+    #[must_use]
+    pub fn with(self, resource: FlushResource) -> Self {
+        FlushSet(self.0 | resource.bit())
+    }
+
+    /// Whether `resource` is selected.
+    pub fn contains(self, resource: FlushResource) -> bool {
+        self.0 & resource.bit() != 0
+    }
+
+    /// Whether no resource is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of selected resources.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether every resource of `self` is also in `other`.
+    pub fn is_subset_of(self, other: FlushSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The selected resources, in [`FlushResource::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = FlushResource> {
+        FlushResource::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// A stable display label: the `+`-joined resource labels in bit order,
+    /// or `"none"` for the empty set.
+    pub fn label(self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        let mut out = String::new();
+        for r in self.iter() {
+            if !out.is_empty() {
+                out.push('+');
+            }
+            out.push_str(r.label());
+        }
+        out
+    }
+}
+
+/// Per-resource cycle-cost rates of a temporal fence.
+///
+/// The defaults mirror the machine's purge latencies
+/// ([`LatencyConfig`](crate::config::LatencyConfig)): flushing one L1 line
+/// costs what the MI6 purge charges per line, one TLB entry what the TLB
+/// purge charges, one L2 line a quarter of an L1 line (the bulk slice flush
+/// of `purge_slices`), and the barrier that ends the fence costs the purge
+/// fence. The NoC drain is cheaper than a full purge fence — only the
+/// congestion estimators reset, no dirty data drains — and the predictor
+/// cost is the fixed screening-state erasure slot (see
+/// [`FlushResource::Predictor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlushCosts {
+    /// Cycles per L1 line (full-capacity flush of every core's L1).
+    pub l1_line: u64,
+    /// Cycles per TLB entry.
+    pub tlb_entry: u64,
+    /// Cycles per L2-slice line (slices flush in parallel; one slice's
+    /// capacity is the critical path).
+    pub l2_line: u64,
+    /// Cycles per coherence-directory entry.
+    pub directory_entry: u64,
+    /// Fixed cycles to drain the NoC's link-load estimators.
+    pub noc_drain: u64,
+    /// Fixed cycles to erase predictor screening state.
+    pub predictor: u64,
+    /// Barrier cycles charged once per non-empty fence (the memory-fence
+    /// wait until every flushed structure has quiesced).
+    pub fence_barrier: u64,
+}
+
+impl Default for FlushCosts {
+    fn default() -> Self {
+        FlushCosts {
+            l1_line: 260,
+            tlb_entry: 40,
+            l2_line: 65,
+            directory_entry: 2,
+            noc_drain: 4_000,
+            predictor: 1_000,
+            fence_barrier: 45_000,
+        }
+    }
+}
+
+/// The temporal-fence configuration carried by every
+/// [`MachineConfig`].
+///
+/// Defaults to [`TemporalFenceConfig::off`] — the empty flush set — so
+/// machines configured before this field existed behave byte-identically:
+/// a zero-flush fence erases nothing and charges nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemporalFenceConfig {
+    /// The resource classes flushed at every domain switch.
+    pub set: FlushSet,
+    /// The cycle-cost table the switch is billed from.
+    pub costs: FlushCosts,
+}
+
+impl Default for TemporalFenceConfig {
+    fn default() -> Self {
+        TemporalFenceConfig::off()
+    }
+}
+
+impl TemporalFenceConfig {
+    /// No fence: nothing flushed, nothing charged (the default).
+    pub fn off() -> Self {
+        TemporalFenceConfig { set: FlushSet::EMPTY, costs: FlushCosts::default() }
+    }
+
+    /// The SIMF preset: a single-instruction multiple-flush that erases
+    /// every resource class at one fixed cost — fixed because the charge is
+    /// capacity-based, so for a given machine configuration the SIMF switch
+    /// always bills the same worst-case cycle count.
+    pub fn simf() -> Self {
+        TemporalFenceConfig { set: FlushSet::FULL, costs: FlushCosts::default() }
+    }
+
+    /// The selective preset: flush exactly `set`, per-resource costs.
+    pub fn selective(set: FlushSet) -> Self {
+        TemporalFenceConfig { set, costs: FlushCosts::default() }
+    }
+
+    /// The cycles one domain switch charges on the critical path under this
+    /// fence, for a machine of `config`'s geometry.
+    ///
+    /// A pure function of `(self, config)` — deliberately independent of the
+    /// machine's runtime state (see the module docs): each selected class
+    /// bills its full-capacity flush, parallel instances within a class cost
+    /// one instance's capacity (all L1s flush concurrently, like
+    /// `purge_private`), and a non-empty set pays the fence barrier once.
+    /// Monotone in the flush set by construction.
+    pub fn switch_cost(&self, config: &MachineConfig) -> u64 {
+        if self.set.is_empty() {
+            return 0;
+        }
+        let mut cost = self.costs.fence_barrier;
+        if self.set.contains(FlushResource::L1) {
+            cost += config.l1.lines() as u64 * self.costs.l1_line;
+        }
+        if self.set.contains(FlushResource::Tlb) {
+            cost += config.tlb.entries as u64 * self.costs.tlb_entry;
+        }
+        if self.set.contains(FlushResource::Directory) {
+            cost += config.l2_slice.lines() as u64 * self.costs.l2_line
+                + config.directory.entries() as u64 * self.costs.directory_entry;
+        }
+        if self.set.contains(FlushResource::NocLoad) {
+            cost += self.costs.noc_drain;
+        }
+        if self.set.contains(FlushResource::Controller) {
+            // The worst-case controller drain: a full queue at the saturated
+            // per-entry drain rate plus closing the open row — the same
+            // formula `MemoryController::purge` charges at peak occupancy.
+            cost += config.dram.queue_depth as u64 * config.dram.queue_cycles_per_entry * 2
+                + config.dram.row_miss_cycles;
+        }
+        if self.set.contains(FlushResource::Predictor) {
+            cost += self.costs.predictor;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let set = FlushSet::of(&[FlushResource::L1, FlushResource::Tlb]);
+        assert!(set.contains(FlushResource::L1));
+        assert!(set.contains(FlushResource::Tlb));
+        assert!(!set.contains(FlushResource::Directory));
+        assert_eq!(set.len(), 2);
+        assert!(set.is_subset_of(FlushSet::FULL));
+        assert!(FlushSet::EMPTY.is_subset_of(set));
+        assert!(!FlushSet::FULL.is_subset_of(set));
+        assert_eq!(FlushSet::FULL.len(), FlushResource::ALL.len());
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![FlushResource::L1, FlushResource::Tlb]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FlushSet::EMPTY.label(), "none");
+        assert_eq!(FlushSet::of(&[FlushResource::Tlb]).label(), "tlb");
+        assert_eq!(FlushSet::FULL.label(), "l1+tlb+dir+noc+dram+pred");
+    }
+
+    #[test]
+    fn switch_cost_is_monotone_and_zero_when_off() {
+        let config = MachineConfig::attack_testbench();
+        assert_eq!(TemporalFenceConfig::off().switch_cost(&config), 0);
+        // Every chain step adds exactly one resource: cost never decreases,
+        // and the full set equals the SIMF preset's fixed cost.
+        let mut prev = 0;
+        let mut set = FlushSet::EMPTY;
+        for r in FlushResource::ALL {
+            set = set.with(r);
+            let cost = TemporalFenceConfig::selective(set).switch_cost(&config);
+            assert!(cost > prev, "{} must cost more than its subset", set.label());
+            prev = cost;
+        }
+        assert_eq!(prev, TemporalFenceConfig::simf().switch_cost(&config));
+    }
+
+    #[test]
+    fn simf_dominates_every_selective_subset() {
+        let config = MachineConfig::paper_default();
+        let simf = TemporalFenceConfig::simf().switch_cost(&config);
+        for bits in 0..=0b11_1111u8 {
+            let set = FlushSet::of(
+                &FlushResource::ALL
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| bits & (1 << i) != 0)
+                    .map(|(_, r)| r)
+                    .collect::<Vec<_>>(),
+            );
+            let cost = TemporalFenceConfig::selective(set).switch_cost(&config);
+            assert!(cost <= simf);
+            if set != FlushSet::FULL {
+                assert!(cost < simf, "{} must be strictly cheaper than SIMF", set.label());
+            }
+        }
+    }
+}

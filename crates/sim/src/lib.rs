@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod fence;
 pub mod machine;
 pub mod process;
 pub mod stats;
@@ -48,6 +49,7 @@ pub mod time;
 pub mod trace;
 
 pub use config::{ConfigError, LatencyConfig, MachineConfig};
+pub use fence::{FlushCosts, FlushResource, FlushSet, TemporalFenceConfig};
 pub use machine::{AccessPath, Machine};
 pub use process::{ProcessId, SecurityClass};
 pub use stats::{MachineStats, ProcessStats};

@@ -30,6 +30,7 @@ use ironhide_mesh::{
 };
 
 use crate::config::{LatencyConfig, MachineConfig};
+use crate::fence::{FlushResource, FlushSet};
 use crate::process::{ProcessId, ProcessState, SecurityClass};
 use crate::stats::{MachineStats, ProcessStats};
 use crate::stream::{RefRun, RefStream};
@@ -2202,6 +2203,76 @@ impl Machine {
             }
         }
         worst
+    }
+
+    /// Erases the machine state selected by a temporal-fence flush `set` —
+    /// the functional half of a `TemporalFence` domain switch. The cycle
+    /// charge is *not* computed here: the fence bills the state-independent
+    /// worst case via `TemporalFenceConfig::switch_cost` (a flush whose
+    /// duration tracked residual state would itself be a timing channel), so
+    /// this method only performs the erasure.
+    ///
+    /// Per resource class:
+    /// * `L1` — every core's private L1 is flush-invalidated;
+    /// * `Tlb` — every core's TLB is invalidated;
+    /// * `Directory` — every shared-L2 slice is flushed and its coherence
+    ///   directory dropped (the machine-wide form of [`Machine::purge_slices`]
+    ///   and with the same caveat: alone it can leave L1 copies the
+    ///   directories no longer track, which the access paths tolerate via
+    ///   their missing-entry fallbacks — under a full SIMF flush the L1s
+    ///   empty in the same switch and the protocol stays exactly coherent);
+    /// * `NocLoad` — the per-link congestion estimators reset
+    ///   (the network half of the fence, as in [`Machine::purge_network`]);
+    /// * `Controller` — every memory controller's request queue drains and
+    ///   its open rows close;
+    /// * `Predictor` — no functional effect: the simulator models no
+    ///   predictor latency state, the class exists for its flush cost.
+    ///
+    /// A cache-class flush (`L1` or `Directory`) additionally scrubs the
+    /// transient downstream state — the NoC link-load estimators and the
+    /// memory controllers — as a side effect: the flush walk's
+    /// writeback/invalidate storm traverses every link and controller and
+    /// deterministically overwrites whatever load averages, queue residue
+    /// and open rows the previous domain left behind. Without this, adding a
+    /// cache flush could *reopen* a channel (cold attacker probes fall
+    /// through to residue the warm cache used to absorb), breaking the
+    /// ablation's monotonicity guarantee; the explicit `NocLoad` and
+    /// `Controller` classes remain the only way to scrub those resources
+    /// when no cache class is flushed, and carry the drain cost either way.
+    ///
+    /// Unlike the MI6 purge path this does not count toward `core_purges`
+    /// (fence flushes are a different defence's bookkeeping) and is never
+    /// intercepted by injected scrub-drop faults — the fence is modelled as
+    /// a single atomic instruction, not a sequence of droppable packets.
+    pub fn temporal_flush(&mut self, set: FlushSet) {
+        if set.contains(FlushResource::L1) {
+            for l1 in &mut self.l1s {
+                l1.purge();
+            }
+        }
+        if set.contains(FlushResource::Tlb) {
+            for tlb in &mut self.tlbs {
+                tlb.purge();
+            }
+        }
+        if set.contains(FlushResource::Directory) {
+            for l2 in &mut self.l2s {
+                l2.purge();
+            }
+            for d in &mut self.directories {
+                d.purge();
+            }
+        }
+        let cache_flush_traffic =
+            set.contains(FlushResource::L1) || set.contains(FlushResource::Directory);
+        if set.contains(FlushResource::NocLoad) || cache_flush_traffic {
+            self.noc.reset_load();
+        }
+        if set.contains(FlushResource::Controller) || cache_flush_traffic {
+            for mc in &mut self.controllers {
+                mc.purge();
+            }
+        }
     }
 
     // ----- statistics -------------------------------------------------------

@@ -42,7 +42,8 @@ pub use ironhide_workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use ironhide_attacks::{
-        attack_grid, attack_spec, window_attack_spec, ChannelKind, FaultAudit, FaultMode,
+        ablation_channels, ablation_grid, ablation_subsets, all_but_predictor, attack_grid,
+        attack_spec, smoke_subsets, window_attack_spec, ChannelKind, FaultAudit, FaultMode,
         LeakageOracle, WindowAttack,
     };
     pub use ironhide_core::app::{
@@ -60,8 +61,9 @@ pub mod prelude {
     pub use ironhide_core::realloc::ReallocPolicy;
     pub use ironhide_core::runner::{CompletionReport, ExperimentRunner};
     pub use ironhide_core::sweep::{
-        AppSpec, AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, CellKey, Fig6Row,
-        Fig7Row, Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix, SweepRunner,
+        AblationCell, AblationCellKey, AblationGrid, AblationMatrix, AblationSpec, AppSpec,
+        AttackCell, AttackCellKey, AttackGrid, AttackMatrix, AttackSpec, CellKey, Fig6Row, Fig7Row,
+        Fig8Row, ScalePoint, SweepCell, SweepGrid, SweepMatrix, SweepRunner,
     };
     pub use ironhide_core::tenancy::{
         AdmissionPolicy, Arrival, ArrivalGenerator, LoadPoint, SloAccount, StormConfig,
@@ -70,6 +72,7 @@ pub mod prelude {
     };
     pub use ironhide_mesh::{ClusterId, MeshTopology, NodeId, RoutingAlgorithm};
     pub use ironhide_sim::config::MachineConfig;
+    pub use ironhide_sim::fence::{FlushCosts, FlushResource, FlushSet, TemporalFenceConfig};
     pub use ironhide_sim::process::SecurityClass;
     pub use ironhide_workloads::app::{sweep_grid, tenant_profiles, AppId, ScaleFactor};
 }

@@ -120,6 +120,86 @@ fn attack_matrix_matches_golden() {
     );
 }
 
+/// The temporal-fence ablation ladder (13 flush subsets × all six channels)
+/// at the smoke scale — the defence-ablation companion to [`smoke_matrix`].
+fn ablation_ladder(threads: usize) -> AblationMatrix {
+    let grid = ablation_grid(ablation_subsets(), &[ScalePoint::new("Smoke")]);
+    SweepRunner::new(MachineConfig::attack_testbench())
+        .with_seed(MASTER_SEED)
+        .with_threads(threads)
+        .run_ablation(&grid)
+        .expect("ablation matrix runs")
+}
+
+/// Per channel, the minimal flush subset that closes it — written from the
+/// observed deterministic matrix, pinned here so any model change that moves
+/// a channel's closing requirement fails loudly. The structure is the
+/// headline of the ablation: the TLB channel dies the moment the TLB is
+/// flushed; everything that decodes through the cache hierarchy dies with
+/// the directory flush (whose writeback storm also scrubs the NoC load
+/// averages and DRAM rows); the NoC contention channel also needs the L1
+/// flush on top; and SIMF is never the cheapest way to close anything.
+#[test]
+fn each_channel_has_a_minimal_closing_subset_cheaper_than_simf() {
+    let matrix = ablation_ladder(4);
+    let expected = [
+        ("l2-slice-occupancy", "dir"),
+        ("noc-link-contention", "l1+dir"),
+        ("tlb-occupancy", "tlb"),
+        ("ipc-buffer-timing", "dir"),
+        ("coherence-state", "dir"),
+        ("reconfig-window", "dir"),
+    ];
+    let simf_cost = TemporalFenceConfig::simf().switch_cost(&MachineConfig::attack_testbench());
+    for (channel, cheapest) in expected {
+        // Zero flush leaves the channel demonstrably working...
+        let none = matrix.get("none", channel, "Smoke").expect("none row present");
+        assert!(none.outcome.is_open(), "{channel}: closed with nothing flushed");
+        // ...SIMF closes it at the full price...
+        let simf = matrix.get("simf", channel, "Smoke").expect("simf row present");
+        assert!(simf.outcome.is_closed(), "{channel}: SIMF leaks (BER {})", simf.outcome.ber);
+        assert_eq!(simf.switch_cost, simf_cost);
+        // ...and the pinned selective subset is the cheapest closing row.
+        let best = matrix.cheapest_closed(channel, "Smoke").expect("some subset closes it");
+        assert_eq!(
+            best.key.subset, cheapest,
+            "{channel}: cheapest closing subset moved (now {} at {} cycles)",
+            best.key.subset, best.switch_cost
+        );
+        assert!(
+            best.switch_cost < simf_cost,
+            "{channel}: cheapest closing subset {} out-charges SIMF",
+            best.key.subset
+        );
+    }
+}
+
+#[test]
+fn ablation_matrix_matches_golden() {
+    let rendered = ablation_ladder(0).to_json();
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ablation_matrix_smoke.json");
+
+    if std::env::var_os("IRONHIDE_REGEN_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        fs::write(&path, &rendered).expect("write golden ablation matrix");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {}; generate it with IRONHIDE_REGEN_GOLDEN=1 cargo test --test attack_suite",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "ablation-matrix verdicts/costs drifted from {} (regenerate with \
+         IRONHIDE_REGEN_GOLDEN=1 if the model change is intentional)",
+        path.display()
+    );
+}
+
 #[test]
 fn paper_scale_payload_also_discriminates() {
     // A longer payload (96 bits) on the two architectures the differential

@@ -10,11 +10,23 @@ fn runner() -> ExperimentRunner {
     ExperimentRunner::new(MachineConfig::paper_default()).with_params(params)
 }
 
+/// A runner whose machine carries a temporal-fence policy. The four seed
+/// architectures ignore the field, so the same runner drives all five.
+fn fence_runner(fence: TemporalFenceConfig) -> ExperimentRunner {
+    let params =
+        ArchParams { warmup_interactions: 2, predictor_sample: 3, ..ArchParams::default() };
+    let mut machine = MachineConfig::paper_default();
+    machine.temporal_fence = fence;
+    ExperimentRunner::new(machine).with_params(params).with_realloc(ReallocPolicy::Static)
+}
+
 #[test]
 fn every_application_runs_under_every_architecture() {
-    let runner = runner().with_realloc(ReallocPolicy::Static);
+    // The fence policy rides along so the fifth architecture actually
+    // flushes; the four seed architectures never read it.
+    let runner = fence_runner(TemporalFenceConfig::simf());
     for app_id in [AppId::QueryAes, AppId::MemcachedOs, AppId::PrGraph] {
-        for arch in Architecture::ALL {
+        for arch in Architecture::ALL.into_iter().chain([Architecture::TemporalFence]) {
             let mut app = app_id.instantiate(&ScaleFactor::Smoke);
             let report = runner.run(arch, app.as_mut()).unwrap();
             assert!(report.total_cycles > 0, "{} under {arch} produced no work", app_id.label());
@@ -48,6 +60,39 @@ fn security_cost_ordering_holds_for_os_interactive_apps() {
     assert!(ih.total_cycles < sgx.total_cycles, "IRONHIDE must beat SGX on OS-interactive apps");
     assert_eq!(ih.overhead_cycles, 0);
     assert!(mi6.overhead_cycles > 0);
+}
+
+#[test]
+fn simf_charges_at_least_what_any_selective_subset_charges() {
+    // The same OS-interactive trace under the fence, three ways: flushing
+    // everything (SIMF), everything but the cost-only predictor class, and
+    // just the private-state pair. Every domain switch charges the
+    // configured switch cost, so the end-to-end overhead must order exactly
+    // as the per-switch costs do — SIMF is the ceiling.
+    let selective = FlushSet::of(&[FlushResource::L1, FlushResource::Tlb]);
+    let mut reports = Vec::new();
+    for fence in [
+        TemporalFenceConfig::simf(),
+        TemporalFenceConfig::selective(all_but_predictor()),
+        TemporalFenceConfig::selective(selective),
+    ] {
+        let mut app = AppId::MemcachedOs.instantiate(&ScaleFactor::Smoke);
+        let report = fence_runner(fence).run(Architecture::TemporalFence, app.as_mut()).unwrap();
+        assert!(report.overhead_cycles > 0, "{} charged nothing", fence.set.label());
+        reports.push(report);
+    }
+    let (simf, all_but_pred, private_pair) = (&reports[0], &reports[1], &reports[2]);
+    assert!(
+        simf.overhead_cycles >= all_but_pred.overhead_cycles
+            && all_but_pred.overhead_cycles >= private_pair.overhead_cycles,
+        "fence overheads must order with their switch costs: SIMF {} ≥ all-but-pred {} ≥ l1+tlb {}",
+        simf.overhead_cycles,
+        all_but_pred.overhead_cycles,
+        private_pair.overhead_cycles
+    );
+    // Identical interaction counts: the fence charges time, not work.
+    assert_eq!(simf.interactions, private_pair.interactions);
+    assert!(simf.total_cycles > private_pair.total_cycles);
 }
 
 #[test]

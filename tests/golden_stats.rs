@@ -29,6 +29,7 @@ fn arch_slug(arch: Architecture) -> &'static str {
         Architecture::SgxLike => "sgx",
         Architecture::Mi6 => "mi6",
         Architecture::Ironhide => "ironhide",
+        Architecture::TemporalFence => "fence",
     }
 }
 

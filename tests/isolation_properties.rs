@@ -98,6 +98,41 @@ proptest! {
         prop_assert_eq!(observe(&v1), observe(&v2));
     }
 
+    /// A full-flush `TemporalFence` domain switch leaves zero
+    /// attacker-observable residue, exactly like the purge invariant above:
+    /// whatever two victim workloads V1 and V2 did before the switch, an
+    /// attacker probing after `temporal_flush(FlushSet::FULL)` observes
+    /// byte-identical per-access latencies on both machines. This is the
+    /// property that makes the SIMF preset a defence at all — and the reason
+    /// its charged cost must be state-independent (a cost that tracked the
+    /// erased residue would leak through the one thing the flush cannot
+    /// remove: its own duration).
+    #[test]
+    fn full_temporal_flush_erases_all_attacker_observable_victim_residue(
+        v1 in prop::collection::vec(0u64..0x80_0000, 0..48),
+        v2 in prop::collection::vec(0u64..0x80_0000, 0..48),
+        probe in prop::collection::vec(0u64..0x80_0000, 1..48),
+    ) {
+        let observe = |victim_trace: &[u64]| -> Vec<u64> {
+            let mut m = Machine::new(MachineConfig::small_test());
+            let cores = m.config().cores();
+            let victim = m.create_process("victim", SecurityClass::Secure);
+            let attacker = m.create_process("attacker", SecurityClass::Insecure);
+            for (i, v) in victim_trace.iter().enumerate() {
+                m.access(NodeId(i % cores), victim, *v, v % 3 == 0);
+            }
+            // The one-instruction domain switch the fence architecture
+            // performs with everything selected.
+            m.temporal_flush(FlushSet::FULL);
+            m.enable_latency_trace(probe.len());
+            for (i, p) in probe.iter().enumerate() {
+                m.access(NodeId(i % cores), attacker, *p, p % 5 == 0);
+            }
+            m.latency_trace().expect("trace attached").iter().collect()
+        };
+        prop_assert_eq!(observe(&v1), observe(&v2));
+    }
+
     /// The purge invariant above must *survive failure*: a
     /// partial-completion fault that eats a fraction of the purge packets
     /// (whole slice purges and page scrubs alike) still leaves zero
